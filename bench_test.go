@@ -1,0 +1,428 @@
+// Benchmark harness: one benchmark per table and figure of the paper.
+//
+// Each benchmark regenerates its artifact from a shared experiment run
+// (the expensive campaign executes once; the benchmark measures the
+// analysis/rendering stage and prints the regenerated rows/series on the
+// first iteration). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The printed output is the reproduction: compare it against the paper
+// using EXPERIMENTS.md's per-experiment index.
+package shadowmeter_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"shadowmeter"
+
+	"shadowmeter/internal/analysis"
+	"shadowmeter/internal/core"
+	"shadowmeter/internal/correlate"
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/identifier"
+	"shadowmeter/internal/resolversim"
+	"shadowmeter/internal/stats"
+	"shadowmeter/internal/traceroute"
+	"shadowmeter/internal/vantage"
+	"shadowmeter/internal/wire"
+)
+
+var (
+	expOnce   sync.Once
+	sharedExp *core.Experiment
+	sharedRep *shadowmeter.Report
+)
+
+// experiment runs the shared campaign once for all benchmarks.
+func experiment(b *testing.B) (*core.Experiment, *shadowmeter.Report) {
+	b.Helper()
+	expOnce.Do(func() {
+		e := core.NewExperiment(core.Config{Seed: 42})
+		e.ScreenPairResolvers()
+		e.RunPhaseI()
+		e.RunPhaseII()
+		sharedExp = e
+		sharedRep = e.Compile()
+	})
+	return sharedExp, sharedRep
+}
+
+func printOnce(b *testing.B, i int, format string, args ...interface{}) {
+	if i == 0 && !testing.Short() {
+		b.Logf(format, args...)
+	}
+}
+
+// BenchmarkTable1_PlatformCapabilities regenerates Table 1: the VPN
+// measurement platform's providers/IPs/ASes/regions split.
+func BenchmarkTable1_PlatformCapabilities(b *testing.B) {
+	e, _ := experiment(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := e.World.Platform.Capabilities()
+		if len(rows) != 3 {
+			b.Fatal("table 1 shape")
+		}
+		printOnce(b, i, "Table 1: %+v", rows)
+	}
+}
+
+// BenchmarkFigure3_ProblematicPaths regenerates Figure 3: ratio of
+// problematic client-server paths per VP country and protocol.
+func BenchmarkFigure3_ProblematicPaths(b *testing.B) {
+	e, _ := experiment(b)
+	an := &analysis.Analyzer{Geo: e.World.Topo.Geo, Blocklist: e.World.Blocklist, Signatures: e.World.Signatures}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := an.Figure3(e.EventsPhaseI, e.Universe)
+		if len(rows) == 0 {
+			b.Fatal("no figure 3 rows")
+		}
+		printOnce(b, i, "Figure 3 (first rows): %+v", rows[:3])
+	}
+}
+
+// BenchmarkTable2_ObserverLocation regenerates Table 2: normalized
+// observer positions per protocol from Phase II evidence.
+func BenchmarkTable2_ObserverLocation(b *testing.B) {
+	e, _ := experiment(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := analysis.Table2(e.SweepResults)
+		if len(rows) == 0 {
+			b.Fatal("no table 2 rows")
+		}
+		printOnce(b, i, "\n%s", analysis.RenderTable2(rows))
+	}
+}
+
+// BenchmarkTable3_ObserverASes regenerates Table 3: top networks of
+// on-path observers from ICMP-revealed addresses.
+func BenchmarkTable3_ObserverASes(b *testing.B) {
+	e, _ := experiment(b)
+	an := &analysis.Analyzer{Geo: e.World.Topo.Geo}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, addrs := an.Table3(e.SweepResults, 3)
+		if len(rows) == 0 {
+			b.Fatal("no table 3 rows")
+		}
+		printOnce(b, i, "\n%s(distinct observers: %d protocols)", analysis.RenderTable3(rows), len(addrs))
+	}
+}
+
+// BenchmarkFigure4_DNSTemporalCDF regenerates Figure 4: the CDF of
+// decoy-to-unsolicited intervals for DNS decoys to Resolver_h.
+func BenchmarkFigure4_DNSTemporalCDF(b *testing.B) {
+	e, _ := experiment(b)
+	rh := map[string]bool{}
+	for _, n := range resolversim.ResolverH {
+		rh[n] = true
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cdf := analysis.DelayCDF(e.EventsPhaseI, decoy.DNS, rh)
+		if cdf.N() == 0 {
+			b.Fatal("empty CDF")
+		}
+		printOnce(b, i, "Figure 4: n=%d <=1min:%.2f <=1d:%.2f <=10d:%.2f",
+			cdf.N(), cdf.At(60), cdf.At(86400), cdf.At(10*86400))
+	}
+}
+
+// BenchmarkFigure5_ProtocolBreakdown regenerates Figure 5: per-destination
+// combination x delay-bucket breakdown for DNS decoys.
+func BenchmarkFigure5_ProtocolBreakdown(b *testing.B) {
+	e, _ := experiment(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells, perDst := analysis.Figure5(e.EventsPhaseI)
+		if len(cells) == 0 || len(perDst) == 0 {
+			b.Fatal("empty figure 5")
+		}
+		printOnce(b, i, "Figure 5: %d cells over %d destinations", len(cells), len(perDst))
+	}
+}
+
+// BenchmarkFigure6_OriginASes regenerates Figure 6: origin ASes of
+// unsolicited DNS queries plus blocklist overlap.
+func BenchmarkFigure6_OriginASes(b *testing.B) {
+	e, _ := experiment(b)
+	an := &analysis.Analyzer{Geo: e.World.Topo.Geo, Blocklist: e.World.Blocklist}
+	rh := map[string]bool{}
+	for _, n := range resolversim.ResolverH {
+		rh[n] = true
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reports := an.Figure6(e.EventsPhaseI, rh, 6)
+		if len(reports) == 0 {
+			b.Fatal("no figure 6 reports")
+		}
+		printOnce(b, i, "Figure 6: %d destinations, first=%+v", len(reports), reports[0].TopASes[0])
+	}
+}
+
+// BenchmarkFigure7_HTTPTLSTemporalCDF regenerates Figure 7: retention
+// intervals for HTTP and TLS decoys.
+func BenchmarkFigure7_HTTPTLSTemporalCDF(b *testing.B) {
+	e, _ := experiment(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		http := analysis.DelayCDF(e.EventsPhaseI, decoy.HTTP, nil)
+		tls := analysis.DelayCDF(e.EventsPhaseI, decoy.TLS, nil)
+		if http.N() == 0 || tls.N() == 0 {
+			b.Fatal("empty figure 7")
+		}
+		printOnce(b, i, "Figure 7: HTTP n=%d <=1d:%.2f; TLS n=%d <=1d:%.2f",
+			http.N(), http.At(86400), tls.N(), tls.At(86400))
+	}
+}
+
+// BenchmarkTable4_DNSDestinations regenerates Table 4: the DNS destination
+// list (20 public resolvers, control, 13 roots, 2 TLDs).
+func BenchmarkTable4_DNSDestinations(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := stats.NewTable("Table 4", "Type", "Name", "IP")
+		for _, r := range resolversim.PublicResolvers {
+			tb.AddRow("Public resolver", r.Name, r.Addr.String())
+		}
+		for _, r := range resolversim.RootServers {
+			tb.AddRow("Root", r.Name, r.Addr.String())
+		}
+		for _, t := range resolversim.TLDServers {
+			tb.AddRow("TLD", "."+t.Zone, t.Addr.String())
+		}
+		if tb.NumRows() != 35 {
+			b.Fatal("table 4 shape")
+		}
+	}
+}
+
+// BenchmarkTable5_VPNProviders regenerates Table 5: the VPN provider
+// listing (screening foils excluded).
+func BenchmarkTable5_VPNProviders(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := stats.NewTable("Table 5", "Market", "Provider", "URL")
+		kept := 0
+		for _, p := range vantage.Providers {
+			if p.ResetsTTL || p.Residential {
+				continue
+			}
+			tb.AddRow(p.Market.String(), p.Name, p.URL)
+			kept++
+		}
+		if kept != 19 {
+			b.Fatal("table 5 shape")
+		}
+	}
+}
+
+// BenchmarkTable6_PlatformSurvey regenerates Table 6: the measurement
+// platform capability matrix (this platform's row).
+func BenchmarkTable6_PlatformSurvey(b *testing.B) {
+	e, _ := experiment(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := stats.NewTable("Table 6 (this work's row)",
+			"Platform", "VolunteerFree", "Resi", "#VP", "CC", "AS", "DNS", "HTTP", "TLS", "TTL")
+		caps := e.World.Platform.Capabilities()
+		tb.AddRow("This work", "yes", "no", caps[2].IPs,
+			len(e.World.Platform.CountryCodes()), caps[2].ASes, "yes", "yes", "yes", "yes")
+		if tb.NumRows() != 1 {
+			b.Fatal("table 6 shape")
+		}
+	}
+}
+
+// BenchmarkSection51_MultiUse regenerates the §5.1 multi-use statistic
+// (decoys with >3 / >10 unsolicited requests an hour after emission).
+func BenchmarkSection51_MultiUse(b *testing.B) {
+	e, _ := experiment(b)
+	rh := map[string]bool{}
+	for _, n := range resolversim.ResolverH {
+		rh[n] = true
+	}
+	_ = rh
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := analysis.MultiUseStats(e.EventsPhaseI, time.Hour)
+		if m.DecoysWithLateEvents == 0 {
+			b.Fatal("no multi-use data")
+		}
+		printOnce(b, i, "§5.1 multi-use: >3=%.2f >10=%.2f", m.FractionOver3, m.FractionOver10)
+	}
+}
+
+// BenchmarkSection51_ProbingIncentives regenerates the §5.1 payload
+// analysis: enumeration share, exploit matches, blocklist overlap.
+func BenchmarkSection51_ProbingIncentives(b *testing.B) {
+	e, _ := experiment(b)
+	an := &analysis.Analyzer{Geo: e.World.Topo.Geo, Blocklist: e.World.Blocklist, Signatures: e.World.Signatures}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inc := an.ProbingIncentives(e.EventsPhaseI, decoy.DNS)
+		if inc.ExploitMatches != 0 {
+			b.Fatal("exploits found; paper found none")
+		}
+		printOnce(b, i, "§5.1 incentives: enum=%.2f blockHTTP=%.2f blockHTTPS=%.2f",
+			inc.EnumerationFraction, inc.HTTPBlocklisted, inc.HTTPSBlocklisted)
+	}
+}
+
+// BenchmarkSection52_ObserverBehaviour regenerates the §5.2 per-AS
+// behaviour summary and top-5 coverage.
+func BenchmarkSection52_ObserverBehaviour(b *testing.B) {
+	_, r := experiment(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cov := analysis.TopNCoverage(r.Behaviours, 5)
+		if len(r.Behaviours) > 0 && cov == 0 {
+			b.Fatal("no coverage")
+		}
+		printOnce(b, i, "§5.2 top-5 coverage: %.2f over %d ASes", cov, len(r.Behaviours))
+	}
+}
+
+// BenchmarkSection52_ProbingIncentives regenerates the §5.2 payload
+// analysis for HTTP/TLS decoys.
+func BenchmarkSection52_ProbingIncentives(b *testing.B) {
+	e, _ := experiment(b)
+	an := &analysis.Analyzer{Geo: e.World.Topo.Geo, Blocklist: e.World.Blocklist, Signatures: e.World.Signatures}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inc := an.ProbingIncentives(e.EventsPhaseI, decoy.HTTP)
+		printOnce(b, i, "§5.2 incentives (HTTP decoys): enum=%.2f", inc.EnumerationFraction)
+	}
+}
+
+// BenchmarkAppendixE_NoiseMitigation regenerates the Appendix E screening
+// outcome: pair-resolver interception removal plus provider exclusions.
+func BenchmarkAppendixE_NoiseMitigation(b *testing.B) {
+	e, _ := experiment(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		excluded := e.World.Platform.Excluded()
+		if len(excluded) != 2 {
+			b.Fatal("screening foils not excluded")
+		}
+		printOnce(b, i, "Appendix E: %d providers excluded, %d VPs removed by pair-resolver test",
+			len(excluded), e.PairReport.Removed)
+	}
+}
+
+// --- ablation benches (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblation_IdentifierCodec measures the identifier encode+decode
+// round trip — the per-decoy overhead of the correlation design.
+func BenchmarkAblation_IdentifierCodec(b *testing.B) {
+	codec := identifier.NewCodec(time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC))
+	id := identifier.ID{
+		Time: time.Date(2024, 3, 10, 0, 0, 0, 0, time.UTC),
+		VP:   wire.AddrFrom(100, 64, 0, 1), Dst: wire.AddrFrom(77, 88, 8, 8), TTL: 64,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id.Nonce = uint16(i)
+		label, err := codec.Encode(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.Decode(label); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_TracerouteMaxTTL measures sweep cost as a function of
+// the TTL ceiling (the paper uses 64; the simulated world needs ~24).
+func BenchmarkAblation_TracerouteMaxTTL(b *testing.B) {
+	for _, maxTTL := range []int{8, 24, 64} {
+		b.Run(fmt.Sprintf("ttl%d", maxTTL), func(b *testing.B) {
+			benchSweep(b, maxTTL)
+		})
+	}
+}
+
+func benchSweep(b *testing.B, maxTTL int) {
+	start := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	e := core.NewExperiment(core.Config{
+		Seed: 9, VPsPerGlobalProvider: 1, VPsPerCNProvider: 1, WebSites: 10,
+		DNSRounds: 1, TracerouteMaxTTL: maxTTL,
+	})
+	vp := e.World.Platform.VPs[0]
+	gen := decoy.NewGenerator("bench.zone", start)
+	engine := traceroute.NewEngine(gen)
+	engine.MaxTTL = maxTTL
+	dst := wire.Endpoint{Addr: resolversim.PublicResolvers[0].Addr, Port: 53}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Sweep(e.World.Net, vp, dst, decoy.DNS); err != nil {
+			b.Fatal(err)
+		}
+		e.World.Net.RunUntilIdle()
+	}
+}
+
+// BenchmarkAblation_ClassificationThroughput measures honeypot-log
+// classification over the full campaign's capture volume.
+func BenchmarkAblation_ClassificationThroughput(b *testing.B) {
+	e, _ := experiment(b)
+	caps := e.World.Honeypots.Log.Snapshot()
+	codec := identifier.NewCodec(e.World.Cfg.Start)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh correlator each iteration: classification is stateful.
+		c := freshCorrelator(e, codec)
+		c.Classify(caps)
+	}
+	b.SetBytes(int64(len(caps)))
+}
+
+// freshCorrelator rebuilds a correlator carrying the same send log.
+func freshCorrelator(e *core.Experiment, codec *identifier.Codec) *correlate.Correlator {
+	c := correlate.New(codec)
+	seen := make(map[string]bool)
+	for _, cap := range e.World.Honeypots.Log.Snapshot() {
+		if cap.Label == "" || seen[cap.Label] {
+			continue
+		}
+		seen[cap.Label] = true
+		if s, ok := e.Correlator.SentByLabel(cap.Label); ok {
+			c.AddSent(s)
+		}
+	}
+	return c
+}
+
+// BenchmarkFullReportRender measures rendering the entire report.
+func BenchmarkFullReportRender(b *testing.B) {
+	_, r := experiment(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(r.Render()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// BenchmarkAblation_Mitigations runs the Discussion-section mitigation
+// study (baseline vs TLS+ECH vs DNS-over-HTTPS).
+func BenchmarkAblation_Mitigations(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results := core.MitigationStudy(11)
+		if len(results) != 4 {
+			b.Fatal("study shape")
+		}
+		printOnce(b, i, "\n%s", core.RenderMitigationStudy(results))
+	}
+}

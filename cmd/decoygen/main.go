@@ -1,0 +1,87 @@
+// Command decoygen generates decoy messages and prints their experiment
+// domains, encoded identifiers, and wire bytes — useful for inspecting
+// what on-path observers would see, and for feeding external tooling.
+//
+// Usage:
+//
+//	decoygen [-zone experiment.domain] [-proto dns|http|tls|all] [-n 3]
+//	         [-vp 100.64.0.1] [-dst 77.88.8.8] [-ttl 64] [-hex] [-decode LABEL]
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/identifier"
+	"shadowmeter/internal/wire"
+)
+
+func main() {
+	var (
+		zone    = flag.String("zone", "experiment.domain", "experiment zone (wildcarded to honeypots)")
+		proto   = flag.String("proto", "all", "decoy protocol: dns, http, tls, or all")
+		n       = flag.Int("n", 3, "decoys per protocol")
+		vpStr   = flag.String("vp", "100.64.0.1", "vantage point address encoded in identifiers")
+		dstStr  = flag.String("dst", "77.88.8.8", "destination address")
+		ttl     = flag.Int("ttl", 64, "initial IP TTL encoded in identifiers")
+		hexDump = flag.Bool("hex", false, "hex-dump the serialized payloads")
+		decode  = flag.String("decode", "", "decode an identifier label instead of generating")
+	)
+	flag.Parse()
+
+	epoch := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	if *decode != "" {
+		codec := identifier.NewCodec(epoch)
+		id, err := codec.Decode(*decode)
+		if err != nil {
+			log.Fatalf("decode: %v", err)
+		}
+		fmt.Printf("time:  %s\nvp:    %s\ndst:   %s\nttl:   %d\nnonce: %d\n",
+			id.Time.Format(time.RFC3339), id.VP, id.Dst, id.TTL, id.Nonce)
+		return
+	}
+
+	vp, err := wire.ParseAddr(*vpStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dstAddr, err := wire.ParseAddr(*dstStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var protos []decoy.Protocol
+	switch *proto {
+	case "dns":
+		protos = []decoy.Protocol{decoy.DNS}
+	case "http":
+		protos = []decoy.Protocol{decoy.HTTP}
+	case "tls":
+		protos = []decoy.Protocol{decoy.TLS}
+	case "all":
+		protos = decoy.Protocols
+	default:
+		log.Fatalf("unknown protocol %q", *proto)
+	}
+
+	gen := decoy.NewGenerator(*zone, epoch)
+	now := epoch.Add(time.Hour)
+	for _, p := range protos {
+		port := map[decoy.Protocol]uint16{decoy.DNS: 53, decoy.HTTP: 80, decoy.TLS: 443}[p]
+		for i := 0; i < *n; i++ {
+			d, err := gen.Generate(p, now.Add(time.Duration(i)*time.Second), vp,
+				wire.Endpoint{Addr: dstAddr, Port: port}, uint8(*ttl))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-4s  %s  ->  %s  (%d bytes)\n", p, d.Domain, d.Dst, len(d.Payload))
+			if *hexDump {
+				fmt.Println(hex.Dump(d.Payload))
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command honeypotd runs a real-network honeypot: the authoritative DNS
+// server for the experiment zone (answering every name under it with the
+// honey-website addresses) plus the honey HTTP site, both on actual
+// sockets. Captures stream to stdout as they arrive.
+//
+// Usage:
+//
+//	honeypotd [-zone experiment.domain] [-dns 127.0.0.1:5353]
+//	          [-http 127.0.0.1:8080] [-web 127.0.0.1] [-location LAB]
+//
+// Send it a query to see a capture:
+//
+//	dig @127.0.0.1 -p 5353 test123.www.experiment.domain
+//	curl -H 'Host: test123.www.experiment.domain' http://127.0.0.1:8080/admin/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"shadowmeter/internal/honeypot"
+	"shadowmeter/internal/wire"
+)
+
+func main() {
+	var (
+		zone     = flag.String("zone", "experiment.domain", "experiment zone to serve authoritatively")
+		dnsAddr  = flag.String("dns", "127.0.0.1:5353", "DNS listen address (empty to disable)")
+		httpAddr = flag.String("http", "127.0.0.1:8080", "HTTP listen address (empty to disable)")
+		tlsAddr  = flag.String("tls", "", "TLS ClientHello listen address (empty to disable)")
+		webAddrs = flag.String("web", "127.0.0.1", "comma-separated A-record targets for the wildcard")
+		location = flag.String("location", "LAB", "location tag recorded in captures")
+	)
+	flag.Parse()
+
+	var addrs []wire.Addr
+	for _, s := range strings.Split(*webAddrs, ",") {
+		a, err := wire.ParseAddr(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad -web address %q: %v", s, err)
+		}
+		addrs = append(addrs, a)
+	}
+
+	hp := honeypot.NewRealNet(*zone, *location, addrs)
+	boundDNS, boundHTTP, err := hp.Start(*dnsAddr, *httpAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hp.Close()
+	boundTLS := "(off)"
+	if *tlsAddr != "" {
+		boundTLS, err = hp.StartTLS(*tlsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("honeypot up: zone=%s dns=%s http=%s tls=%s", *zone, boundDNS, boundHTTP, boundTLS)
+
+	// Stream captures.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	seen := 0
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			caps := hp.Log.Snapshot()
+			for _, c := range caps[seen:] {
+				fmt.Printf("%s  %-4s  from=%-21s  domain=%s  path=%s\n",
+					c.Time.Format(time.RFC3339), c.Protocol, c.Source, c.Domain, c.HTTPPath)
+			}
+			seen = len(caps)
+		case <-stop:
+			log.Printf("shutting down: %d captures total", hp.Log.Len())
+			return
+		}
+	}
+}

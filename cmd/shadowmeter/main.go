@@ -1,0 +1,84 @@
+// Command shadowmeter runs the full traffic-shadowing experiment against
+// the simulated Internet and prints the complete report: every table and
+// figure of the paper, regenerated from honeypot and traceroute evidence.
+//
+// Usage:
+//
+//	shadowmeter [-seed N] [-scale small|medium|full] [-intercepted N]
+//	            [-phase1-only] [-json-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"shadowmeter/internal/core"
+)
+
+func main() {
+	var (
+		seed        = flag.Int64("seed", 42, "experiment seed (world, traffic and exhibitor schedules derive from it)")
+		scale       = flag.String("scale", "small", "experiment geometry: small, medium, or full (paper-sized: 4,364 VPs)")
+		intercepted = flag.Int("intercepted", 0, "install DNS-interception ground truth on N VP-hosting ASes (Appendix E demo)")
+		phase1Only  = flag.Bool("phase1-only", false, "stop after the Phase I landscape (skip tracerouting)")
+		jsonStats   = flag.Bool("json-stats", false, "append machine-readable summary statistics as JSON")
+		mitigations = flag.Bool("mitigations", false, "run the encryption mitigation study (ECH, DoH) instead of the main experiment")
+	)
+	flag.Parse()
+
+	if *mitigations {
+		fmt.Fprintln(os.Stderr, "running mitigation study (baseline / TLS+ECH / DNS-over-HTTPS)...")
+		fmt.Println(core.RenderMitigationStudy(core.MitigationStudy(*seed)))
+		return
+	}
+
+	cfg := core.Config{Seed: *seed, InterceptedVPASes: *intercepted}
+	switch *scale {
+	case "small":
+		cfg.Scale = core.ScaleSmall
+	case "medium":
+		cfg.Scale = core.ScaleMedium
+	case "full":
+		cfg.Scale = core.ScaleFull
+	default:
+		log.Fatalf("unknown scale %q (want small, medium or full)", *scale)
+	}
+
+	started := time.Now()
+	e := core.NewExperiment(cfg)
+	fmt.Fprintf(os.Stderr, "world built: %d VPs after screening, %d DNS destinations, %d web sites (%.1fs)\n",
+		len(e.World.Platform.VPs), len(e.World.DNSDests), len(e.World.Web.Sites), time.Since(started).Seconds())
+
+	e.ScreenPairResolvers()
+	fmt.Fprintf(os.Stderr, "pair-resolver screening: %d tested, %d removed\n",
+		e.PairReport.Tested, e.PairReport.Removed)
+
+	t1 := time.Now()
+	e.RunPhaseI()
+	fmt.Fprintf(os.Stderr, "phase I complete: %d unsolicited events (%.1fs)\n",
+		len(e.EventsPhaseI), time.Since(t1).Seconds())
+
+	if !*phase1Only {
+		t2 := time.Now()
+		e.RunPhaseII()
+		fmt.Fprintf(os.Stderr, "phase II complete: %d sweeps analyzed (%.1fs)\n",
+			len(e.SweepResults), time.Since(t2).Seconds())
+	}
+
+	report := e.Compile()
+	if *jsonStats {
+		// Machine-readable reproduction artifact.
+		out, err := report.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "total wall time: %.1fs\n", time.Since(started).Seconds())
+		return
+	}
+	fmt.Println(report.Render())
+}

@@ -1,0 +1,111 @@
+// Command tracer demonstrates Phase II in isolation: it builds the
+// simulated world, finds one problematic path via a burst of Phase I-style
+// decoys, then runs the hop-by-hop TTL sweep and prints each hop, the
+// ICMP-revealed router, and where the observer was located.
+//
+// Usage:
+//
+//	tracer [-seed N] [-proto dns|http|tls] [-dst Yandex]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"shadowmeter/internal/core"
+	"shadowmeter/internal/correlate"
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/traceroute"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 42, "world seed")
+		protoStr = flag.String("proto", "dns", "decoy protocol to trace: dns, http or tls")
+		dstName  = flag.String("dst", "", "destination name filter (e.g. Yandex, 114DNS); empty = first problematic path")
+	)
+	flag.Parse()
+
+	var proto decoy.Protocol
+	switch *protoStr {
+	case "dns":
+		proto = decoy.DNS
+	case "http":
+		proto = decoy.HTTP
+	case "tls":
+		proto = decoy.TLS
+	default:
+		log.Fatalf("unknown protocol %q", *protoStr)
+	}
+
+	cfg := core.Config{Seed: *seed, VPsPerGlobalProvider: 6, VPsPerCNProvider: 4, WebSites: 60, DNSRounds: 2}
+	e := core.NewExperiment(cfg)
+	e.ScreenPairResolvers()
+	fmt.Fprintln(os.Stderr, "running phase I to find problematic paths...")
+	e.RunPhaseI()
+
+	// Pick a problematic path for the requested protocol.
+	var target *correlate.Unsolicited
+	for i := range e.EventsPhaseI {
+		u := &e.EventsPhaseI[i]
+		if u.Sent.Protocol != proto {
+			continue
+		}
+		if *dstName != "" && u.Sent.DstName != *dstName {
+			continue
+		}
+		target = u
+		break
+	}
+	if target == nil {
+		log.Fatalf("no problematic %s path found (try another -dst or seed)", proto)
+	}
+	fmt.Printf("problematic path: VP %s -> %s (%s), combination %s, delay %s\n\n",
+		target.Sent.VP, target.Sent.Dst, target.Sent.DstName, target.Combination, target.Delay)
+
+	// Run Phase II on every problematic path (the engine needs honeypot
+	// evidence from the sweeps themselves).
+	e.RunPhaseII()
+
+	// Find the analyzed sweep for our path.
+	var res *traceroute.Result
+	for i := range e.SweepResults {
+		r := &e.SweepResults[i]
+		if r.Sweep.VP.Addr == target.Sent.VP && r.Sweep.Dst.Addr == target.Sent.Dst.Addr && r.Sweep.Proto == proto {
+			res = r
+			break
+		}
+	}
+	if res == nil {
+		log.Fatal("no sweep result for the selected path (sweep cap hit?)")
+	}
+
+	fmt.Printf("hop-by-hop sweep (%d probes, destination %d hops away):\n", len(res.Sweep.Probes), res.DestDistance)
+	for hop := 1; hop <= res.DestDistance && hop <= 24; hop++ {
+		addr := res.Sweep.HopAddr(hop)
+		line := fmt.Sprintf("  hop %2d  ", hop)
+		if addr.IsZero() {
+			line += "* (no ICMP response)"
+		} else {
+			line += addr.String()
+			if as := e.World.Topo.ASOf(addr); as != nil {
+				line += "  " + as.String()
+			}
+		}
+		if hop == res.ObserverHop && !res.AtDestination {
+			line += "   <== OBSERVER (first leaking TTL)"
+		}
+		fmt.Println(line)
+	}
+	switch {
+	case res.ObserverHop == 0:
+		fmt.Println("\nno leak during the sweep — observation not reproducible on this path")
+	case res.AtDestination:
+		fmt.Printf("\nobserver located AT THE DESTINATION (normalized position 10)\n")
+	default:
+		fmt.Printf("\nobserver located %d hops from the VP (normalized position %d), router %s\n",
+			res.ObserverHop, res.NormalizedHop, res.ObserverAddr)
+	}
+}

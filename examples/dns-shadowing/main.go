@@ -1,0 +1,97 @@
+// DNS shadowing deep-dive: send one batch of DNS decoys toward every
+// public resolver of Table 4 and watch how different operators treat the
+// retained query names — immediate benign retries, next-day re-queries,
+// or full HTTP probing campaigns against the honey website.
+//
+//	go run ./examples/dns-shadowing
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"shadowmeter/internal/core"
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/stats"
+)
+
+func main() {
+	cfg := core.Config{
+		Seed:                 7,
+		VPsPerGlobalProvider: 6,
+		VPsPerCNProvider:     4,
+		WebSites:             20, // we only care about DNS here
+		DNSRounds:            3,
+	}
+	e := core.NewExperiment(cfg)
+	e.ScreenPairResolvers()
+	fmt.Printf("platform: %d VPs after screening; sending DNS decoys to %d destinations...\n",
+		len(e.World.Platform.VPs), len(e.World.DNSDests))
+	e.RunPhaseI()
+
+	// Group unsolicited events by destination resolver.
+	type agg struct {
+		events   int
+		subMin   int
+		afterDay int
+		http     int
+	}
+	byDst := map[string]*agg{}
+	for _, u := range e.EventsPhaseI {
+		if u.Sent.Protocol != decoy.DNS {
+			continue
+		}
+		g := byDst[u.Sent.DstName]
+		if g == nil {
+			g = &agg{}
+			byDst[u.Sent.DstName] = g
+		}
+		g.events++
+		if u.Delay < time.Minute {
+			g.subMin++
+		}
+		if u.Delay > 24*time.Hour {
+			g.afterDay++
+		}
+		if u.Capture.Protocol == decoy.HTTP || u.Capture.Protocol == decoy.TLS {
+			g.http++
+		}
+	}
+
+	names := make([]string, 0, len(byDst))
+	for n := range byDst {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return byDst[names[i]].events > byDst[names[j]].events })
+
+	tb := stats.NewTable("\nUnsolicited requests triggered by DNS decoys, per destination",
+		"Destination", "Events", "<1min", ">1day", "HTTP(S) probes")
+	for _, n := range names {
+		g := byDst[n]
+		tb.AddRow(n, g.events,
+			stats.FormatPercent(float64(g.subMin)/float64(g.events)),
+			stats.FormatPercent(float64(g.afterDay)/float64(g.events)),
+			g.http)
+	}
+	fmt.Println(tb.String())
+
+	fmt.Println("reading the table:")
+	fmt.Println(" - most resolvers only repeat queries within seconds (benign retries);")
+	fmt.Println(" - Resolver_h members (Yandex, 114DNS, OneDNS, DNSPAI, VERCARA) re-use")
+	fmt.Println("   names hours or days later, and Yandex/114DNS probe the honey site")
+	fmt.Println("   over HTTP(S) — the paper's Section 5.1 case studies;")
+	fmt.Println(" - roots, TLDs and the self-built control resolver never re-appear.")
+
+	// Show a few concrete late HTTP probes.
+	fmt.Println("\nsample unsolicited HTTP probes (DNS decoy -> later HTTP fetch):")
+	shown := 0
+	for _, u := range e.EventsPhaseI {
+		if u.Combination != "DNS-HTTP" || shown >= 5 {
+			continue
+		}
+		fmt.Printf("  %s after %-14s GET %-16s from %s\n",
+			u.Sent.DstName, u.Delay.Truncate(time.Minute), u.Capture.HTTPPath, u.Capture.Source.Addr)
+		shown++
+	}
+}

@@ -1,0 +1,3 @@
+module shadowmeter
+
+go 1.22

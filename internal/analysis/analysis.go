@@ -1,0 +1,640 @@
+// Package analysis computes every table and figure of the paper's
+// evaluation from correlated measurement data: problematic-path ratios
+// (Figure 3), observer locations (Table 2), observer networks (Table 3),
+// temporal CDFs (Figures 4 and 7), protocol-combination breakdowns
+// (Figure 5), origin ASes and blocklist overlap (Figure 6, §5.1-5.2), and
+// payload incentives. Inputs are measurement artifacts only — honeypot
+// evidence, traceroute results, send logs — never ground truth.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"shadowmeter/internal/correlate"
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/geodb"
+	"shadowmeter/internal/intel"
+	"shadowmeter/internal/stats"
+	"shadowmeter/internal/traceroute"
+	"shadowmeter/internal/wire"
+)
+
+// Analyzer carries the lookup services the computations need.
+type Analyzer struct {
+	Geo        *geodb.DB
+	Blocklist  *intel.Blocklist
+	Signatures *intel.SignatureDB
+}
+
+// PathUniverse records how many client-server paths were exercised, per
+// protocol and VP country — the denominators of Figure 3.
+type PathUniverse struct {
+	// Totals[proto][country] = number of (VP, destination) pairs probed.
+	Totals map[decoy.Protocol]map[string]int
+	// VPCountry maps VP addresses to their discovered country.
+	VPCountry map[wire.Addr]string
+}
+
+// NewPathUniverse returns an empty universe.
+func NewPathUniverse() *PathUniverse {
+	return &PathUniverse{
+		Totals:    make(map[decoy.Protocol]map[string]int),
+		VPCountry: make(map[wire.Addr]string),
+	}
+}
+
+// AddPaths registers n probed paths for (proto, country).
+func (u *PathUniverse) AddPaths(proto decoy.Protocol, country string, n int) {
+	m := u.Totals[proto]
+	if m == nil {
+		m = make(map[string]int)
+		u.Totals[proto] = m
+	}
+	m[country] += n
+}
+
+// Figure3Row is one cell of Figure 3.
+type Figure3Row struct {
+	Country     string
+	Protocol    decoy.Protocol
+	Problematic int
+	Total       int
+	Ratio       float64
+}
+
+// Figure3 computes the ratio of problematic paths per (VP country,
+// protocol). A path is problematic when at least one of its decoys
+// triggered an unsolicited request.
+func (a *Analyzer) Figure3(events []correlate.Unsolicited, universe *PathUniverse) []Figure3Row {
+	type key struct {
+		country string
+		proto   decoy.Protocol
+	}
+	problematic := make(map[key]map[correlate.PathKey]bool)
+	for _, u := range events {
+		country := universe.VPCountry[u.Sent.VP]
+		if country == "" {
+			country = a.Geo.Country(u.Sent.VP)
+		}
+		k := key{country, u.Sent.Protocol}
+		if problematic[k] == nil {
+			problematic[k] = make(map[correlate.PathKey]bool)
+		}
+		problematic[k][correlate.PathKey{VP: u.Sent.VP, Dst: u.Sent.Dst.Addr}] = true
+	}
+	var rows []Figure3Row
+	for proto, byCountry := range universe.Totals {
+		for country, total := range byCountry {
+			p := len(problematic[key{country, proto}])
+			var ratio float64
+			if total > 0 {
+				ratio = float64(p) / float64(total)
+			}
+			rows = append(rows, Figure3Row{Country: country, Protocol: proto, Problematic: p, Total: total, Ratio: ratio})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Protocol != rows[j].Protocol {
+			return rows[i].Protocol < rows[j].Protocol
+		}
+		if rows[i].Ratio != rows[j].Ratio {
+			return rows[i].Ratio > rows[j].Ratio
+		}
+		return rows[i].Country < rows[j].Country
+	})
+	return rows
+}
+
+// DestinationRatios computes, per destination name, the fraction of probed
+// paths that are problematic — the per-resolver view of Figure 3 used to
+// derive Resolver_h.
+func (a *Analyzer) DestinationRatios(events []correlate.Unsolicited, totalPerDst map[string]int) map[string]float64 {
+	problem := make(map[string]map[correlate.PathKey]bool)
+	for _, u := range events {
+		if problem[u.Sent.DstName] == nil {
+			problem[u.Sent.DstName] = make(map[correlate.PathKey]bool)
+		}
+		problem[u.Sent.DstName][correlate.PathKey{VP: u.Sent.VP, Dst: u.Sent.Dst.Addr}] = true
+	}
+	out := make(map[string]float64, len(totalPerDst))
+	for dst, total := range totalPerDst {
+		if total == 0 {
+			out[dst] = 0
+			continue
+		}
+		out[dst] = float64(len(problem[dst])) / float64(total)
+	}
+	return out
+}
+
+// Table2Row is one protocol row of Table 2: the share of observers at each
+// normalized hop position 1..10.
+type Table2Row struct {
+	Protocol decoy.Protocol
+	// Share[i] is the percentage at normalized position i+1.
+	Share [10]float64
+	Count int
+}
+
+// Table2 computes the normalized observer-location distribution from
+// traceroute results.
+func Table2(results []traceroute.Result) []Table2Row {
+	byProto := make(map[decoy.Protocol][]int)
+	for _, r := range results {
+		if r.NormalizedHop == 0 {
+			continue // no leak on this path
+		}
+		byProto[r.Sweep.Proto] = append(byProto[r.Sweep.Proto], r.NormalizedHop)
+	}
+	var rows []Table2Row
+	for _, proto := range decoy.Protocols {
+		hops := byProto[proto]
+		if len(hops) == 0 {
+			continue
+		}
+		row := Table2Row{Protocol: proto, Count: len(hops)}
+		for _, h := range hops {
+			row.Share[h-1] += 100 / float64(len(hops))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ObserverASRow is one entry of Table 3.
+type ObserverASRow struct {
+	Protocol decoy.Protocol
+	AS       string
+	ASName   string
+	Count    int
+	Fraction float64
+}
+
+// Table3 ranks the ASes of ICMP-revealed observer addresses per protocol.
+// It also returns the distinct observer address set per protocol.
+func (a *Analyzer) Table3(results []traceroute.Result, topN int) ([]ObserverASRow, map[decoy.Protocol][]wire.Addr) {
+	type pa struct {
+		proto decoy.Protocol
+		as    string
+	}
+	counts := make(map[pa]int)
+	asNames := make(map[string]string)
+	totals := make(map[decoy.Protocol]int)
+	addrSet := make(map[decoy.Protocol]map[wire.Addr]bool)
+	for _, r := range results {
+		if r.ObserverAddr.IsZero() {
+			continue
+		}
+		info, ok := a.Geo.Lookup(r.ObserverAddr)
+		if !ok {
+			continue
+		}
+		if addrSet[r.Sweep.Proto] == nil {
+			addrSet[r.Sweep.Proto] = make(map[wire.Addr]bool)
+		}
+		if addrSet[r.Sweep.Proto][r.ObserverAddr] {
+			continue // count each observer address once per protocol
+		}
+		addrSet[r.Sweep.Proto][r.ObserverAddr] = true
+		counts[pa{r.Sweep.Proto, info.AS()}]++
+		asNames[info.AS()] = info.ASName
+		totals[r.Sweep.Proto]++
+	}
+	var rows []ObserverASRow
+	for _, proto := range decoy.Protocols {
+		var protoRows []ObserverASRow
+		for k, c := range counts {
+			if k.proto != proto {
+				continue
+			}
+			protoRows = append(protoRows, ObserverASRow{
+				Protocol: proto, AS: k.as, ASName: asNames[k.as], Count: c,
+				Fraction: float64(c) / float64(totals[proto]),
+			})
+		}
+		sort.Slice(protoRows, func(i, j int) bool {
+			if protoRows[i].Count != protoRows[j].Count {
+				return protoRows[i].Count > protoRows[j].Count
+			}
+			return protoRows[i].AS < protoRows[j].AS
+		})
+		if topN > 0 && len(protoRows) > topN {
+			protoRows = protoRows[:topN]
+		}
+		rows = append(rows, protoRows...)
+	}
+	addrs := make(map[decoy.Protocol][]wire.Addr)
+	for proto, set := range addrSet {
+		for addr := range set {
+			addrs[proto] = append(addrs[proto], addr)
+		}
+		sort.Slice(addrs[proto], func(i, j int) bool { return addrs[proto][i].Uint32() < addrs[proto][j].Uint32() })
+	}
+	return rows, addrs
+}
+
+// ObserverCountryShare reports the country distribution of distinct
+// observer addresses across all protocols (the "448 of 572 in CN" datum).
+func (a *Analyzer) ObserverCountryShare(addrsByProto map[decoy.Protocol][]wire.Addr) map[string]int {
+	seen := make(map[wire.Addr]bool)
+	out := make(map[string]int)
+	for _, addrs := range addrsByProto {
+		for _, addr := range addrs {
+			if seen[addr] {
+				continue
+			}
+			seen[addr] = true
+			out[a.Geo.Country(addr)]++
+		}
+	}
+	return out
+}
+
+// DelayCDF builds the Figure 4/7 cumulative distribution of decoy-to-
+// unsolicited intervals, filtered by sent protocol and (optionally) a
+// destination-name set.
+func DelayCDF(events []correlate.Unsolicited, proto decoy.Protocol, dstNames map[string]bool) *stats.CDF {
+	var cdf stats.CDF
+	for _, u := range events {
+		if u.Sent.Protocol != proto {
+			continue
+		}
+		if dstNames != nil && !dstNames[u.Sent.DstName] {
+			continue
+		}
+		cdf.AddDuration(u.Delay)
+	}
+	return &cdf
+}
+
+// Figure5Cell is one (destination, combination, delay bucket) count.
+type Figure5Cell struct {
+	Destination string
+	Combination string
+	DelayBucket string
+	Count       int
+}
+
+// Figure5 breaks down unsolicited requests triggered by DNS decoys per
+// destination resolver, by protocol combination and delay bucket. It also
+// returns, per destination, the number of distinct decoys triggering each
+// combination (the paper normalizes by decoys, not events).
+func Figure5(events []correlate.Unsolicited) ([]Figure5Cell, map[string]map[string]int) {
+	cellCounts := make(map[Figure5Cell]int)
+	decoysPerCombo := make(map[string]map[string]map[string]bool) // dst -> combo -> label set
+	for _, u := range events {
+		if u.Sent.Protocol != decoy.DNS {
+			continue
+		}
+		cell := Figure5Cell{
+			Destination: u.Sent.DstName,
+			Combination: u.Combination,
+			DelayBucket: stats.DelayBucket(u.Delay),
+		}
+		cellCounts[cell]++
+		if decoysPerCombo[cell.Destination] == nil {
+			decoysPerCombo[cell.Destination] = make(map[string]map[string]bool)
+		}
+		if decoysPerCombo[cell.Destination][cell.Combination] == nil {
+			decoysPerCombo[cell.Destination][cell.Combination] = make(map[string]bool)
+		}
+		decoysPerCombo[cell.Destination][cell.Combination][u.Sent.Label] = true
+	}
+	var cells []Figure5Cell
+	for cell, c := range cellCounts {
+		cell.Count = c
+		cells = append(cells, cell)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.Destination != b.Destination {
+			return a.Destination < b.Destination
+		}
+		if a.Combination != b.Combination {
+			return a.Combination < b.Combination
+		}
+		return a.DelayBucket < b.DelayBucket
+	})
+	perDst := make(map[string]map[string]int)
+	for dst, combos := range decoysPerCombo {
+		perDst[dst] = make(map[string]int)
+		for combo, labels := range combos {
+			perDst[dst][combo] = len(labels)
+		}
+	}
+	return cells, perDst
+}
+
+// HTTPishDecoyShare computes, per destination, the fraction of DNS decoys
+// whose data re-appeared in unsolicited HTTP or HTTPS requests (distinct
+// decoys — a decoy triggering both counts once). totals gives emitted DNS
+// decoys per destination.
+func HTTPishDecoyShare(events []correlate.Unsolicited, totals map[string]int) map[string]float64 {
+	labels := make(map[string]map[string]bool)
+	for _, u := range events {
+		if u.Sent.Protocol != decoy.DNS {
+			continue
+		}
+		if u.Capture.Protocol != decoy.HTTP && u.Capture.Protocol != decoy.TLS {
+			continue
+		}
+		if labels[u.Sent.DstName] == nil {
+			labels[u.Sent.DstName] = make(map[string]bool)
+		}
+		labels[u.Sent.DstName][u.Sent.Label] = true
+	}
+	out := make(map[string]float64)
+	for dst, total := range totals {
+		if total == 0 {
+			continue
+		}
+		out[dst] = float64(len(labels[dst])) / float64(total)
+	}
+	return out
+}
+
+// OriginReport is the Figure 6 output for one destination.
+type OriginReport struct {
+	Destination string
+	TopASes     []stats.Entry
+	// BlocklistedFraction is the share of distinct origin addresses on the
+	// blocklist.
+	BlocklistedFraction float64
+	DistinctOrigins     int
+}
+
+// Figure6 ranks origin ASes of unsolicited requests triggered by DNS
+// decoys, per destination, and computes blocklist overlap.
+func (a *Analyzer) Figure6(events []correlate.Unsolicited, dstNames map[string]bool, topN int) []OriginReport {
+	type agg struct {
+		counter *stats.Counter
+		origins map[wire.Addr]bool
+	}
+	byDst := make(map[string]*agg)
+	for _, u := range events {
+		if u.Sent.Protocol != decoy.DNS {
+			continue
+		}
+		// Figure 6 analyzes origins of the unsolicited *DNS queries* the
+		// decoys trigger; HTTP(S) origins are analyzed separately in the
+		// probing-incentives paragraphs.
+		if u.Capture.Protocol != decoy.DNS {
+			continue
+		}
+		if dstNames != nil && !dstNames[u.Sent.DstName] {
+			continue
+		}
+		g := byDst[u.Sent.DstName]
+		if g == nil {
+			g = &agg{counter: stats.NewCounter(), origins: make(map[wire.Addr]bool)}
+			byDst[u.Sent.DstName] = g
+		}
+		g.counter.Add(a.Geo.ASOf(u.Capture.Source.Addr))
+		g.origins[u.Capture.Source.Addr] = true
+	}
+	var out []OriginReport
+	for dst, g := range byDst {
+		listed := 0
+		for addr := range g.origins {
+			if a.Blocklist != nil && a.Blocklist.IsListed(addr) {
+				listed++
+			}
+		}
+		frac := 0.0
+		if len(g.origins) > 0 {
+			frac = float64(listed) / float64(len(g.origins))
+		}
+		out = append(out, OriginReport{
+			Destination: dst, TopASes: g.counter.Top(topN),
+			BlocklistedFraction: frac, DistinctOrigins: len(g.origins),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Destination < out[j].Destination })
+	return out
+}
+
+// MultiUse is the §5.1 data-reuse statistic.
+type MultiUse struct {
+	DecoysWithLateEvents int
+	FractionOver3        float64 // decoys with > 3 unsolicited requests after minDelay
+	FractionOver10       float64
+}
+
+// MultiUseStats computes the share of decoys whose data keeps being used
+// after minDelay (paper: 1h; 51% > 3 events, 2.4% > 10).
+func MultiUseStats(events []correlate.Unsolicited, minDelay time.Duration) MultiUse {
+	counts := correlate.PerDecoyCounts(events, minDelay)
+	m := MultiUse{DecoysWithLateEvents: len(counts)}
+	if len(counts) == 0 {
+		return m
+	}
+	over3, over10 := 0, 0
+	for _, c := range counts {
+		if c > 3 {
+			over3++
+		}
+		if c > 10 {
+			over10++
+		}
+	}
+	m.FractionOver3 = float64(over3) / float64(len(counts))
+	m.FractionOver10 = float64(over10) / float64(len(counts))
+	return m
+}
+
+// Incentives summarizes the probing-payload analysis of §5.1/§5.2.
+type Incentives struct {
+	HTTPRequests        int
+	EnumerationFraction float64 // HTTP paths classified as enumeration
+	ExploitMatches      int     // signature hits (paper: zero)
+	// Blocklisted fractions of distinct origin addresses, per request
+	// protocol.
+	HTTPBlocklisted  float64
+	HTTPSBlocklisted float64
+}
+
+// ProbingIncentives analyzes HTTP(S) unsolicited requests: path
+// enumeration share, exploit signatures, and origin blocklist overlap.
+// decoyProto filters by the decoy protocol that planted the data (use
+// decoy.DNS for §5.1, decoy.HTTP/decoy.TLS for §5.2); pass -1 for all.
+func (a *Analyzer) ProbingIncentives(events []correlate.Unsolicited, decoyProto decoy.Protocol) Incentives {
+	var inc Incentives
+	httpOrigins := make(map[wire.Addr]bool)
+	httpsOrigins := make(map[wire.Addr]bool)
+	enum := 0
+	for _, u := range events {
+		if decoyProto >= 0 && u.Sent.Protocol != decoyProto {
+			continue
+		}
+		switch u.Capture.Protocol {
+		case decoy.HTTP:
+			inc.HTTPRequests++
+			if intel.IsEnumerationPath(u.Capture.HTTPPath) {
+				enum++
+			}
+			if a.Signatures != nil && a.Signatures.Matches(u.Capture.HTTPPath+" "+u.Capture.Payload) {
+				inc.ExploitMatches++
+			}
+			httpOrigins[u.Capture.Source.Addr] = true
+		case decoy.TLS:
+			httpsOrigins[u.Capture.Source.Addr] = true
+		}
+	}
+	if inc.HTTPRequests > 0 {
+		inc.EnumerationFraction = float64(enum) / float64(inc.HTTPRequests)
+	}
+	inc.HTTPBlocklisted = a.blocklistedFraction(httpOrigins)
+	inc.HTTPSBlocklisted = a.blocklistedFraction(httpsOrigins)
+	return inc
+}
+
+func (a *Analyzer) blocklistedFraction(origins map[wire.Addr]bool) float64 {
+	if len(origins) == 0 || a.Blocklist == nil {
+		return 0
+	}
+	listed := 0
+	for addr := range origins {
+		if a.Blocklist.IsListed(addr) {
+			listed++
+		}
+	}
+	return float64(listed) / float64(len(origins))
+}
+
+// ObserverBehaviour is the §5.2 per-observer-AS summary.
+type ObserverBehaviour struct {
+	AS            string
+	PathsObserved int
+	// Combinations counts unsolicited-request combinations for decoys
+	// observed by this AS.
+	Combinations map[string]int
+	// SameASOriginFraction is the share of unsolicited requests whose
+	// origin address sits in the observer's own AS.
+	SameASOriginFraction float64
+}
+
+// ObserverBehaviourByAS joins traceroute observer attributions with the
+// unsolicited events their paths produced. resultsByPath maps a PathKey to
+// the traceroute result for that path.
+func (a *Analyzer) ObserverBehaviourByAS(events []correlate.Unsolicited, resultsByPath map[correlate.PathKey]traceroute.Result) []ObserverBehaviour {
+	type agg struct {
+		paths  map[correlate.PathKey]bool
+		combos map[string]int
+		total  int
+		sameAS int
+	}
+	byAS := make(map[string]*agg)
+	for _, u := range events {
+		k := correlate.PathKey{VP: u.Sent.VP, Dst: u.Sent.Dst.Addr}
+		r, ok := resultsByPath[k]
+		if !ok || r.ObserverAddr.IsZero() {
+			continue
+		}
+		obsAS := a.Geo.ASOf(r.ObserverAddr)
+		g := byAS[obsAS]
+		if g == nil {
+			g = &agg{paths: make(map[correlate.PathKey]bool), combos: make(map[string]int)}
+			byAS[obsAS] = g
+		}
+		g.paths[k] = true
+		g.combos[u.Combination]++
+		g.total++
+		if a.Geo.ASOf(u.Capture.Source.Addr) == obsAS {
+			g.sameAS++
+		}
+	}
+	var out []ObserverBehaviour
+	for as, g := range byAS {
+		b := ObserverBehaviour{AS: as, PathsObserved: len(g.paths), Combinations: g.combos}
+		if g.total > 0 {
+			b.SameASOriginFraction = float64(g.sameAS) / float64(g.total)
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PathsObserved != out[j].PathsObserved {
+			return out[i].PathsObserved > out[j].PathsObserved
+		}
+		return out[i].AS < out[j].AS
+	})
+	return out
+}
+
+// TopNCoverage reports the fraction of observed paths covered by the top n
+// observer ASes (paper: top 5 cover >80%).
+func TopNCoverage(behaviours []ObserverBehaviour, n int) float64 {
+	total, top := 0, 0
+	for i, b := range behaviours {
+		total += b.PathsObserved
+		if i < n {
+			top += b.PathsObserved
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// RenderTable2 formats Table 2 in the paper's layout.
+func RenderTable2(rows []Table2Row) string {
+	tb := stats.NewTable("Table 2: Normalized location of traffic observers",
+		"Hops from VP", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10(dst)")
+	for _, r := range rows {
+		cells := make([]interface{}, 0, 11)
+		cells = append(cells, fmt.Sprintf("%s (%% observers)", r.Protocol))
+		for _, s := range r.Share {
+			cells = append(cells, stats.FormatFloat(s))
+		}
+		tb.AddRow(cells...)
+	}
+	return tb.String()
+}
+
+// RenderTable3 formats Table 3.
+func RenderTable3(rows []ObserverASRow) string {
+	tb := stats.NewTable("Table 3: Top networks of on-path traffic observers",
+		"Decoy", "AS", "Name", "Observers", "Share")
+	for _, r := range rows {
+		tb.AddRow(r.Protocol.String(), r.AS, r.ASName, r.Count, stats.FormatPercent(r.Fraction))
+	}
+	return tb.String()
+}
+
+// SeriesPoint is one bucket of a longitudinal series.
+type SeriesPoint struct {
+	Start time.Time
+	Count int
+}
+
+// TimeSeries buckets unsolicited-request arrivals into fixed windows over
+// the campaign — the longitudinal view of shadowing activity ("switching
+// between VPs continuously in a round-robin fashion without stop", §4).
+// proto filters by decoy protocol; pass -1 for all.
+func TimeSeries(events []correlate.Unsolicited, start time.Time, window time.Duration, proto decoy.Protocol) []SeriesPoint {
+	if window <= 0 {
+		window = 7 * 24 * time.Hour
+	}
+	buckets := make(map[int]int)
+	maxIdx := 0
+	for _, u := range events {
+		if proto >= 0 && u.Sent.Protocol != proto {
+			continue
+		}
+		idx := int(u.Capture.Time.Sub(start) / window)
+		if idx < 0 {
+			idx = 0
+		}
+		buckets[idx]++
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	out := make([]SeriesPoint, maxIdx+1)
+	for i := range out {
+		out[i] = SeriesPoint{Start: start.Add(time.Duration(i) * window), Count: buckets[i]}
+	}
+	return out
+}

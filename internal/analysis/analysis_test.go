@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"shadowmeter/internal/correlate"
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/geodb"
+	"shadowmeter/internal/honeypot"
+	"shadowmeter/internal/intel"
+	"shadowmeter/internal/traceroute"
+	"shadowmeter/internal/wire"
+)
+
+var epoch = time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func newAnalyzer() *Analyzer {
+	geo := geodb.New()
+	geo.Register(wire.MustParseAddr("100.64.0.0"), 16, geodb.Info{Country: "DE", ASN: 100, ASName: "DE-DC"})
+	geo.Register(wire.MustParseAddr("100.65.0.0"), 16, geodb.Info{Country: "CN", ASN: 101, ASName: "CN-IDC"})
+	geo.Register(wire.MustParseAddr("8.8.0.0"), 16, geodb.Info{Country: "US", ASN: 15169, ASName: "Google LLC"})
+	geo.Register(wire.MustParseAddr("61.0.0.0"), 8, geodb.Info{Country: "CN", ASN: 4134, ASName: "CHINANET-BACKBONE"})
+	geo.Register(wire.MustParseAddr("20.0.0.0"), 8, geodb.Info{Country: "US", ASN: 40444, ASName: "Constant Contact"})
+	return &Analyzer{
+		Geo:        geo,
+		Blocklist:  intel.NewBlocklist(),
+		Signatures: intel.DefaultSignatureDB(),
+	}
+}
+
+func mkEvent(sentProto, capProto decoy.Protocol, vp, dst, origin string, dstName, label string, delay time.Duration) correlate.Unsolicited {
+	sent := &correlate.Sent{
+		Label: label, Domain: label + ".www.experiment.domain", Protocol: sentProto,
+		VP: wire.MustParseAddr(vp), Dst: wire.Endpoint{Addr: wire.MustParseAddr(dst), Port: 53},
+		DstName: dstName, Time: epoch,
+	}
+	comb := sentProto.String() + "-" + capProto.String()
+	if capProto == decoy.TLS {
+		comb = sentProto.String() + "-HTTPS"
+	}
+	return correlate.Unsolicited{
+		Capture: honeypot.Capture{
+			Time: epoch.Add(delay), Protocol: capProto,
+			Source: wire.Endpoint{Addr: wire.MustParseAddr(origin), Port: 999},
+			Domain: label + ".www.experiment.domain", Label: label,
+			HTTPPath: "/admin/",
+		},
+		Sent: sent, Delay: delay, Combination: comb,
+	}
+}
+
+func TestFigure3Ratios(t *testing.T) {
+	a := newAnalyzer()
+	u := NewPathUniverse()
+	u.AddPaths(decoy.DNS, "DE", 10)
+	u.AddPaths(decoy.DNS, "CN", 10)
+	u.VPCountry[wire.MustParseAddr("100.64.0.1")] = "DE"
+	u.VPCountry[wire.MustParseAddr("100.65.0.1")] = "CN"
+
+	events := []correlate.Unsolicited{
+		mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l1", time.Hour),
+		mkEvent(decoy.DNS, decoy.HTTP, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l1", 2*time.Hour), // same path
+		mkEvent(decoy.DNS, decoy.DNS, "100.65.0.1", "114.114.114.114", "61.1.1.1", "114DNS", "l2", time.Minute),
+	}
+	rows := a.Figure3(events, u)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Problematic != 1 || r.Total != 10 || math.Abs(r.Ratio-0.1) > 1e-9 {
+			t.Errorf("row = %+v", r)
+		}
+	}
+}
+
+func TestDestinationRatios(t *testing.T) {
+	a := newAnalyzer()
+	events := []correlate.Unsolicited{
+		mkEvent(decoy.DNS, decoy.HTTP, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l1", time.Hour),
+		mkEvent(decoy.DNS, decoy.HTTP, "100.64.0.2", "77.88.8.8", "8.8.4.4", "Yandex", "l2", time.Hour),
+	}
+	got := a.DestinationRatios(events, map[string]int{"Yandex": 4, "Google": 4})
+	if got["Yandex"] != 0.5 || got["Google"] != 0 {
+		t.Errorf("ratios = %v", got)
+	}
+}
+
+func TestDelayCDF(t *testing.T) {
+	events := []correlate.Unsolicited{
+		mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l1", 30*time.Second),
+		mkEvent(decoy.DNS, decoy.HTTP, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l1", 48*time.Hour),
+		mkEvent(decoy.HTTP, decoy.DNS, "100.64.0.1", "1.2.3.4", "8.8.4.4", "site", "l2", time.Hour),
+	}
+	cdf := DelayCDF(events, decoy.DNS, map[string]bool{"Yandex": true})
+	if cdf.N() != 2 {
+		t.Fatalf("N = %d", cdf.N())
+	}
+	if got := cdf.At(60); got != 0.5 {
+		t.Errorf("At(1min) = %v", got)
+	}
+	// HTTP decoy events only.
+	cdf = DelayCDF(events, decoy.HTTP, nil)
+	if cdf.N() != 1 {
+		t.Errorf("HTTP N = %d", cdf.N())
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	events := []correlate.Unsolicited{
+		mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l1", 10*time.Second),
+		mkEvent(decoy.DNS, decoy.HTTP, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l1", 48*time.Hour),
+		mkEvent(decoy.DNS, decoy.HTTP, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l9", 49*time.Hour),
+		mkEvent(decoy.HTTP, decoy.DNS, "100.64.0.1", "1.2.3.4", "8.8.4.4", "site", "l2", time.Hour), // not a DNS decoy
+	}
+	cells, perDst := Figure5(events)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %+v", cells)
+	}
+	if cells[0].Combination != "DNS-DNS" || cells[0].DelayBucket != "<1min" || cells[0].Count != 1 {
+		t.Errorf("cell0 = %+v", cells[0])
+	}
+	if cells[1].Combination != "DNS-HTTP" || cells[1].DelayBucket != ">1d" || cells[1].Count != 2 {
+		t.Errorf("cell1 = %+v", cells[1])
+	}
+	if perDst["Yandex"]["DNS-HTTP"] != 2 { // two distinct decoys
+		t.Errorf("perDst = %v", perDst)
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	a := newAnalyzer()
+	a.Blocklist.ListAddr(wire.MustParseAddr("61.1.1.1"), intel.ReasonXBL)
+	events := []correlate.Unsolicited{
+		mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l1", time.Hour),
+		mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "8.8.4.5", "Yandex", "l2", time.Hour),
+		mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "61.1.1.1", "Yandex", "l3", time.Hour),
+	}
+	reports := a.Figure6(events, map[string]bool{"Yandex": true}, 5)
+	if len(reports) != 1 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	r := reports[0]
+	if r.DistinctOrigins != 3 {
+		t.Errorf("origins = %d", r.DistinctOrigins)
+	}
+	if r.TopASes[0].Key != "AS15169" || r.TopASes[0].Count != 2 {
+		t.Errorf("top AS = %+v", r.TopASes[0])
+	}
+	if math.Abs(r.BlocklistedFraction-1.0/3) > 1e-9 {
+		t.Errorf("blocklisted = %v", r.BlocklistedFraction)
+	}
+}
+
+func TestMultiUseStats(t *testing.T) {
+	var events []correlate.Unsolicited
+	// decoy A: 5 events after 1h; decoy B: 1 event after 1h; decoy C: 12.
+	for i := 0; i < 5; i++ {
+		events = append(events, mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "A", 2*time.Hour))
+	}
+	events = append(events, mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "B", 2*time.Hour))
+	for i := 0; i < 12; i++ {
+		events = append(events, mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "C", 3*time.Hour))
+	}
+	// Sub-hour events don't count.
+	events = append(events, mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "D", time.Minute))
+
+	m := MultiUseStats(events, time.Hour)
+	if m.DecoysWithLateEvents != 3 {
+		t.Errorf("decoys = %d", m.DecoysWithLateEvents)
+	}
+	if math.Abs(m.FractionOver3-2.0/3) > 1e-9 {
+		t.Errorf("over3 = %v", m.FractionOver3)
+	}
+	if math.Abs(m.FractionOver10-1.0/3) > 1e-9 {
+		t.Errorf("over10 = %v", m.FractionOver10)
+	}
+}
+
+func TestProbingIncentives(t *testing.T) {
+	a := newAnalyzer()
+	a.Blocklist.ListAddr(wire.MustParseAddr("61.2.2.2"), intel.ReasonSBL)
+	events := []correlate.Unsolicited{
+		mkEvent(decoy.DNS, decoy.HTTP, "100.64.0.1", "77.88.8.8", "61.2.2.2", "Yandex", "l1", time.Hour),
+		mkEvent(decoy.DNS, decoy.HTTP, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l2", time.Hour),
+		mkEvent(decoy.DNS, decoy.TLS, "100.64.0.1", "77.88.8.8", "61.2.2.2", "Yandex", "l3", time.Hour),
+	}
+	inc := a.ProbingIncentives(events, decoy.DNS)
+	if inc.HTTPRequests != 2 {
+		t.Errorf("http = %d", inc.HTTPRequests)
+	}
+	if inc.EnumerationFraction != 1 { // "/admin/" is enumeration
+		t.Errorf("enum = %v", inc.EnumerationFraction)
+	}
+	if inc.ExploitMatches != 0 {
+		t.Errorf("exploits = %d", inc.ExploitMatches)
+	}
+	if inc.HTTPBlocklisted != 0.5 || inc.HTTPSBlocklisted != 1 {
+		t.Errorf("blocklisted = %v / %v", inc.HTTPBlocklisted, inc.HTTPSBlocklisted)
+	}
+	// Filtering by a different decoy protocol excludes everything.
+	if got := a.ProbingIncentives(events, decoy.TLS); got.HTTPRequests != 0 {
+		t.Errorf("filtered = %+v", got)
+	}
+}
+
+// fakeSweep builds a traceroute result without running the engine.
+func fakeResult(proto decoy.Protocol, hop, dist int, obs string) traceroute.Result {
+	s := &traceroute.Sweep{Proto: proto}
+	r := traceroute.Result{Sweep: s, ObserverHop: hop, DestDistance: dist}
+	if hop >= dist {
+		r.AtDestination = true
+		r.NormalizedHop = 10
+	} else {
+		r.NormalizedHop = traceroute.NormalizeHop(hop, dist)
+		if obs != "" {
+			r.ObserverAddr = wire.MustParseAddr(obs)
+		}
+	}
+	return r
+}
+
+func TestTable2(t *testing.T) {
+	results := []traceroute.Result{
+		fakeResult(decoy.DNS, 8, 8, ""),
+		fakeResult(decoy.DNS, 9, 9, ""),
+		fakeResult(decoy.HTTP, 3, 8, "61.1.1.1"),
+		fakeResult(decoy.HTTP, 4, 8, "61.1.1.2"),
+		fakeResult(decoy.TLS, 8, 8, ""),
+		{Sweep: &traceroute.Sweep{Proto: decoy.TLS}}, // no leak: excluded
+	}
+	rows := Table2(results)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	dns := rows[0]
+	if dns.Protocol != decoy.DNS || dns.Share[9] != 100 {
+		t.Errorf("DNS row = %+v", dns)
+	}
+	http := rows[1]
+	if http.Share[9] != 0 || http.Count != 2 {
+		t.Errorf("HTTP row = %+v", http)
+	}
+	rendered := RenderTable2(rows)
+	if !strings.Contains(rendered, "10(dst)") || !strings.Contains(rendered, "DNS") {
+		t.Errorf("render = %q", rendered)
+	}
+}
+
+func TestTable3AndCountryShare(t *testing.T) {
+	a := newAnalyzer()
+	results := []traceroute.Result{
+		fakeResult(decoy.HTTP, 3, 8, "61.1.1.1"),
+		fakeResult(decoy.HTTP, 3, 8, "61.1.1.1"), // same addr: dedup
+		fakeResult(decoy.HTTP, 4, 8, "61.1.1.2"),
+		fakeResult(decoy.HTTP, 4, 8, "20.1.1.1"),
+		fakeResult(decoy.TLS, 4, 8, "61.1.1.3"),
+	}
+	rows, addrs := a.Table3(results, 2)
+	if len(rows) != 3 { // 2 HTTP ASes + 1 TLS AS
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].AS != "AS4134" || rows[0].Count != 2 {
+		t.Errorf("top = %+v", rows[0])
+	}
+	if math.Abs(rows[0].Fraction-2.0/3) > 1e-9 {
+		t.Errorf("fraction = %v", rows[0].Fraction)
+	}
+	if len(addrs[decoy.HTTP]) != 3 {
+		t.Errorf("HTTP observer addrs = %v", addrs[decoy.HTTP])
+	}
+	share := a.ObserverCountryShare(addrs)
+	if share["CN"] != 3 || share["US"] != 1 {
+		t.Errorf("country share = %v", share)
+	}
+	rendered := RenderTable3(rows)
+	if !strings.Contains(rendered, "CHINANET-BACKBONE") {
+		t.Errorf("render = %q", rendered)
+	}
+}
+
+func TestObserverBehaviourByAS(t *testing.T) {
+	a := newAnalyzer()
+	vp1, dst1 := "100.64.0.1", "1.2.3.4"
+	events := []correlate.Unsolicited{
+		mkEvent(decoy.HTTP, decoy.DNS, vp1, dst1, "61.5.5.5", "site", "l1", time.Hour), // origin in observer AS
+		mkEvent(decoy.HTTP, decoy.HTTP, vp1, dst1, "8.8.4.4", "site", "l2", time.Hour), // origin elsewhere
+	}
+	key := correlate.PathKey{VP: wire.MustParseAddr(vp1), Dst: wire.MustParseAddr(dst1)}
+	resultsByPath := map[correlate.PathKey]traceroute.Result{
+		key: fakeResult(decoy.HTTP, 3, 8, "61.1.1.1"), // AS4134 observer
+	}
+	behaviours := a.ObserverBehaviourByAS(events, resultsByPath)
+	if len(behaviours) != 1 {
+		t.Fatalf("behaviours = %+v", behaviours)
+	}
+	b := behaviours[0]
+	if b.AS != "AS4134" || b.PathsObserved != 1 {
+		t.Errorf("behaviour = %+v", b)
+	}
+	if b.Combinations["HTTP-DNS"] != 1 || b.Combinations["HTTP-HTTP"] != 1 {
+		t.Errorf("combos = %v", b.Combinations)
+	}
+	if b.SameASOriginFraction != 0.5 {
+		t.Errorf("sameAS = %v", b.SameASOriginFraction)
+	}
+	if got := TopNCoverage(behaviours, 5); got != 1 {
+		t.Errorf("coverage = %v", got)
+	}
+	if got := TopNCoverage(nil, 5); got != 0 {
+		t.Errorf("empty coverage = %v", got)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	events := []correlate.Unsolicited{
+		mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l1", time.Hour),
+		mkEvent(decoy.DNS, decoy.DNS, "100.64.0.1", "77.88.8.8", "8.8.4.4", "Yandex", "l2", 8*24*time.Hour),
+		mkEvent(decoy.HTTP, decoy.DNS, "100.64.0.1", "1.2.3.4", "8.8.4.4", "site", "l3", 8*24*time.Hour),
+	}
+	series := TimeSeries(events, epoch, 7*24*time.Hour, -1)
+	if len(series) != 2 {
+		t.Fatalf("series = %+v", series)
+	}
+	if series[0].Count != 1 || series[1].Count != 2 {
+		t.Errorf("series = %+v", series)
+	}
+	dnsOnly := TimeSeries(events, epoch, 7*24*time.Hour, decoy.DNS)
+	if dnsOnly[1].Count != 1 {
+		t.Errorf("dns series = %+v", dnsOnly)
+	}
+	if got := TimeSeries(nil, epoch, 0, -1); len(got) != 1 || got[0].Count != 0 {
+		t.Errorf("empty series = %+v", got)
+	}
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/resolversim"
+	"shadowmeter/internal/topology"
+)
+
+// tinyConfig keeps unit runs fast while exercising the full pipeline.
+func tinyConfig(seed int64) Config {
+	return Config{
+		Seed:                 seed,
+		VPsPerGlobalProvider: 4,
+		VPsPerCNProvider:     2,
+		WebSites:             60,
+		WebASes:              12,
+		DNSRounds:            2,
+		MaxSweepsPerProtocol: 150,
+	}
+}
+
+// fullReport runs one shared experiment for the assertion tests below.
+var sharedReport = func() func(t *testing.T) *Report {
+	var r *Report
+	return func(t *testing.T) *Report {
+		t.Helper()
+		if r == nil {
+			r = Run(Config{Seed: 42})
+		}
+		return r
+	}
+}()
+
+func TestWorldConstruction(t *testing.T) {
+	w := BuildWorld(tinyConfig(7))
+	if len(w.DNSDests) != 36 {
+		t.Errorf("DNS destinations = %d, want 36 (20 public + control + 13 roots + 2 TLD)", len(w.DNSDests))
+	}
+	kinds := map[string]int{}
+	for _, d := range w.DNSDests {
+		kinds[d.Kind]++
+	}
+	if kinds["public"] != 20 || kinds["root"] != 13 || kinds["tld"] != 2 || kinds["control"] != 1 {
+		t.Errorf("destination kinds = %v", kinds)
+	}
+	if len(w.Honeypots.Sites) != 3 {
+		t.Errorf("honeypot sites = %d", len(w.Honeypots.Sites))
+	}
+	locs := map[string]bool{}
+	for _, s := range w.Honeypots.Sites {
+		locs[s.Location] = true
+	}
+	if !locs["US"] || !locs["DE"] || !locs["SG"] {
+		t.Errorf("honeypot locations = %v", locs)
+	}
+	if len(w.Web.Sites) != 60 {
+		t.Errorf("web sites = %d", len(w.Web.Sites))
+	}
+	if len(w.Platform.VPs) == 0 {
+		t.Fatal("no VPs after screening")
+	}
+	for _, vp := range w.Platform.VPs {
+		if vp.Provider.ResetsTTL || vp.Provider.Residential {
+			t.Fatalf("foil provider survived screening: %s", vp.Provider.Name)
+		}
+	}
+	if len(w.Devices) == 0 {
+		t.Error("no on-path devices deployed")
+	}
+	// The experiment zone must be delegated to the honeypot.
+	if _, auth, ok := w.Registry.AuthFor("x.www." + Zone); !ok || auth != w.Honeypots.Sites[0].AuthAddr {
+		t.Error("zone delegation missing")
+	}
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	cfg := tinyConfig(11)
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.CorrelatorStats != b.CorrelatorStats {
+		t.Errorf("correlator stats differ:\n%+v\n%+v", a.CorrelatorStats, b.CorrelatorStats)
+	}
+	if a.NetStats.PacketsSent != b.NetStats.PacketsSent || a.NetStats.Events != b.NetStats.Events {
+		t.Errorf("net stats differ: %+v vs %+v", a.NetStats, b.NetStats)
+	}
+	if a.TotalObserverAddrs() != b.TotalObserverAddrs() {
+		t.Errorf("observer counts differ: %d vs %d", a.TotalObserverAddrs(), b.TotalObserverAddrs())
+	}
+}
+
+func TestResolverHIsMostSusceptible(t *testing.T) {
+	r := sharedReport(t)
+	// The five Resolver_h destinations must out-rank every other resolver
+	// and no root/TLD/control destination may be problematic at all.
+	for _, name := range resolverHNames() {
+		if r.DestRatios[name] < 0.4 {
+			t.Errorf("Resolver_h member %s ratio = %v, want high", name, r.DestRatios[name])
+		}
+	}
+	if r.DestRatios["Yandex"] < r.DestRatios["Google"] {
+		t.Errorf("Yandex (%v) should exceed Google (%v)", r.DestRatios["Yandex"], r.DestRatios["Google"])
+	}
+	for _, dst := range []string{"a.root", "m.root", ".com", ".org", "self-built"} {
+		if got := r.DestRatios[dst]; got != 0 {
+			t.Errorf("%s ratio = %v, want 0 (authoritative/control destinations never shadow)", dst, got)
+		}
+	}
+}
+
+func TestDNSShadowingAtDestination(t *testing.T) {
+	r := sharedReport(t)
+	found := false
+	for _, row := range r.Table2 {
+		if row.Protocol != decoy.DNS {
+			continue
+		}
+		found = true
+		if row.Share[9] < 90 {
+			t.Errorf("DNS at-destination share = %v%%, want >90%% (paper: 99.7%%)", row.Share[9])
+		}
+	}
+	if !found {
+		t.Fatal("no DNS row in Table 2")
+	}
+}
+
+func TestHTTPShadowingOnTheWire(t *testing.T) {
+	r := sharedReport(t)
+	for _, row := range r.Table2 {
+		switch row.Protocol {
+		case decoy.HTTP:
+			if row.Share[9] > 20 {
+				t.Errorf("HTTP at-destination = %v%%, want small (paper: 2.3%%)", row.Share[9])
+			}
+			mid := row.Share[2] + row.Share[3] + row.Share[4] + row.Share[5] + row.Share[6]
+			if mid < 70 {
+				t.Errorf("HTTP mid-path share = %v%%, want dominant (paper: 97.7%%)", mid)
+			}
+		case decoy.TLS:
+			if row.Share[9] < 30 {
+				t.Errorf("TLS at-destination = %v%%, want majority-ish (paper: 65%%)", row.Share[9])
+			}
+		}
+	}
+}
+
+func TestObserverNetworksMatchPaper(t *testing.T) {
+	r := sharedReport(t)
+	// CHINANET backbone must dominate the HTTP and TLS observer tables.
+	topHTTP, topTLS := "", ""
+	for _, row := range r.Table3 {
+		if row.Protocol == decoy.HTTP && topHTTP == "" {
+			topHTTP = row.AS
+		}
+		if row.Protocol == decoy.TLS && topTLS == "" {
+			topTLS = row.AS
+		}
+	}
+	if topHTTP != "AS4134" {
+		t.Errorf("top HTTP observer AS = %s, want AS4134", topHTTP)
+	}
+	if topTLS != "AS4134" {
+		t.Errorf("top TLS observer AS = %s, want AS4134", topTLS)
+	}
+	// Most observer addresses are in CN (paper: 79%).
+	if got := r.CNObserverFraction(); got < 0.5 {
+		t.Errorf("CN observer fraction = %v, want majority", got)
+	}
+	if r.TotalObserverAddrs() == 0 {
+		t.Fatal("no observer addresses recovered")
+	}
+}
+
+func TestTemporalShape(t *testing.T) {
+	r := sharedReport(t)
+	// Figure 4: sizable sub-minute mass (retries) and a long multi-day
+	// tail for Resolver_h.
+	if r.Figure4.N() == 0 {
+		t.Fatal("empty Figure 4 CDF")
+	}
+	subMin := r.Figure4.At(60)
+	if subMin < 0.05 || subMin > 0.6 {
+		t.Errorf("sub-minute fraction = %v, want bimodal low mode", subMin)
+	}
+	if after1d := 1 - r.Figure4.At(86400); after1d < 0.3 {
+		t.Errorf("after-1-day fraction = %v, want heavy tail", after1d)
+	}
+	// Figure 7: HTTP decoy data retained shorter than DNS decoy data (the
+	// observers sit on routing devices with limited storage).
+	if r.Figure7HTTP.N() > 0 && r.Figure4.N() > 0 {
+		if r.Figure7HTTP.At(86400) < r.Figure4.At(86400) {
+			t.Errorf("HTTP <=1d %v should exceed DNS <=1d %v (shorter retention)",
+				r.Figure7HTTP.At(86400), r.Figure4.At(86400))
+		}
+	}
+}
+
+func TestYandexCaseStudy(t *testing.T) {
+	r := sharedReport(t)
+	// ~half of Yandex DNS decoys yield HTTP/HTTPS probes (paper: 51%).
+	share := r.HTTPishShare["Yandex"]
+	if share < 0.35 || share > 0.7 {
+		t.Errorf("Yandex HTTP-ish share = %v, want ~0.5", share)
+	}
+	// Data retained for days: >=30%% of Yandex events arrive after one day.
+	cdf := r.Figure4PerResolver["Yandex"]
+	if cdf.N() == 0 {
+		t.Fatal("no Yandex temporal data")
+	}
+	if tail := 1 - cdf.At(86400); tail < 0.3 {
+		t.Errorf("Yandex multi-day tail = %v", tail)
+	}
+}
+
+func Test114DNSAnycastSplit(t *testing.T) {
+	// 114DNS shadows only via CN instances: problematic 114 paths must
+	// originate from CN VPs.
+	r := sharedReport(t)
+	if r.DestRatios["114DNS"] == 0 {
+		t.Fatal("no 114DNS shadowing recovered")
+	}
+	e := NewExperiment(tinyConfig(42))
+	e.ScreenPairResolvers()
+	e.RunPhaseI()
+	addr114 := resolversim.PublicResolvers[18].Addr // 114.114.114.114
+	if resolversim.PublicResolvers[18].Name != "114DNS" {
+		t.Fatal("catalog order changed")
+	}
+	for _, u := range e.EventsPhaseI {
+		if u.Sent.DstName != "114DNS" || u.Sent.Dst.Addr != addr114 {
+			continue
+		}
+		if u.Capture.Protocol == decoy.DNS && u.Delay < time.Minute {
+			continue // benign retries occur for all clients
+		}
+		if country := e.World.Topo.Geo.Country(u.Sent.VP); country != "CN" {
+			t.Errorf("non-CN VP (%s) path to 114DNS shadowed: %+v", country, u.Combination)
+		}
+	}
+}
+
+func TestIncentivesAndIntel(t *testing.T) {
+	r := sharedReport(t)
+	if r.Incentives51.EnumerationFraction < 0.9 {
+		t.Errorf("enumeration fraction = %v, want >= 0.9 (paper: 95%%)", r.Incentives51.EnumerationFraction)
+	}
+	if r.Incentives51.ExploitMatches != 0 || r.Incentives52.ExploitMatches != 0 {
+		t.Error("exploit signatures matched; paper found none")
+	}
+	if r.Incentives51.HTTPBlocklisted < 0.3 {
+		t.Errorf("§5.1 HTTP origin blocklist = %v, want sizable (paper: 57%%)", r.Incentives51.HTTPBlocklisted)
+	}
+	if r.ProbeSummary.Targets > 0 {
+		if r.ProbeSummary.NoOpenFraction() < 0.5 {
+			t.Errorf("no-open-port fraction = %v, want most closed (paper: 92%%)", r.ProbeSummary.NoOpenFraction())
+		}
+		if r.ProbeSummary.MostCommonPort() != 179 {
+			t.Errorf("most common port = %d, want 179 (BGP)", r.ProbeSummary.MostCommonPort())
+		}
+	}
+}
+
+func TestMultiUseRecovered(t *testing.T) {
+	r := sharedReport(t)
+	if r.MultiUse.FractionOver3 < 0.2 {
+		t.Errorf(">3-events fraction = %v, want sizable (paper: 51%%)", r.MultiUse.FractionOver3)
+	}
+	if r.MultiUse.FractionOver10 > 0.15 {
+		t.Errorf(">10-events fraction = %v, want small tail (paper: 2.4%%)", r.MultiUse.FractionOver10)
+	}
+}
+
+func TestInterceptionScreening(t *testing.T) {
+	cfg := tinyConfig(5)
+	// Tap several VP datacenter ASes so at least one hosts VPs at this
+	// fleet size.
+	cfg.InterceptedVPASes = 8
+	e := NewExperiment(cfg)
+	e.ScreenPairResolvers()
+	if e.PairReport.Removed == 0 {
+		t.Error("interception devices installed but no VPs removed")
+	}
+	if e.PairReport.Removed >= e.PairReport.Tested {
+		t.Error("screening removed everything")
+	}
+	fired := false
+	for _, tap := range e.World.Interceptors {
+		if tap.Answered() > 0 {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Error("interceptor ground truth never fired")
+	}
+}
+
+func TestTop5ObserverCoverage(t *testing.T) {
+	r := sharedReport(t)
+	if len(r.Behaviours) > 0 && r.Top5Coverage < 0.8 {
+		t.Errorf("top-5 AS coverage = %v, want > 0.8 (paper: >80%%)", r.Top5Coverage)
+	}
+}
+
+func TestReportRenderComplete(t *testing.T) {
+	r := sharedReport(t)
+	out := r.Render()
+	for _, needle := range []string{
+		"Table 1", "Figure 3", "Table 2", "Table 3", "Figure 4",
+		"Figure 5", "Figure 6", "Figure 7", "Section 5.1", "Section 5.2",
+		"CHINANET-BACKBONE", "Yandex", "114DNS",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("report missing %q", needle)
+		}
+	}
+	if len(out) < 2000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestPlatformCapabilitiesShape(t *testing.T) {
+	r := sharedReport(t)
+	if len(r.Capabilities) != 3 {
+		t.Fatalf("capability rows = %d", len(r.Capabilities))
+	}
+	if r.Capabilities[0].Providers != 6 || r.Capabilities[1].Providers != 13 {
+		t.Errorf("provider counts = %d/%d", r.Capabilities[0].Providers, r.Capabilities[1].Providers)
+	}
+	if len(r.Excluded) != 2 {
+		t.Errorf("excluded providers = %v, want the two foils", r.Excluded)
+	}
+	if r.Capabilities[0].Regions < 10 {
+		t.Errorf("global countries = %d", r.Capabilities[0].Regions)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Start.IsZero() || c.DNSRounds == 0 || c.WebSites == 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	full := Config{Scale: ScaleFull}.withDefaults()
+	if full.WebSites != 2325 || full.VPsPerGlobalProvider != 363 {
+		t.Errorf("full-scale geometry wrong: %+v", full)
+	}
+}
+
+func TestTopologyExposesObserverASes(t *testing.T) {
+	w := BuildWorld(tinyConfig(3))
+	for _, asn := range []int{4134, topology.ASNHostRoyale, topology.ASNZenlayer, 4808, topology.ASNRogers, topology.ASNConstantContact} {
+		if w.Topo.AS(asn) == nil {
+			t.Errorf("AS%d missing from world", asn)
+		}
+	}
+}
+
+func TestRobustToPacketLoss(t *testing.T) {
+	// With 2% per-hop loss the pipeline must still find the heavy
+	// shadowers and keep clean destinations clean.
+	cfg := tinyConfig(13)
+	cfg.LossRate = 0.02
+	r := Run(cfg)
+	if r.NetStats.PacketsLost == 0 {
+		t.Fatal("loss knob inert")
+	}
+	if r.DestRatios["Yandex"] < 0.5 {
+		t.Errorf("Yandex ratio under loss = %v", r.DestRatios["Yandex"])
+	}
+	if r.DestRatios["a.root"] != 0 || r.DestRatios["self-built"] != 0 {
+		t.Error("clean destinations became problematic under loss")
+	}
+}
+
+func TestWeeklySeriesCoversCampaign(t *testing.T) {
+	r := sharedReport(t)
+	if len(r.Weekly) == 0 {
+		t.Fatal("no weekly series")
+	}
+	total := 0
+	for _, pt := range r.Weekly {
+		total += pt.Count
+	}
+	if total == 0 {
+		t.Error("weekly series empty despite events")
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	r := sharedReport(t)
+	out, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"dest_ratios", "table2_normalized_hops", "table3_observer_ases",
+		"figure4_dns_delay_cdf", "multiuse_over3", "decoys_sent", "weekly_unsolicited"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("JSON missing %q", key)
+		}
+	}
+	ratios, ok := decoded["dest_ratios"].(map[string]interface{})
+	if !ok || ratios["Yandex"].(float64) == 0 {
+		t.Error("dest_ratios not exported properly")
+	}
+}

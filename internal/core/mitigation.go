@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"shadowmeter/internal/correlate"
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/netsim"
+	"shadowmeter/internal/resolversim"
+	"shadowmeter/internal/stats"
+	"shadowmeter/internal/vantage"
+	"shadowmeter/internal/wire"
+)
+
+// MitigationMode selects the decoy encoding for a mitigation-study run.
+type MitigationMode int
+
+// Mitigation modes.
+const (
+	// MitigationNone is the baseline: clear-text QNAME, Host and SNI.
+	MitigationNone MitigationMode = iota
+	// MitigationECH sends TLS decoys with Encrypted Client Hello.
+	MitigationECH
+	// MitigationDoH sends DNS decoys over DNS-over-HTTPS.
+	MitigationDoH
+	// MitigationODoH relays DNS decoys through an Oblivious DoH proxy
+	// (RFC 9230): the resolver still sees names, but never client origins.
+	MitigationODoH
+)
+
+// String names the mode.
+func (m MitigationMode) String() string {
+	switch m {
+	case MitigationECH:
+		return "TLS+ECH"
+	case MitigationDoH:
+		return "DNS-over-HTTPS"
+	case MitigationODoH:
+		return "Oblivious DoH"
+	default:
+		return "baseline"
+	}
+}
+
+// MitigationResult is the outcome of one mode's mini-campaign.
+type MitigationResult struct {
+	Mode MitigationMode
+	// DecoysSent in the studied protocol.
+	DecoysSent int
+	// OnWireObservations counts ground-truth domain extractions from decoy
+	// packets by DPI devices. This is the quantity encryption is supposed
+	// to eliminate; the exhibitors' own (clear-text) probe traffic is
+	// excluded.
+	OnWireObservations int64
+	// ProblematicPaths with at least one unsolicited event.
+	ProblematicPaths int
+	// UnsolicitedEvents across the run.
+	UnsolicitedEvents int
+	// DistinctClientsSeen is the resolvers' ground-truth view of message
+	// origin: how many distinct source addresses the Resolver_h fleet
+	// observed. Oblivious transports collapse it to the proxy.
+	DistinctClientsSeen int
+}
+
+// MitigationStudy quantifies the paper's Discussion: encryption (ECH for
+// TLS, DoH for DNS) blinds on-path observers but "does not mitigate data
+// collection by the destination server". It runs three fresh worlds from
+// the same seed — baseline, ECH, DoH — and reports, per mode, how much the
+// wire saw versus how much shadowing still occurred.
+func MitigationStudy(seed int64) []MitigationResult {
+	modes := []MitigationMode{MitigationNone, MitigationECH, MitigationDoH, MitigationODoH}
+	out := make([]MitigationResult, 0, len(modes))
+	for _, mode := range modes {
+		out = append(out, runMitigationMode(seed, mode))
+	}
+	return out
+}
+
+// runMitigationMode executes one compact campaign: every VP sends one
+// decoy of the studied protocol to each relevant destination.
+func runMitigationMode(seed int64, mode MitigationMode) MitigationResult {
+	cfg := Config{
+		Seed:                 seed,
+		VPsPerGlobalProvider: 4,
+		VPsPerCNProvider:     3,
+		WebSites:             60,
+		WebASes:              12,
+	}
+	w := BuildWorld(cfg)
+	// DoH must be live on every resolver for the DoH/ODoH modes; enabling
+	// it in all modes keeps the worlds identical. The oblivious proxy also
+	// exists everywhere, placed in a neutral hosting network.
+	for _, svc := range w.resolverServices {
+		svc.EnableDoH()
+	}
+	proxyAddr := w.Topo.AllocHostAddr(w.Topo.HostingASes("CH")[0])
+	proxy := resolversim.NewObliviousProxy(w.Net, proxyAddr)
+	corr := correlate.New(w.Codec)
+	res := MitigationResult{Mode: mode}
+
+	// Tag VP traffic so devices separately count what they extracted from
+	// decoys (as opposed to exhibitor probe traffic, which also crosses
+	// tapped routers and legitimately remains clear-text).
+	vpSet := make(map[wire.Addr]bool, len(w.Platform.VPs))
+	for _, vp := range w.Platform.VPs {
+		vpSet[vp.Addr] = true
+	}
+	for _, dev := range w.Devices {
+		dev.SetSourceClassifier(func(a wire.Addr) bool { return vpSet[a] })
+	}
+
+	start := w.Cfg.Start
+	send := func(i int, vp *vantage.VP, dst wire.Endpoint, dstName string, kind string) {
+		delay := time.Duration(i) * 150 * time.Millisecond
+		w.Net.Schedule(delay, func() {
+			var d *decoy.Decoy
+			var err error
+			now := w.Net.Now()
+			switch {
+			case mode == MitigationECH:
+				d, err = w.Gen.GenerateECH(now, vp.Addr, dst, 64)
+			case mode == MitigationDoH:
+				d, err = w.Gen.GenerateDoH(now, vp.Addr, dst, 64)
+			case mode == MitigationODoH:
+				d, err = w.Gen.GenerateODoH(now, vp.Addr, wire.Endpoint{Addr: proxyAddr, Port: 443}, dst.Addr, 64)
+			case kind == "dns":
+				d, err = w.Gen.Generate(decoy.DNS, now, vp.Addr, dst, 64)
+			default:
+				d, err = w.Gen.Generate(decoy.TLS, now, vp.Addr, dst, 64)
+			}
+			if err != nil {
+				return
+			}
+			res.DecoysSent++
+			corr.AddSent(&correlate.Sent{
+				Label: d.Label, Domain: d.Domain, Protocol: d.Protocol,
+				VP: d.VP, Dst: d.Dst, DstName: dstName, Time: d.ID.Time, TTL: 64,
+				Phase:           correlate.PhaseI,
+				ExpectRecursion: d.Protocol == decoy.DNS,
+			})
+			switch {
+			case d.Protocol == decoy.DNS && !d.Encrypted:
+				vp.SendUDPRequest(w.Net, d.Dst, d.Payload, netsim.UDPRequestOpts{Timeout: 8 * time.Second})
+			default:
+				vp.SendTCPRequest(w.Net, d.Dst, d.Payload, netsim.TCPRequestOpts{Timeout: 15 * time.Second})
+			}
+		})
+	}
+
+	i := 0
+	for _, vp := range w.Platform.VPs {
+		// The baseline covers both studied protocols so each mitigation row
+		// has a same-protocol comparison point.
+		if mode == MitigationDoH || mode == MitigationODoH || mode == MitigationNone {
+			for _, dst := range w.DNSDests {
+				if dst.Kind != "public" {
+					continue
+				}
+				send(i, vp, wire.Endpoint{Addr: dst.Addr, Port: 53}, dst.Name, "dns")
+				i++
+			}
+		}
+		if mode == MitigationECH || mode == MitigationNone {
+			for _, site := range w.Web.Sites {
+				send(i, vp, wire.Endpoint{Addr: site.Addr, Port: 443}, site.Domain, "tls")
+				i++
+			}
+		}
+	}
+	w.Net.Run(start.Add(30 * 24 * time.Hour))
+	w.Net.RunUntilIdle()
+
+	for _, dev := range w.Devices {
+		res.OnWireObservations += dev.Stats().ClientExtractions
+	}
+	events := corr.Classify(w.Honeypots.Log.Snapshot())
+	res.UnsolicitedEvents = len(events)
+	res.ProblematicPaths = len(correlate.PathsWithUnsolicited(events))
+	for _, svc := range w.resolverServices {
+		if resolversim.IsResolverH(svc.Name) {
+			res.DistinctClientsSeen += svc.DistinctClients()
+		}
+	}
+	_ = proxy
+	return res
+}
+
+// RenderMitigationStudy formats the study as a table with commentary.
+func RenderMitigationStudy(results []MitigationResult) string {
+	var b strings.Builder
+	tb := stats.NewTable("Mitigation study: what encryption changes (paper, Discussion)",
+		"Mode", "Decoys", "On-wire observations", "Problematic paths", "Unsolicited events", "Clients seen by Resolver_h")
+	for _, r := range results {
+		tb.AddRow(r.Mode.String(), r.DecoysSent, fmt.Sprintf("%d", r.OnWireObservations),
+			r.ProblematicPaths, r.UnsolicitedEvents, r.DistinctClientsSeen)
+	}
+	b.WriteString(tb.String())
+	b.WriteString(`
+reading the table:
+ - TLS+ECH: on-path devices extract nothing from the wire, yet paths stay
+   problematic — destination web servers decrypt the inner name and still
+   shadow it ("encryption does not mitigate data collection by the
+   destination server").
+ - DNS-over-HTTPS: QNAMEs disappear from the wire too, but the resolvers —
+   the dominant DNS shadowing location (Table 2) — decode every query and
+   keep retaining names.
+ - Oblivious DoH: names still leak (events remain), but the resolvers'
+   origin visibility collapses to the relay — the "split visibility of
+   message origin and content" the paper recommends.
+`)
+	return b.String()
+}

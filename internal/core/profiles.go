@@ -1,0 +1,210 @@
+package core
+
+import (
+	"time"
+
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/observer"
+	"shadowmeter/internal/wire"
+)
+
+// Ground-truth exhibitor calibration.
+//
+// Every constant below is justified by a measured datum in the paper; the
+// measurement pipeline never reads these values — tests and EXPERIMENTS.md
+// verify it re-derives them from honeypot and traceroute evidence alone.
+
+// Path fractions: the share of client paths each destination-side
+// shadower retains data for (drives Figure 3's per-destination ratios;
+// the paper reports >70% for the top three).
+const (
+	yandexPathFraction  = 0.99 // ">99% of DNS decoys sent to Yandex are subject" (Fig. 5)
+	dns114CNFraction    = 0.85 // "85% of CN VPs to 114DNS" (§1)
+	oneDNSPathFraction  = 0.78 // ">70%" (§4)
+	dnspaiPathFraction  = 0.62
+	vercaraPathFraction = 0.55
+)
+
+func d(v time.Duration) time.Duration { return v }
+
+// mix builds a weighted delay mixture.
+func mix(ranges ...observer.DelayRange) observer.DelayDist {
+	return observer.DelayDist{Ranges: ranges}
+}
+
+// yandexProfile: data retained for days, re-used heavily, 51% of decoys
+// yield HTTP/HTTPS probes with clear enumeration incentives (§5.1 case I).
+func yandexProfile() observer.Profile {
+	return observer.Profile{
+		Name:          "yandex-dst",
+		OncePerDomain: true,
+		Rules: []observer.ProbeRule{
+			{Kind: observer.ProbeDNS, Prob: 0.95, Count: observer.CountDist{Min: 2, Max: 4},
+				Delay: mix(
+					observer.DelayRange{Min: d(2 * time.Minute), Max: d(24 * time.Hour), Weight: 45},
+					observer.DelayRange{Min: d(24 * time.Hour), Max: d(12 * 24 * time.Hour), Weight: 55},
+				)},
+			// Occasional heavy re-use: the ">10 unsolicited requests" tail
+			// of §5.1 (2.4% of decoys).
+			{Kind: observer.ProbeDNS, Prob: 0.02, Count: observer.CountDist{Min: 9, Max: 12},
+				Delay: mix(observer.DelayRange{Min: d(2 * time.Hour), Max: d(10 * 24 * time.Hour), Weight: 1})},
+			{Kind: observer.ProbeHTTP, Prob: 0.35, Count: observer.CountDist{Min: 1, Max: 3},
+				Delay: mix(observer.DelayRange{Min: d(6 * time.Hour), Max: d(12 * 24 * time.Hour), Weight: 1})},
+			{Kind: observer.ProbeHTTPS, Prob: 0.22, Count: observer.CountDist{Min: 1, Max: 2},
+				Delay: mix(observer.DelayRange{Min: d(6 * time.Hour), Max: d(12 * 24 * time.Hour), Weight: 1})},
+		},
+	}
+}
+
+// dns114Profile: the CN anycast instances of 114DNS perform security
+// analysis over passive DNS (§5.1 case II): ~50% of decoys yield HTTP(S).
+func dns114Profile() observer.Profile {
+	return observer.Profile{
+		Name:          "114dns-cn-dst",
+		OncePerDomain: true,
+		Rules: []observer.ProbeRule{
+			{Kind: observer.ProbeDNS, Prob: 0.90, Count: observer.CountDist{Min: 1, Max: 2},
+				Delay: mix(
+					observer.DelayRange{Min: d(90 * time.Second), Max: d(time.Hour), Weight: 30},
+					observer.DelayRange{Min: d(time.Hour), Max: d(24 * time.Hour), Weight: 40},
+					observer.DelayRange{Min: d(24 * time.Hour), Max: d(10 * 24 * time.Hour), Weight: 30},
+				)},
+			{Kind: observer.ProbeHTTP, Prob: 0.85, Count: observer.CountDist{Min: 1, Max: 2},
+				Delay: mix(observer.DelayRange{Min: d(3 * time.Hour), Max: d(8 * 24 * time.Hour), Weight: 1})},
+			{Kind: observer.ProbeHTTPS, Prob: 0.50, Count: observer.CountDist{Min: 1, Max: 2},
+				Delay: mix(observer.DelayRange{Min: d(3 * time.Hour), Max: d(8 * 24 * time.Hour), Weight: 1})},
+		},
+	}
+}
+
+// resolverHDNSProfile: OneDNS/DNSPAI re-query names in one day or after
+// days — "similar temporal features... possibility of the same exhibitors
+// behind" (§5.1).
+func resolverHDNSProfile(name string) observer.Profile {
+	return observer.Profile{
+		Name:          name,
+		OncePerDomain: true,
+		Rules: []observer.ProbeRule{
+			{Kind: observer.ProbeDNS, Prob: 1, Count: observer.CountDist{Min: 1, Max: 3},
+				Delay: mix(
+					observer.DelayRange{Min: d(time.Hour), Max: d(24 * time.Hour), Weight: 40},
+					observer.DelayRange{Min: d(24 * time.Hour), Max: d(10 * 24 * time.Hour), Weight: 60},
+				)},
+			{Kind: observer.ProbeHTTP, Prob: 0.08, Count: observer.CountDist{Min: 1, Max: 2},
+				Delay: mix(observer.DelayRange{Min: d(6 * time.Hour), Max: d(6 * 24 * time.Hour), Weight: 1})},
+		},
+	}
+}
+
+// vercaraProfile: delayed DNS re-queries only.
+func vercaraProfile() observer.Profile {
+	return observer.Profile{
+		Name:          "vercara-dst",
+		OncePerDomain: true,
+		Rules: []observer.ProbeRule{
+			{Kind: observer.ProbeDNS, Prob: 1, Count: observer.CountDist{Min: 1, Max: 2},
+				Delay: mix(
+					observer.DelayRange{Min: d(10 * time.Minute), Max: d(24 * time.Hour), Weight: 60},
+					observer.DelayRange{Min: d(24 * time.Hour), Max: d(5 * 24 * time.Hour), Weight: 40},
+				)},
+		},
+	}
+}
+
+// minorResolverProfile: the >1min tail (~5%) seen at resolvers outside
+// Resolver_h.
+func minorResolverProfile(name string) observer.Profile {
+	return observer.Profile{
+		Name:          name,
+		OncePerDomain: true,
+		SampleRate:    0.03,
+		Rules: []observer.ProbeRule{
+			{Kind: observer.ProbeDNS, Prob: 1, Count: observer.CountDist{Min: 1, Max: 1},
+				Delay: mix(observer.DelayRange{Min: d(time.Hour), Max: d(2 * 24 * time.Hour), Weight: 1})},
+		},
+	}
+}
+
+// backboneDeviceProfile: the CHINANET on-wire HTTP/TLS observers (§5.2):
+// 66% of observed HTTP decoys yield HTTP probes, 17% HTTPS; retention is
+// shorter than at destinations (Figure 7) — limited storage on routing
+// devices.
+func backboneDeviceProfile(name string, watch decoy.Protocol, pathFraction float64, salt uint32) observer.Profile {
+	return observer.Profile{
+		Name:          name,
+		Watch:         map[decoy.Protocol]bool{watch: true},
+		PathFraction:  pathFraction,
+		PathSalt:      salt,
+		OncePerDomain: true, // DPI boxes act on newly-observed domains (§5.2 ISP feedback)
+		Rules: []observer.ProbeRule{
+			{Kind: observer.ProbeHTTP, Prob: 0.66, Count: observer.CountDist{Min: 1, Max: 2},
+				Delay: mix(
+					observer.DelayRange{Min: d(2 * time.Minute), Max: d(time.Hour), Weight: 50},
+					observer.DelayRange{Min: d(time.Hour), Max: d(24 * time.Hour), Weight: 40},
+					observer.DelayRange{Min: d(24 * time.Hour), Max: d(3 * 24 * time.Hour), Weight: 10},
+				)},
+			{Kind: observer.ProbeHTTPS, Prob: 0.17, Count: observer.CountDist{Min: 1, Max: 1},
+				Delay: mix(observer.DelayRange{Min: d(10 * time.Minute), Max: d(24 * time.Hour), Weight: 1})},
+			// Every recorded domain is looked up at least once; this is what
+			// makes an observed path detectable in the first place, and it
+			// pins Phase II's minimum leaking TTL to the device's own hop.
+			{Kind: observer.ProbeDNS, Prob: 1, Count: observer.CountDist{Min: 1, Max: 2},
+				Delay: mix(observer.DelayRange{Min: d(time.Minute), Max: d(6 * time.Hour), Weight: 1})},
+		},
+	}
+}
+
+// borderDeviceProfile: the AS40444/AS29988 devices — every observed HTTP
+// decoy yields unsolicited DNS only, from the device's own network (§5.2).
+func borderDeviceProfile(name string, pathFraction float64, salt uint32) observer.Profile {
+	return observer.Profile{
+		Name:          name,
+		Watch:         map[decoy.Protocol]bool{decoy.HTTP: true},
+		PathFraction:  pathFraction,
+		PathSalt:      salt,
+		OncePerDomain: true,
+		Rules: []observer.ProbeRule{
+			{Kind: observer.ProbeDNS, Prob: 1, Count: observer.CountDist{Min: 1, Max: 2},
+				Delay: mix(observer.DelayRange{Min: d(time.Minute), Max: d(6 * time.Hour), Weight: 1})},
+		},
+	}
+}
+
+// dnsWireDeviceProfile: the rare on-path DNS observers (Table 3's DNS
+// section: HostRoyale, China Unicom Beijing, Zenlayer). Tiny path
+// coverage keeps Table 2's DNS row at 99.7% destination.
+func dnsWireDeviceProfile(name string, salt uint32, resolverDsts map[wire.Addr]bool) observer.Profile {
+	return observer.Profile{
+		Name:          name,
+		Watch:         map[decoy.Protocol]bool{decoy.DNS: true},
+		PathFraction:  0.04,
+		PathSalt:      salt,
+		OncePerDomain: true,
+		// These trackers monitor resolver-bound queries only; decoys to
+		// roots, TLDs and unknown servers pass unobserved — which is why
+		// the paper finds authoritative destinations entirely clean.
+		DstFilter: resolverDsts,
+		Rules: []observer.ProbeRule{
+			{Kind: observer.ProbeDNS, Prob: 1, Count: observer.CountDist{Min: 1, Max: 1},
+				Delay: mix(observer.DelayRange{Min: d(10 * time.Minute), Max: d(24 * time.Hour), Weight: 1})},
+		},
+	}
+}
+
+// sniDestProfile: destination web servers retaining SNI (the majority TLS
+// observer mode in Table 2) — longer retention, DNS lookups plus some HTTP.
+func sniDestProfile(name string) observer.Profile {
+	return observer.Profile{
+		Name:          name,
+		OncePerDomain: true,
+		Rules: []observer.ProbeRule{
+			{Kind: observer.ProbeDNS, Prob: 1, Count: observer.CountDist{Min: 1, Max: 2},
+				Delay: mix(
+					observer.DelayRange{Min: d(time.Hour), Max: d(24 * time.Hour), Weight: 50},
+					observer.DelayRange{Min: d(24 * time.Hour), Max: d(5 * 24 * time.Hour), Weight: 50},
+				)},
+			{Kind: observer.ProbeHTTP, Prob: 0.30, Count: observer.CountDist{Min: 1, Max: 2},
+				Delay: mix(observer.DelayRange{Min: d(2 * time.Hour), Max: d(4 * 24 * time.Hour), Weight: 1})},
+		},
+	}
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"shadowmeter/internal/analysis"
+	"shadowmeter/internal/correlate"
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/netsim"
+	"shadowmeter/internal/pairresolver"
+	"shadowmeter/internal/probe"
+	"shadowmeter/internal/stats"
+	"shadowmeter/internal/vantage"
+	"shadowmeter/internal/wire"
+)
+
+// Report is the compiled outcome of a full experiment: one field (or field
+// group) per table/figure of the paper.
+type Report struct {
+	Config Config
+
+	// Table 1 + Appendix C/E screening.
+	Capabilities []vantage.Summary
+	Excluded     map[string]string
+	PairReport   pairresolver.Report
+
+	// Figure 3.
+	Figure3    []analysis.Figure3Row
+	DestRatios map[string]float64
+
+	// Figures 4 and 7.
+	Figure4            *stats.CDF
+	Figure4PerResolver map[string]*stats.CDF
+	Figure7HTTP        *stats.CDF
+	Figure7TLS         *stats.CDF
+
+	// Figure 5.
+	Figure5Cells    []analysis.Figure5Cell
+	Figure5PerDst   map[string]map[string]int
+	DNSDecoysPerDst map[string]int
+	// HTTPishShare is, per destination, the fraction of DNS decoys whose
+	// data re-appeared over HTTP or HTTPS (distinct decoys).
+	HTTPishShare map[string]float64
+
+	// Figure 6.
+	Figure6 []analysis.OriginReport
+
+	// Tables 2 and 3.
+	Table2            []analysis.Table2Row
+	Table3            []analysis.ObserverASRow
+	ObserverAddrs     map[decoy.Protocol][]wire.Addr
+	ObserverCountries map[string]int
+
+	// Longitudinal activity (weekly buckets over the campaign).
+	Weekly []analysis.SeriesPoint
+
+	// Section 5.1 / 5.2.
+	MultiUse     analysis.MultiUse
+	Incentives51 analysis.Incentives
+	Incentives52 analysis.Incentives
+	Behaviours   []analysis.ObserverBehaviour
+	Top5Coverage float64
+	ProbeSummary probe.Summary
+
+	// Bookkeeping.
+	SentCounts      map[decoy.Protocol]int64
+	CorrelatorStats correlate.Stats
+	NetStats        netsim.Stats
+}
+
+// TotalObserverAddrs counts distinct on-wire observer addresses across
+// protocols.
+func (r *Report) TotalObserverAddrs() int {
+	seen := make(map[wire.Addr]bool)
+	for _, addrs := range r.ObserverAddrs {
+		for _, a := range addrs {
+			seen[a] = true
+		}
+	}
+	return len(seen)
+}
+
+// CNObserverFraction is the share of observer addresses located in CN
+// (paper: 448/572 = 79%).
+func (r *Report) CNObserverFraction() float64 {
+	total := 0
+	for _, n := range r.ObserverCountries {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(r.ObserverCountries["CN"]) / float64(total)
+}
+
+// Render produces the full plain-text report: every table and figure.
+func (r *Report) Render() string {
+	var b strings.Builder
+	w := func(format string, args ...interface{}) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("shadowmeter experiment report")
+	w("=============================")
+	w("")
+
+	// Table 1.
+	t1 := stats.NewTable("Table 1: Capabilities of VPN measurement platform",
+		"Segment", "#Provider", "IP", "AS", "Country/Province")
+	for _, row := range r.Capabilities {
+		t1.AddRow(row.Segment, row.Providers, row.IPs, row.ASes, row.Regions)
+	}
+	w("%s", t1.String())
+	if len(r.Excluded) > 0 {
+		w("Providers excluded during screening:")
+		keys := sortedKeys(r.Excluded)
+		for _, k := range keys {
+			w("  - %s: %s", k, r.Excluded[k])
+		}
+	}
+	w("Pair-resolver screening (Appendix E): %d VPs tested, %d removed for DNS interception",
+		r.PairReport.Tested, r.PairReport.Removed)
+	w("")
+
+	// Figure 3.
+	w("Figure 3: Ratio of client-server paths subject to traffic shadowing (top countries per protocol)")
+	f3 := stats.NewTable("", "Protocol", "VP country", "Problematic", "Total", "Ratio")
+	count := map[decoy.Protocol]int{}
+	for _, row := range r.Figure3 {
+		if count[row.Protocol] >= 8 || row.Total == 0 {
+			continue
+		}
+		count[row.Protocol]++
+		f3.AddRow(row.Protocol.String(), row.Country, row.Problematic, row.Total, stats.FormatPercent(row.Ratio))
+	}
+	w("%s", f3.String())
+
+	w("Per-destination problematic-path ratios (DNS decoys):")
+	type dr struct {
+		name  string
+		ratio float64
+	}
+	var drs []dr
+	for name, ratio := range r.DestRatios {
+		drs = append(drs, dr{name, ratio})
+	}
+	sort.Slice(drs, func(i, j int) bool {
+		if drs[i].ratio != drs[j].ratio {
+			return drs[i].ratio > drs[j].ratio
+		}
+		return drs[i].name < drs[j].name
+	})
+	for _, d := range drs {
+		if d.ratio == 0 {
+			continue
+		}
+		w("  %-12s %s", d.name, stats.FormatPercent(d.ratio))
+	}
+	w("")
+
+	// Table 2.
+	w("%s", analysis.RenderTable2(r.Table2))
+
+	// Table 3.
+	w("%s", analysis.RenderTable3(r.Table3))
+	w("Distinct on-wire observer addresses: %d (CN share %s)",
+		r.TotalObserverAddrs(), stats.FormatPercent(r.CNObserverFraction()))
+	w("")
+
+	// Figure 4.
+	w("Figure 4: CDF of time between unsolicited requests and initial DNS decoy (Resolver_h)")
+	w("%s", renderCDF(r.Figure4))
+	w("%s", stats.PlotCDF(r.Figure4, 60, 9))
+	for _, name := range sortedCDFKeys(r.Figure4PerResolver) {
+		cdf := r.Figure4PerResolver[name]
+		if cdf.N() == 0 {
+			continue
+		}
+		w("  %-8s n=%-6d <1min=%s  <1h=%s  <1d=%s  <10d=%s", name, cdf.N(),
+			stats.FormatPercent(cdf.At(60)), stats.FormatPercent(cdf.At(3600)),
+			stats.FormatPercent(cdf.At(86400)), stats.FormatPercent(cdf.At(10*86400)))
+	}
+	w("")
+
+	// Figure 5.
+	w("Figure 5: Breakdown of DNS decoys per destination (combination x delay bucket)")
+	f5 := stats.NewTable("", "Destination", "Combination", "Delay", "Events")
+	for _, c := range r.Figure5Cells {
+		f5.AddRow(c.Destination, c.Combination, c.DelayBucket, c.Count)
+	}
+	w("%s", f5.String())
+	w("Share of DNS decoys triggering HTTP/HTTPS per destination:")
+	for _, name := range sortedKeysF(r.HTTPishShare) {
+		share := r.HTTPishShare[name]
+		if share == 0 {
+			continue
+		}
+		w("  %-12s %s of %d decoys", name, stats.FormatPercent(share), r.DNSDecoysPerDst[name])
+	}
+	w("")
+
+	// Figure 6.
+	w("Figure 6: Origin ASes of unsolicited requests (DNS decoys to Resolver_h)")
+	for _, rep := range r.Figure6 {
+		w("  %s (distinct origins %d, blocklisted %s):", rep.Destination, rep.DistinctOrigins,
+			stats.FormatPercent(rep.BlocklistedFraction))
+		for _, e := range rep.TopASes {
+			w("    %-10s %5d (%s)", e.Key, e.Count, stats.FormatPercent(e.Fraction))
+		}
+	}
+	w("")
+
+	// Figure 7.
+	w("Figure 7: CDF of time between unsolicited requests and HTTP (/TLS) decoy")
+	w("HTTP decoys:")
+	w("%s", renderCDF(r.Figure7HTTP))
+	w("%s", stats.PlotCDF(r.Figure7HTTP, 60, 7))
+	w("TLS decoys:")
+	w("%s", renderCDF(r.Figure7TLS))
+	w("%s", stats.PlotCDF(r.Figure7TLS, 60, 7))
+
+	// Longitudinal activity.
+	if len(r.Weekly) > 0 {
+		labels := make([]string, len(r.Weekly))
+		values := make([]float64, len(r.Weekly))
+		for i, pt := range r.Weekly {
+			labels[i] = fmt.Sprintf("week %2d", i+1)
+			values[i] = float64(pt.Count)
+		}
+		w("%s", stats.Bars("Unsolicited requests per campaign week:", labels, values, 40))
+	}
+
+	// Section 5.1.
+	w("Section 5.1 — multi-use of retained data (>=1h after emission):")
+	w("  decoys with late events: %d; >3 events: %s; >10 events: %s",
+		r.MultiUse.DecoysWithLateEvents,
+		stats.FormatPercent(r.MultiUse.FractionOver3),
+		stats.FormatPercent(r.MultiUse.FractionOver10))
+	w("Section 5.1 — probing incentives (DNS decoys):")
+	w("  HTTP requests %d; path enumeration %s; exploit signatures %d; origin blocklist HTTP %s / HTTPS %s",
+		r.Incentives51.HTTPRequests, stats.FormatPercent(r.Incentives51.EnumerationFraction),
+		r.Incentives51.ExploitMatches,
+		stats.FormatPercent(r.Incentives51.HTTPBlocklisted), stats.FormatPercent(r.Incentives51.HTTPSBlocklisted))
+	w("")
+
+	// Section 5.2.
+	w("Section 5.2 — HTTP/TLS observer behaviour by AS (top 5 cover %s):", stats.FormatPercent(r.Top5Coverage))
+	for i, bh := range r.Behaviours {
+		if i >= 5 {
+			break
+		}
+		w("  %-10s paths=%d sameAS-origins=%s combos=%v", bh.AS, bh.PathsObserved,
+			stats.FormatPercent(bh.SameASOriginFraction), renderCombos(bh.Combinations))
+	}
+	w("Section 5.2 — probing incentives (HTTP/TLS decoys): enumeration %s; exploits %d; blocklist HTTP %s / HTTPS %s",
+		stats.FormatPercent(r.Incentives52.EnumerationFraction), r.Incentives52.ExploitMatches,
+		stats.FormatPercent(r.Incentives52.HTTPBlocklisted), stats.FormatPercent(r.Incentives52.HTTPSBlocklisted))
+	w("Section 5.2 — observer open ports: %d scanned, %s with no open ports, most common open port %d",
+		r.ProbeSummary.Targets, stats.FormatPercent(r.ProbeSummary.NoOpenFraction()), r.ProbeSummary.MostCommonPort())
+	w("")
+
+	// Bookkeeping.
+	w("Campaign bookkeeping:")
+	w("  decoys sent: DNS=%d HTTP=%d TLS=%d", r.SentCounts[decoy.DNS], r.SentCounts[decoy.HTTP], r.SentCounts[decoy.TLS])
+	w("  honeypot captures=%d solicited=%d unsolicited=%d unknown-label=%d",
+		r.CorrelatorStats.Captures, r.CorrelatorStats.Solicited, r.CorrelatorStats.Unsolicited, r.CorrelatorStats.UnknownLabel)
+	w("  simulator: %d packets sent, %d delivered, %d ICMP, %d events",
+		r.NetStats.PacketsSent, r.NetStats.PacketsDelivered, r.NetStats.ICMPSent, r.NetStats.Events)
+	return b.String()
+}
+
+// renderCDF prints a compact CDF line with the marks the paper discusses.
+func renderCDF(c *stats.CDF) string {
+	if c == nil || c.N() == 0 {
+		return "  (no samples)"
+	}
+	marks := []struct {
+		label string
+		at    time.Duration
+	}{
+		{"1min", time.Minute}, {"1h", time.Hour}, {"1d", 24 * time.Hour},
+		{"3d", 3 * 24 * time.Hour}, {"10d", 10 * 24 * time.Hour},
+	}
+	var parts []string
+	for _, m := range marks {
+		parts = append(parts, fmt.Sprintf("<=%s:%s", m.label, stats.FormatPercent(c.At(m.at.Seconds()))))
+	}
+	return fmt.Sprintf("  n=%d  %s", c.N(), strings.Join(parts, "  "))
+}
+
+func renderCombos(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeysF(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedCDFKeys(m map[string]*stats.CDF) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+
+	"shadowmeter/internal/decoy"
+)
+
+// JSONSummary is the machine-readable form of a Report: the headline
+// quantities of every table and figure, suitable for regression tracking
+// and external plotting. Render() remains the human-facing artifact.
+type JSONSummary struct {
+	Seed  int64  `json:"seed"`
+	Scale string `json:"scale"`
+
+	Platform struct {
+		GlobalProviders     int `json:"global_providers"`
+		CNProviders         int `json:"cn_providers"`
+		GlobalIPs           int `json:"global_ips"`
+		CNIPs               int `json:"cn_ips"`
+		ExcludedByScreening int `json:"excluded_by_screening"`
+		RemovedByPairTest   int `json:"removed_by_pair_test"`
+	} `json:"platform"`
+
+	DestRatios   map[string]float64 `json:"dest_ratios"`
+	HTTPishShare map[string]float64 `json:"httpish_share"`
+
+	Table2 map[string][10]float64 `json:"table2_normalized_hops"`
+	Table3 []JSONObserverAS       `json:"table3_observer_ases"`
+
+	ObserverAddrs      int     `json:"observer_addrs"`
+	CNObserverFraction float64 `json:"cn_observer_fraction"`
+
+	Figure4 JSONCDF `json:"figure4_dns_delay_cdf"`
+	Figure7 struct {
+		HTTP JSONCDF `json:"http"`
+		TLS  JSONCDF `json:"tls"`
+	} `json:"figure7_delay_cdfs"`
+
+	MultiUseOver3  float64 `json:"multiuse_over3"`
+	MultiUseOver10 float64 `json:"multiuse_over10"`
+
+	Incentives51 JSONIncentives `json:"incentives_51"`
+	Incentives52 JSONIncentives `json:"incentives_52"`
+
+	NoOpenPortFraction float64 `json:"no_open_port_fraction"`
+	MostCommonPort     uint16  `json:"most_common_port"`
+	Top5Coverage       float64 `json:"top5_coverage"`
+
+	Weekly []int `json:"weekly_unsolicited"`
+
+	DecoysSent map[string]int64 `json:"decoys_sent"`
+	Captures   int64            `json:"captures"`
+}
+
+// JSONObserverAS is one Table 3 row in JSON form.
+type JSONObserverAS struct {
+	Protocol string  `json:"protocol"`
+	AS       string  `json:"as"`
+	Name     string  `json:"name"`
+	Count    int     `json:"count"`
+	Fraction float64 `json:"fraction"`
+}
+
+// JSONCDF carries the standard delay marks of a CDF.
+type JSONCDF struct {
+	N      int     `json:"n"`
+	Sub1m  float64 `json:"le_1min"`
+	Sub1h  float64 `json:"le_1h"`
+	Sub1d  float64 `json:"le_1d"`
+	Sub10d float64 `json:"le_10d"`
+}
+
+// JSONIncentives carries a probing-incentive block.
+type JSONIncentives struct {
+	HTTPRequests    int     `json:"http_requests"`
+	Enumeration     float64 `json:"enumeration_fraction"`
+	ExploitMatches  int     `json:"exploit_matches"`
+	HTTPBlocklisted float64 `json:"http_blocklisted"`
+	TLSBlocklisted  float64 `json:"https_blocklisted"`
+}
+
+func scaleName(s Scale) string {
+	switch s {
+	case ScaleFull:
+		return "full"
+	case ScaleMedium:
+		return "medium"
+	default:
+		return "small"
+	}
+}
+
+// JSON marshals the report summary (indented).
+func (r *Report) JSON() ([]byte, error) {
+	var j JSONSummary
+	j.Seed = r.Config.Seed
+	j.Scale = scaleName(r.Config.Scale)
+	if len(r.Capabilities) == 3 {
+		j.Platform.GlobalProviders = r.Capabilities[0].Providers
+		j.Platform.CNProviders = r.Capabilities[1].Providers
+		j.Platform.GlobalIPs = r.Capabilities[0].IPs
+		j.Platform.CNIPs = r.Capabilities[1].IPs
+	}
+	j.Platform.ExcludedByScreening = len(r.Excluded)
+	j.Platform.RemovedByPairTest = r.PairReport.Removed
+	j.DestRatios = r.DestRatios
+	j.HTTPishShare = r.HTTPishShare
+
+	j.Table2 = make(map[string][10]float64)
+	for _, row := range r.Table2 {
+		j.Table2[row.Protocol.String()] = row.Share
+	}
+	for _, row := range r.Table3 {
+		j.Table3 = append(j.Table3, JSONObserverAS{
+			Protocol: row.Protocol.String(), AS: row.AS, Name: row.ASName,
+			Count: row.Count, Fraction: row.Fraction,
+		})
+	}
+	j.ObserverAddrs = r.TotalObserverAddrs()
+	j.CNObserverFraction = r.CNObserverFraction()
+
+	cdfJSON := func(c interface {
+		N() int
+		At(float64) float64
+	}) JSONCDF {
+		if c == nil || c.N() == 0 {
+			return JSONCDF{}
+		}
+		day := (24 * time.Hour).Seconds()
+		return JSONCDF{
+			N: c.N(), Sub1m: c.At(60), Sub1h: c.At(3600),
+			Sub1d: c.At(day), Sub10d: c.At(10 * day),
+		}
+	}
+	j.Figure4 = cdfJSON(r.Figure4)
+	j.Figure7.HTTP = cdfJSON(r.Figure7HTTP)
+	j.Figure7.TLS = cdfJSON(r.Figure7TLS)
+
+	j.MultiUseOver3 = r.MultiUse.FractionOver3
+	j.MultiUseOver10 = r.MultiUse.FractionOver10
+	j.Incentives51 = JSONIncentives{
+		HTTPRequests: r.Incentives51.HTTPRequests, Enumeration: r.Incentives51.EnumerationFraction,
+		ExploitMatches:  r.Incentives51.ExploitMatches,
+		HTTPBlocklisted: r.Incentives51.HTTPBlocklisted, TLSBlocklisted: r.Incentives51.HTTPSBlocklisted,
+	}
+	j.Incentives52 = JSONIncentives{
+		HTTPRequests: r.Incentives52.HTTPRequests, Enumeration: r.Incentives52.EnumerationFraction,
+		ExploitMatches:  r.Incentives52.ExploitMatches,
+		HTTPBlocklisted: r.Incentives52.HTTPBlocklisted, TLSBlocklisted: r.Incentives52.HTTPSBlocklisted,
+	}
+	j.NoOpenPortFraction = r.ProbeSummary.NoOpenFraction()
+	j.MostCommonPort = r.ProbeSummary.MostCommonPort()
+	j.Top5Coverage = r.Top5Coverage
+	for _, pt := range r.Weekly {
+		j.Weekly = append(j.Weekly, pt.Count)
+	}
+	j.DecoysSent = map[string]int64{
+		"dns":  r.SentCounts[decoy.DNS],
+		"http": r.SentCounts[decoy.HTTP],
+		"tls":  r.SentCounts[decoy.TLS],
+	}
+	j.Captures = r.CorrelatorStats.Captures
+	return json.MarshalIndent(&j, "", "  ")
+}

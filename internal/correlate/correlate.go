@@ -1,0 +1,225 @@
+// Package correlate joins honeypot captures with the decoy send log and
+// applies the paper's three unsolicited-request rules (Section 3):
+//
+// An incoming request bearing decoy data is unsolicited if
+//
+//	i)   request and decoy protocols differ (that data was never sent over
+//	     the request protocol); or
+//	ii)  the request protocol is HTTP or TLS (no HTTP/TLS decoys are ever
+//	     sent to the honeypots); or
+//	iii) the request protocol is DNS and the unique query name already
+//	     appeared in an earlier DNS query (the initial decoy's recursion).
+//
+// The output — one Unsolicited record per flagged capture, tied back to
+// the decoy that planted the data — is what every table and figure of the
+// behavioral analysis consumes.
+package correlate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/honeypot"
+	"shadowmeter/internal/identifier"
+	"shadowmeter/internal/wire"
+)
+
+// Phase tags which experiment phase emitted a decoy.
+type Phase int
+
+// Experiment phases.
+const (
+	PhaseI  Phase = 1 // landscape scan
+	PhaseII Phase = 2 // hop-by-hop traceroute
+)
+
+// Sent is the send-log record of one decoy emission.
+type Sent struct {
+	Label    string
+	Domain   string
+	Protocol decoy.Protocol
+	VP       wire.Addr
+	Dst      wire.Endpoint
+	DstName  string // human name of the destination (resolver name, site)
+	Time     time.Time
+	TTL      uint8
+	Phase    Phase
+	// ExpectRecursion marks DNS decoys sent to recursive resolvers in
+	// Phase I: exactly one authoritative query (the resolver answering the
+	// waiting client) is solicited. Phase II TTL-limited probes and decoys
+	// to non-recursive destinations expect none, so even the first DNS
+	// re-appearance of their names is unsolicited — the "initial decoy" of
+	// rule iii is the probe itself, known from the send log.
+	ExpectRecursion bool
+}
+
+// PathKey identifies a client-server path.
+type PathKey struct {
+	VP  wire.Addr
+	Dst wire.Addr
+}
+
+// Unsolicited is one classified unsolicited request.
+type Unsolicited struct {
+	Capture honeypot.Capture
+	Sent    *Sent
+	// Delay is the interval between decoy emission and this request.
+	Delay time.Duration
+	// Combination is the paper's Decoy-Request label, e.g. "DNS-HTTP".
+	Combination string
+	// Rule records which classification rule fired (1, 2 or 3).
+	Rule int
+}
+
+// Correlator accumulates the send log and classifies captures.
+type Correlator struct {
+	codec *identifier.Codec
+
+	mu      sync.Mutex
+	sent    map[string]*Sent // by label
+	dnsSeen map[string]int   // label -> count of DNS captures seen so far
+	stats   Stats
+}
+
+// Stats summarizes correlation outcomes.
+type Stats struct {
+	SentDecoys       int64
+	Captures         int64
+	UnknownLabel     int64 // captures whose label matches no sent decoy
+	Solicited        int64 // first DNS appearance of a DNS decoy
+	Unsolicited      int64
+	ChecksumRejected int64 // identifier-shaped labels failing the CRC
+}
+
+// New creates a correlator sharing the experiment's identifier codec.
+func New(codec *identifier.Codec) *Correlator {
+	return &Correlator{
+		codec:   codec,
+		sent:    make(map[string]*Sent),
+		dnsSeen: make(map[string]int),
+	}
+}
+
+// AddSent records one decoy emission.
+func (c *Correlator) AddSent(s *Sent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sent[s.Label] = s
+	c.stats.SentDecoys++
+}
+
+// SentByLabel looks up the send record for a label.
+func (c *Correlator) SentByLabel(label string) (*Sent, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sent[label]
+	return s, ok
+}
+
+// Stats snapshots the counters.
+func (c *Correlator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Classify processes captures in timestamp order and returns the
+// unsolicited ones. It may be called once with the full log or
+// incrementally with batches; rule iii state (first-DNS-appearance) is
+// retained across calls.
+func (c *Correlator) Classify(captures []honeypot.Capture) []Unsolicited {
+	ordered := append([]honeypot.Capture(nil), captures...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time.Before(ordered[j].Time) })
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Unsolicited
+	for _, cap := range ordered {
+		c.stats.Captures++
+		if cap.Label == "" {
+			c.stats.UnknownLabel++
+			continue
+		}
+		if _, err := c.codec.Decode(cap.Label); err != nil {
+			c.stats.ChecksumRejected++
+			continue
+		}
+		sent, ok := c.sent[cap.Label]
+		if !ok {
+			c.stats.UnknownLabel++
+			continue
+		}
+
+		rule := 0
+		switch {
+		case cap.Protocol == decoy.HTTP || cap.Protocol == decoy.TLS:
+			rule = 2
+		case cap.Protocol != sent.Protocol:
+			rule = 1
+		case cap.Protocol == decoy.DNS:
+			c.dnsSeen[cap.Label]++
+			if !sent.ExpectRecursion || c.dnsSeen[cap.Label] > 1 {
+				rule = 3
+			}
+		}
+		if rule == 0 {
+			c.stats.Solicited++
+			continue
+		}
+		c.stats.Unsolicited++
+		out = append(out, Unsolicited{
+			Capture:     cap,
+			Sent:        sent,
+			Delay:       cap.Time.Sub(sent.Time),
+			Combination: fmt.Sprintf("%s-%s", sent.Protocol, requestName(cap.Protocol, cap)),
+			Rule:        rule,
+		})
+	}
+	return out
+}
+
+// requestName renders the request side of a combination label; TLS
+// arrivals at the web honeypot are "HTTPS" in the paper's terminology.
+func requestName(p decoy.Protocol, cap honeypot.Capture) string {
+	if p == decoy.TLS {
+		return "HTTPS"
+	}
+	return p.String()
+}
+
+// PathsWithUnsolicited groups unsolicited requests by the originating
+// client-server path — the unit Figure 3 counts.
+func PathsWithUnsolicited(events []Unsolicited) map[PathKey][]Unsolicited {
+	out := make(map[PathKey][]Unsolicited)
+	for _, u := range events {
+		k := PathKey{VP: u.Sent.VP, Dst: u.Sent.Dst.Addr}
+		out[k] = append(out[k], u)
+	}
+	return out
+}
+
+// LeakedLabels extracts the set of decoy labels that triggered unsolicited
+// requests — the evidence traceroute.Analyze consumes.
+func LeakedLabels(events []Unsolicited) map[string]bool {
+	out := make(map[string]bool, len(events))
+	for _, u := range events {
+		out[u.Sent.Label] = true
+	}
+	return out
+}
+
+// PerDecoyCounts tallies unsolicited requests per decoy label, optionally
+// restricted to those arriving at least minDelay after emission (the §5.1
+// multi-use analysis uses minDelay = 1h).
+func PerDecoyCounts(events []Unsolicited, minDelay time.Duration) map[string]int {
+	out := make(map[string]int)
+	for _, u := range events {
+		if u.Delay >= minDelay {
+			out[u.Sent.Label]++
+		}
+	}
+	return out
+}

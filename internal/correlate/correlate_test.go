@@ -1,0 +1,248 @@
+package correlate
+
+import (
+	"testing"
+	"time"
+
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/honeypot"
+	"shadowmeter/internal/identifier"
+	"shadowmeter/internal/wire"
+)
+
+var (
+	epoch = time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	codec = identifier.NewCodec(epoch)
+	vp    = wire.MustParseAddr("100.64.0.1")
+	dst   = wire.Endpoint{Addr: wire.MustParseAddr("77.88.8.8"), Port: 53}
+)
+
+func mkSent(t *testing.T, proto decoy.Protocol, nonce uint16) *Sent {
+	t.Helper()
+	id := identifier.ID{Time: epoch, VP: vp, Dst: dst.Addr, TTL: 64, Nonce: nonce}
+	label, err := codec.Encode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Sent{
+		Label: label, Domain: label + ".www.experiment.domain",
+		Protocol: proto, VP: vp, Dst: dst, DstName: "Yandex",
+		Time: epoch, TTL: 64, Phase: PhaseI,
+		ExpectRecursion: proto == decoy.DNS, // Phase I decoys to a resolver
+	}
+}
+
+func TestPhaseIIProbeFirstDNSUnsolicited(t *testing.T) {
+	// A TTL-limited Phase II probe never reaches the resolver, so no
+	// recursion is expected: even the first DNS re-appearance of its name
+	// is unsolicited (the probe itself is rule iii's "earlier query").
+	c := New(codec)
+	s := mkSent(t, decoy.DNS, 99)
+	s.Phase = PhaseII
+	s.TTL = 4
+	s.ExpectRecursion = false
+	c.AddSent(s)
+	got := c.Classify([]honeypot.Capture{capture(s, decoy.DNS, epoch.Add(30*time.Minute))})
+	if len(got) != 1 || got[0].Rule != 3 {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func capture(s *Sent, proto decoy.Protocol, at time.Time) honeypot.Capture {
+	return honeypot.Capture{
+		Time: at, Location: "US", Protocol: proto,
+		Source: wire.Endpoint{Addr: wire.MustParseAddr("8.8.4.4"), Port: 3333},
+		Domain: s.Domain, Label: s.Label,
+	}
+}
+
+func TestRule3RepeatedDNS(t *testing.T) {
+	c := New(codec)
+	s := mkSent(t, decoy.DNS, 1)
+	c.AddSent(s)
+	caps := []honeypot.Capture{
+		capture(s, decoy.DNS, epoch.Add(time.Second)),   // solicited recursion
+		capture(s, decoy.DNS, epoch.Add(5*time.Second)), // unsolicited repeat
+		capture(s, decoy.DNS, epoch.Add(48*time.Hour)),  // unsolicited, days later
+	}
+	got := c.Classify(caps)
+	if len(got) != 2 {
+		t.Fatalf("unsolicited = %d, want 2", len(got))
+	}
+	for _, u := range got {
+		if u.Rule != 3 || u.Combination != "DNS-DNS" {
+			t.Errorf("event = %+v", u)
+		}
+	}
+	if got[1].Delay != 48*time.Hour {
+		t.Errorf("delay = %v", got[1].Delay)
+	}
+	st := c.Stats()
+	if st.Solicited != 1 || st.Unsolicited != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRule2HTTPAtHoneypot(t *testing.T) {
+	c := New(codec)
+	s := mkSent(t, decoy.DNS, 2)
+	c.AddSent(s)
+	got := c.Classify([]honeypot.Capture{capture(s, decoy.HTTP, epoch.Add(10*24*time.Hour))})
+	if len(got) != 1 || got[0].Rule != 2 || got[0].Combination != "DNS-HTTP" {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestHTTPSCombinationName(t *testing.T) {
+	c := New(codec)
+	s := mkSent(t, decoy.HTTP, 3)
+	c.AddSent(s)
+	got := c.Classify([]honeypot.Capture{capture(s, decoy.TLS, epoch.Add(time.Hour))})
+	if len(got) != 1 || got[0].Combination != "HTTP-HTTPS" {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestRule1CrossProtocolDNS(t *testing.T) {
+	// A TLS decoy's domain showing up as a DNS query: rule i (protocols
+	// differ) — even the first DNS appearance is unsolicited.
+	c := New(codec)
+	s := mkSent(t, decoy.TLS, 4)
+	c.AddSent(s)
+	got := c.Classify([]honeypot.Capture{capture(s, decoy.DNS, epoch.Add(time.Minute))})
+	if len(got) != 1 || got[0].Rule != 1 || got[0].Combination != "TLS-DNS" {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestUnknownLabelIgnored(t *testing.T) {
+	c := New(codec)
+	s := mkSent(t, decoy.DNS, 5)
+	// Never AddSent: capture with a valid label that was never emitted.
+	got := c.Classify([]honeypot.Capture{capture(s, decoy.HTTP, epoch.Add(time.Hour))})
+	if len(got) != 0 {
+		t.Fatalf("got = %+v", got)
+	}
+	if c.Stats().UnknownLabel != 1 {
+		t.Errorf("stats = %+v", c.Stats())
+	}
+}
+
+func TestChecksumRejected(t *testing.T) {
+	c := New(codec)
+	s := mkSent(t, decoy.DNS, 6)
+	c.AddSent(s)
+	cap := capture(s, decoy.HTTP, epoch.Add(time.Hour))
+	// Corrupt the label plausibly (still identifier-shaped).
+	mut := []byte(cap.Label)
+	if mut[0] == 'a' {
+		mut[0] = 'b'
+	} else {
+		mut[0] = 'a'
+	}
+	cap.Label = string(mut)
+	got := c.Classify([]honeypot.Capture{cap})
+	if len(got) != 0 || c.Stats().ChecksumRejected != 1 {
+		t.Fatalf("got=%d stats=%+v", len(got), c.Stats())
+	}
+}
+
+func TestOutOfOrderCapturesSorted(t *testing.T) {
+	c := New(codec)
+	s := mkSent(t, decoy.DNS, 7)
+	c.AddSent(s)
+	// Later repeat listed first: sorting must still classify the earliest
+	// DNS capture as the solicited one.
+	caps := []honeypot.Capture{
+		capture(s, decoy.DNS, epoch.Add(time.Hour)),
+		capture(s, decoy.DNS, epoch.Add(time.Second)),
+	}
+	got := c.Classify(caps)
+	if len(got) != 1 {
+		t.Fatalf("unsolicited = %d, want 1", len(got))
+	}
+	if got[0].Delay != time.Hour {
+		t.Errorf("the repeat (1h) should be unsolicited, got delay %v", got[0].Delay)
+	}
+}
+
+func TestIncrementalClassification(t *testing.T) {
+	c := New(codec)
+	s := mkSent(t, decoy.DNS, 8)
+	c.AddSent(s)
+	first := c.Classify([]honeypot.Capture{capture(s, decoy.DNS, epoch.Add(time.Second))})
+	if len(first) != 0 {
+		t.Fatalf("first batch flagged: %+v", first)
+	}
+	second := c.Classify([]honeypot.Capture{capture(s, decoy.DNS, epoch.Add(time.Hour))})
+	if len(second) != 1 || second[0].Rule != 3 {
+		t.Fatalf("rule-iii state lost across batches: %+v", second)
+	}
+}
+
+func TestPathsWithUnsolicited(t *testing.T) {
+	c := New(codec)
+	s1 := mkSent(t, decoy.DNS, 9)
+	s2 := mkSent(t, decoy.DNS, 10)
+	s2.VP = wire.MustParseAddr("100.64.0.2")
+	c.AddSent(s1)
+	c.AddSent(s2)
+	events := c.Classify([]honeypot.Capture{
+		capture(s1, decoy.HTTP, epoch.Add(time.Hour)),
+		capture(s2, decoy.HTTP, epoch.Add(time.Hour)),
+		capture(s1, decoy.TLS, epoch.Add(2*time.Hour)),
+	})
+	paths := PathsWithUnsolicited(events)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	k1 := PathKey{VP: s1.VP, Dst: s1.Dst.Addr}
+	if len(paths[k1]) != 2 {
+		t.Errorf("path1 events = %d", len(paths[k1]))
+	}
+}
+
+func TestLeakedLabelsAndPerDecoyCounts(t *testing.T) {
+	c := New(codec)
+	s := mkSent(t, decoy.DNS, 11)
+	c.AddSent(s)
+	events := c.Classify([]honeypot.Capture{
+		capture(s, decoy.DNS, epoch.Add(time.Second)),    // solicited
+		capture(s, decoy.DNS, epoch.Add(30*time.Minute)), // unsolicited, <1h
+		capture(s, decoy.HTTP, epoch.Add(2*time.Hour)),
+		capture(s, decoy.HTTP, epoch.Add(3*time.Hour)),
+		capture(s, decoy.TLS, epoch.Add(4*time.Hour)),
+	})
+	leaked := LeakedLabels(events)
+	if !leaked[s.Label] || len(leaked) != 1 {
+		t.Errorf("leaked = %v", leaked)
+	}
+	counts := PerDecoyCounts(events, time.Hour)
+	if counts[s.Label] != 3 {
+		t.Errorf("counts(>=1h) = %d, want 3", counts[s.Label])
+	}
+	all := PerDecoyCounts(events, 0)
+	if all[s.Label] != 4 {
+		t.Errorf("counts(all) = %d, want 4", all[s.Label])
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	c := New(codec)
+	var caps []honeypot.Capture
+	for i := 0; i < 1000; i++ {
+		id := identifier.ID{Time: epoch, VP: vp, Dst: dst.Addr, TTL: 64, Nonce: uint16(i)}
+		label, _ := codec.Encode(id)
+		s := &Sent{Label: label, Domain: label + ".www.experiment.domain", Protocol: decoy.DNS, VP: vp, Dst: dst, Time: epoch}
+		c.AddSent(s)
+		caps = append(caps, honeypot.Capture{
+			Time: epoch.Add(time.Duration(i) * time.Second), Protocol: decoy.HTTP,
+			Domain: s.Domain, Label: s.Label,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(caps)
+	}
+}

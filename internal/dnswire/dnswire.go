@@ -1,0 +1,482 @@
+// Package dnswire implements the DNS message wire format (RFC 1035): header,
+// question, resource records, and name compression. It is the codec used by
+// decoy generation, the simulated resolver fleet, the honeypot authoritative
+// server, and on-path observers that sniff QNAMEs.
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"shadowmeter/internal/wire"
+)
+
+// Record types used by the simulator.
+const (
+	TypeA     uint16 = 1
+	TypeNS    uint16 = 2
+	TypeCNAME uint16 = 5
+	TypeSOA   uint16 = 6
+	TypeTXT   uint16 = 16
+	TypeAAAA  uint16 = 28
+	TypeANY   uint16 = 255
+)
+
+// ClassIN is the Internet class.
+const ClassIN uint16 = 1
+
+// Response codes.
+const (
+	RcodeNoError  uint8 = 0
+	RcodeFormErr  uint8 = 1
+	RcodeServFail uint8 = 2
+	RcodeNXDomain uint8 = 3
+	RcodeRefused  uint8 = 5
+)
+
+// Opcode values.
+const OpcodeQuery uint8 = 0
+
+// Errors returned by the codec.
+var (
+	ErrTruncated    = errors.New("dnswire: truncated message")
+	ErrBadName      = errors.New("dnswire: malformed domain name")
+	ErrBadPointer   = errors.New("dnswire: bad compression pointer")
+	ErrNameTooLong  = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dnswire: label exceeds 63 octets")
+)
+
+// Header is the fixed 12-byte DNS header.
+type Header struct {
+	ID      uint16
+	QR      bool  // response flag
+	Opcode  uint8 // 4 bits
+	AA      bool  // authoritative answer
+	TC      bool  // truncated
+	RD      bool  // recursion desired
+	RA      bool  // recursion available
+	Rcode   uint8 // 4 bits
+	QDCount uint16
+	ANCount uint16
+	NSCount uint16
+	ARCount uint16
+}
+
+// Question is one entry of the question section.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// RR is a resource record. Rdata holds the record-specific payload, already
+// in wire form except for name-bearing types (CNAME/NS), which store the
+// presentation-form target in Target for readability.
+type RR struct {
+	Name   string
+	Type   uint16
+	Class  uint16
+	TTL    uint32
+	Addr   wire.Addr // for A records
+	Target string    // for CNAME/NS/SOA mname
+	Text   string    // for TXT
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// NewQuery builds a standard recursive query for (name, qtype).
+func NewQuery(id uint16, name string, qtype uint16) *Message {
+	return &Message{
+		Header:    Header{ID: id, RD: true, QDCount: 1},
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+}
+
+// NewResponse builds a response skeleton for q with the given rcode.
+func NewResponse(q *Message, rcode uint8) *Message {
+	resp := &Message{
+		Header: Header{
+			ID: q.Header.ID, QR: true, Opcode: q.Header.Opcode,
+			RD: q.Header.RD, RA: true, Rcode: rcode,
+		},
+	}
+	resp.Questions = append(resp.Questions, q.Questions...)
+	return resp
+}
+
+// QName returns the first question name, or "" if none.
+func (m *Message) QName() string {
+	if len(m.Questions) == 0 {
+		return ""
+	}
+	return m.Questions[0].Name
+}
+
+// QType returns the first question type, or 0 if none.
+func (m *Message) QType() uint16 {
+	if len(m.Questions) == 0 {
+		return 0
+	}
+	return m.Questions[0].Type
+}
+
+// encoder serializes a message with name compression.
+type encoder struct {
+	buf     []byte
+	offsets map[string]int // FQDN -> offset of its first encoding
+}
+
+// Encode serializes the message to wire format. Header counts are derived
+// from the section slices, overriding the caller's values.
+func (m *Message) Encode() ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 512), offsets: make(map[string]int)}
+	h := m.Header
+	h.QDCount = uint16(len(m.Questions))
+	h.ANCount = uint16(len(m.Answers))
+	h.NSCount = uint16(len(m.Authority))
+	h.ARCount = uint16(len(m.Additional))
+
+	var flags uint16
+	if h.QR {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.Opcode&0xF) << 11
+	if h.AA {
+		flags |= 1 << 10
+	}
+	if h.TC {
+		flags |= 1 << 9
+	}
+	if h.RD {
+		flags |= 1 << 8
+	}
+	if h.RA {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.Rcode & 0xF)
+
+	e.u16(h.ID)
+	e.u16(flags)
+	e.u16(h.QDCount)
+	e.u16(h.ANCount)
+	e.u16(h.NSCount)
+	e.u16(h.ARCount)
+
+	for _, q := range m.Questions {
+		if err := e.name(q.Name); err != nil {
+			return nil, err
+		}
+		e.u16(q.Type)
+		e.u16(q.Class)
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for i := range sec {
+			if err := e.rr(&sec[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+func (e *encoder) u16(v uint16) {
+	e.buf = append(e.buf, byte(v>>8), byte(v))
+}
+
+func (e *encoder) u32(v uint32) {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// name writes a possibly-compressed domain name.
+func (e *encoder) name(n string) error {
+	n = Canonical(n)
+	if n == "." || n == "" {
+		e.buf = append(e.buf, 0)
+		return nil
+	}
+	if len(n) > 254 { // 255 octets on the wire incl. length bytes
+		return ErrNameTooLong
+	}
+	rest := n
+	for rest != "" {
+		if off, ok := e.offsets[rest]; ok && off < 0x3FFF {
+			e.u16(0xC000 | uint16(off))
+			return nil
+		}
+		if len(e.buf) < 0x3FFF {
+			e.offsets[rest] = len(e.buf)
+		}
+		i := strings.IndexByte(rest, '.')
+		var label string
+		if i < 0 {
+			label, rest = rest, ""
+		} else {
+			label, rest = rest[:i], rest[i+1:]
+		}
+		if label == "" {
+			return ErrBadName
+		}
+		if len(label) > 63 {
+			return ErrLabelTooLong
+		}
+		e.buf = append(e.buf, byte(len(label)))
+		e.buf = append(e.buf, label...)
+	}
+	e.buf = append(e.buf, 0)
+	return nil
+}
+
+func (e *encoder) rr(r *RR) error {
+	if err := e.name(r.Name); err != nil {
+		return err
+	}
+	e.u16(r.Type)
+	cls := r.Class
+	if cls == 0 {
+		cls = ClassIN
+	}
+	e.u16(cls)
+	e.u32(r.TTL)
+	switch r.Type {
+	case TypeA:
+		e.u16(4)
+		e.buf = append(e.buf, r.Addr[:]...)
+	case TypeCNAME, TypeNS:
+		// RDLENGTH must be patched after the (possibly compressed) name.
+		lenAt := len(e.buf)
+		e.u16(0)
+		start := len(e.buf)
+		if err := e.name(r.Target); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint16(e.buf[lenAt:lenAt+2], uint16(len(e.buf)-start))
+	case TypeTXT:
+		if len(r.Text) > 255 {
+			return fmt.Errorf("dnswire: TXT string too long: %d", len(r.Text))
+		}
+		e.u16(uint16(1 + len(r.Text)))
+		e.buf = append(e.buf, byte(len(r.Text)))
+		e.buf = append(e.buf, r.Text...)
+	case TypeSOA:
+		// Minimal SOA: mname, rname ".", five zero timers — enough for
+		// negative responses in the honeypot/resolver fleet.
+		lenAt := len(e.buf)
+		e.u16(0)
+		start := len(e.buf)
+		if err := e.name(r.Target); err != nil {
+			return err
+		}
+		if err := e.name("hostmaster." + Canonical(r.Target)); err != nil {
+			return err
+		}
+		for i := 0; i < 5; i++ {
+			e.u32(r.TTL)
+		}
+		binary.BigEndian.PutUint16(e.buf[lenAt:lenAt+2], uint16(len(e.buf)-start))
+	default:
+		return fmt.Errorf("dnswire: cannot encode record type %d", r.Type)
+	}
+	return nil
+}
+
+// Decode parses a wire-format DNS message.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrTruncated
+	}
+	var m Message
+	h := &m.Header
+	h.ID = binary.BigEndian.Uint16(data[0:2])
+	flags := binary.BigEndian.Uint16(data[2:4])
+	h.QR = flags&(1<<15) != 0
+	h.Opcode = uint8(flags >> 11 & 0xF)
+	h.AA = flags&(1<<10) != 0
+	h.TC = flags&(1<<9) != 0
+	h.RD = flags&(1<<8) != 0
+	h.RA = flags&(1<<7) != 0
+	h.Rcode = uint8(flags & 0xF)
+	h.QDCount = binary.BigEndian.Uint16(data[4:6])
+	h.ANCount = binary.BigEndian.Uint16(data[6:8])
+	h.NSCount = binary.BigEndian.Uint16(data[8:10])
+	h.ARCount = binary.BigEndian.Uint16(data[10:12])
+
+	off := 12
+	for i := 0; i < int(h.QDCount); i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+4 > len(data) {
+			return nil, ErrTruncated
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[off : off+2]),
+			Class: binary.BigEndian.Uint16(data[off+2 : off+4]),
+		})
+		off += 4
+	}
+	var err error
+	if m.Answers, off, err = decodeRRs(data, off, int(h.ANCount)); err != nil {
+		return nil, err
+	}
+	if m.Authority, off, err = decodeRRs(data, off, int(h.NSCount)); err != nil {
+		return nil, err
+	}
+	if m.Additional, _, err = decodeRRs(data, off, int(h.ARCount)); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func decodeRRs(data []byte, off, count int) ([]RR, int, error) {
+	if count == 0 {
+		return nil, off, nil
+	}
+	rrs := make([]RR, 0, count)
+	for i := 0; i < count; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		off = n
+		if off+10 > len(data) {
+			return nil, 0, ErrTruncated
+		}
+		var r RR
+		r.Name = name
+		r.Type = binary.BigEndian.Uint16(data[off : off+2])
+		r.Class = binary.BigEndian.Uint16(data[off+2 : off+4])
+		r.TTL = binary.BigEndian.Uint32(data[off+4 : off+8])
+		rdlen := int(binary.BigEndian.Uint16(data[off+8 : off+10]))
+		off += 10
+		if off+rdlen > len(data) {
+			return nil, 0, ErrTruncated
+		}
+		rdata := data[off : off+rdlen]
+		switch r.Type {
+		case TypeA:
+			if rdlen != 4 {
+				return nil, 0, fmt.Errorf("dnswire: A record rdlength %d", rdlen)
+			}
+			copy(r.Addr[:], rdata)
+		case TypeCNAME, TypeNS:
+			t, _, err := decodeName(data, off)
+			if err != nil {
+				return nil, 0, err
+			}
+			r.Target = t
+		case TypeTXT:
+			if rdlen > 0 {
+				sl := int(rdata[0])
+				if sl+1 > rdlen {
+					return nil, 0, ErrTruncated
+				}
+				r.Text = string(rdata[1 : 1+sl])
+			}
+		case TypeSOA:
+			t, _, err := decodeName(data, off)
+			if err != nil {
+				return nil, 0, err
+			}
+			r.Target = t
+		}
+		off += rdlen
+		rrs = append(rrs, r)
+	}
+	return rrs, off, nil
+}
+
+// decodeName reads a possibly-compressed name starting at off, returning the
+// presentation-form name (lowercase, no trailing dot) and the offset just
+// past the name in the original (non-pointer) encoding.
+func decodeName(data []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	end := -1 // offset after the name in the original stream
+	jumps := 0
+	for {
+		if off >= len(data) {
+			return "", 0, ErrTruncated
+		}
+		b := data[off]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			name := sb.String()
+			if len(name) > 253 {
+				return "", 0, ErrNameTooLong
+			}
+			return strings.ToLower(name), end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(data) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(binary.BigEndian.Uint16(data[off:off+2]) & 0x3FFF)
+			if end < 0 {
+				end = off + 2
+			}
+			if ptr >= off || jumps > 32 {
+				return "", 0, ErrBadPointer
+			}
+			off = ptr
+			jumps++
+		case b&0xC0 != 0:
+			return "", 0, ErrBadName
+		default:
+			l := int(b)
+			if off+1+l > len(data) {
+				return "", 0, ErrTruncated
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(data[off+1 : off+1+l])
+			off += 1 + l
+		}
+	}
+}
+
+// Canonical lowercases a domain name and strips any trailing dot, giving the
+// form used as map keys throughout the pipeline.
+func Canonical(name string) string {
+	return strings.ToLower(strings.TrimSuffix(name, "."))
+}
+
+// IsSubdomain reports whether name is equal to or under zone.
+func IsSubdomain(name, zone string) bool {
+	name, zone = Canonical(name), Canonical(zone)
+	if zone == "" {
+		return true
+	}
+	return name == zone || strings.HasSuffix(name, "."+zone)
+}
+
+// FirstLabel returns the left-most label of name, or "" for the root.
+func FirstLabel(name string) string {
+	name = Canonical(name)
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Parent returns name with its left-most label removed ("" at the root).
+func Parent(name string) string {
+	name = Canonical(name)
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return ""
+}

@@ -1,0 +1,142 @@
+// Package geodb provides the IP-to-(country, AS, hosting) database the
+// pipeline uses in place of commercial services like ip-api and IPinfo.
+// The simulated topology registers every prefix it allocates; lookups use
+// longest-prefix match over a binary trie, the same structure a production
+// geo database would use.
+package geodb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"shadowmeter/internal/wire"
+)
+
+// Info describes the network an address belongs to.
+type Info struct {
+	Country string // ISO 3166-1 alpha-2, e.g. "CN"
+	ASN     int    // autonomous system number
+	ASName  string // e.g. "CHINANET-BACKBONE"
+	Hosting bool   // true for datacenter/cloud prefixes ("hosting" label)
+}
+
+// AS renders the ASN in the conventional "AS4134" form.
+func (i Info) AS() string { return fmt.Sprintf("AS%d", i.ASN) }
+
+// DB is a longest-prefix-match IP metadata database. It is safe for
+// concurrent lookups after registration completes; registration itself is
+// also mutex-guarded so builders may populate it from multiple goroutines.
+type DB struct {
+	mu   sync.RWMutex
+	root *trieNode
+	n    int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	info  *Info
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{root: &trieNode{}}
+}
+
+// Register associates the prefix base/plen with info. Registering the same
+// prefix twice overwrites the earlier entry.
+func (db *DB) Register(base wire.Addr, plen int, info Info) error {
+	if plen < 0 || plen > 32 {
+		return fmt.Errorf("geodb: invalid prefix length %d", plen)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	node := db.root
+	v := base.Uint32()
+	for i := 0; i < plen; i++ {
+		bit := v >> (31 - uint(i)) & 1
+		if node.child[bit] == nil {
+			node.child[bit] = &trieNode{}
+		}
+		node = node.child[bit]
+	}
+	if node.info == nil {
+		db.n++
+	}
+	ic := info
+	node.info = &ic
+	return nil
+}
+
+// Lookup returns the most specific registered prefix covering addr.
+func (db *DB) Lookup(addr wire.Addr) (Info, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	node := db.root
+	v := addr.Uint32()
+	var best *Info
+	for i := 0; i < 32 && node != nil; i++ {
+		if node.info != nil {
+			best = node.info
+		}
+		bit := v >> (31 - uint(i)) & 1
+		node = node.child[bit]
+	}
+	if node != nil && node.info != nil {
+		best = node.info
+	}
+	if best == nil {
+		return Info{}, false
+	}
+	return *best, true
+}
+
+// Country is a convenience lookup returning "" when unknown.
+func (db *DB) Country(addr wire.Addr) string {
+	info, ok := db.Lookup(addr)
+	if !ok {
+		return ""
+	}
+	return info.Country
+}
+
+// ASOf is a convenience lookup returning "" when unknown.
+func (db *DB) ASOf(addr wire.Addr) string {
+	info, ok := db.Lookup(addr)
+	if !ok {
+		return ""
+	}
+	return info.AS()
+}
+
+// Len reports the number of registered prefixes.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.n
+}
+
+// Countries returns the sorted set of distinct countries registered.
+func (db *DB) Countries() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	set := make(map[string]bool)
+	var walk func(*trieNode)
+	walk = func(n *trieNode) {
+		if n == nil {
+			return
+		}
+		if n.info != nil {
+			set[n.info.Country] = true
+		}
+		walk(n.child[0])
+		walk(n.child[1])
+	}
+	walk(db.root)
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

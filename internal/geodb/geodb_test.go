@@ -1,0 +1,157 @@
+package geodb
+
+import (
+	"sync"
+	"testing"
+
+	"shadowmeter/internal/wire"
+)
+
+func TestLookupLongestPrefix(t *testing.T) {
+	db := New()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.Register(wire.MustParseAddr("1.0.0.0"), 8, Info{Country: "US", ASN: 100, ASName: "Coarse"}))
+	must(db.Register(wire.MustParseAddr("1.2.0.0"), 16, Info{Country: "CN", ASN: 4134, ASName: "CHINANET-BACKBONE"}))
+	must(db.Register(wire.MustParseAddr("1.2.3.0"), 24, Info{Country: "CN", ASN: 4808, ASName: "China Unicom Beijing", Hosting: true}))
+
+	cases := []struct {
+		addr    string
+		wantASN int
+	}{
+		{"1.9.9.9", 100},
+		{"1.2.9.9", 4134},
+		{"1.2.3.9", 4808},
+	}
+	for _, tc := range cases {
+		info, ok := db.Lookup(wire.MustParseAddr(tc.addr))
+		if !ok {
+			t.Errorf("Lookup(%s) not found", tc.addr)
+			continue
+		}
+		if info.ASN != tc.wantASN {
+			t.Errorf("Lookup(%s).ASN = %d, want %d", tc.addr, info.ASN, tc.wantASN)
+		}
+	}
+	if _, ok := db.Lookup(wire.MustParseAddr("9.9.9.9")); ok {
+		t.Error("unregistered address should miss")
+	}
+}
+
+func TestConvenienceLookups(t *testing.T) {
+	db := New()
+	if err := db.Register(wire.MustParseAddr("77.88.8.0"), 24, Info{Country: "RU", ASN: 13238, ASName: "Yandex"}); err != nil {
+		t.Fatal(err)
+	}
+	a := wire.MustParseAddr("77.88.8.8")
+	if db.Country(a) != "RU" {
+		t.Errorf("Country = %q", db.Country(a))
+	}
+	if db.ASOf(a) != "AS13238" {
+		t.Errorf("ASOf = %q", db.ASOf(a))
+	}
+	b := wire.MustParseAddr("8.8.8.8")
+	if db.Country(b) != "" || db.ASOf(b) != "" {
+		t.Error("unknown address should return empty strings")
+	}
+}
+
+func TestRegisterOverwrite(t *testing.T) {
+	db := New()
+	a := wire.MustParseAddr("10.0.0.0")
+	if err := db.Register(a, 8, Info{Country: "AA", ASN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register(a, 8, Info{Country: "BB", ASN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d, want 1", db.Len())
+	}
+	if db.Country(wire.MustParseAddr("10.1.2.3")) != "BB" {
+		t.Error("overwrite not applied")
+	}
+}
+
+func TestRegisterInvalidPrefix(t *testing.T) {
+	db := New()
+	if err := db.Register(wire.Addr{}, -1, Info{}); err == nil {
+		t.Error("negative prefix should fail")
+	}
+	if err := db.Register(wire.Addr{}, 33, Info{}); err == nil {
+		t.Error("prefix > 32 should fail")
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	db := New()
+	if err := db.Register(wire.Addr{}, 0, Info{Country: "ZZ", ASN: 65535}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Country(wire.MustParseAddr("200.1.2.3")) != "ZZ" {
+		t.Error("/0 should match everything")
+	}
+}
+
+func TestHostPrefix(t *testing.T) {
+	db := New()
+	host := wire.MustParseAddr("198.51.100.7")
+	if err := db.Register(host, 32, Info{Country: "DE", ASN: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Country(host) != "DE" {
+		t.Error("/32 exact match failed")
+	}
+	if _, ok := db.Lookup(wire.MustParseAddr("198.51.100.8")); ok {
+		t.Error("/32 should not match neighbors")
+	}
+}
+
+func TestCountries(t *testing.T) {
+	db := New()
+	db.Register(wire.MustParseAddr("1.0.0.0"), 8, Info{Country: "US"})
+	db.Register(wire.MustParseAddr("2.0.0.0"), 8, Info{Country: "CN"})
+	db.Register(wire.MustParseAddr("3.0.0.0"), 8, Info{Country: "CN"})
+	got := db.Countries()
+	if len(got) != 2 || got[0] != "CN" || got[1] != "US" {
+		t.Errorf("Countries = %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				base := wire.AddrFrom(byte(g), byte(i), 0, 0)
+				if err := db.Register(base, 16, Info{Country: "XX", ASN: g*1000 + i}); err != nil {
+					t.Error(err)
+					return
+				}
+				db.Lookup(base)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.Len() != 800 {
+		t.Errorf("Len = %d, want 800", db.Len())
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	db := New()
+	for i := 0; i < 1000; i++ {
+		db.Register(wire.AddrFrom(byte(i>>4), byte(i<<4), 0, 0), 16, Info{Country: "XX", ASN: i})
+	}
+	addr := wire.MustParseAddr("10.160.3.4")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Lookup(addr)
+	}
+}

@@ -1,0 +1,273 @@
+// Package honeypot implements the capture infrastructure of the
+// experiment: authoritative DNS servers for the experiment zone (wildcard
+// records resolving every decoy domain to honey web servers) and the honey
+// HTTP/HTTPS sites those records point at.
+//
+// Honeypots only *log*. Deciding whether an arriving request is
+// unsolicited — the three classification rules of Section 3 — is the
+// correlation stage's job (internal/correlate), which consumes the capture
+// log together with the decoy send log.
+package honeypot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/dnswire"
+	"shadowmeter/internal/httpwire"
+	"shadowmeter/internal/identifier"
+	"shadowmeter/internal/netsim"
+	"shadowmeter/internal/tlswire"
+	"shadowmeter/internal/wire"
+)
+
+// Capture is one request logged by a honeypot.
+type Capture struct {
+	Time     time.Time
+	Location string         // honeypot site, e.g. "US"
+	Protocol decoy.Protocol // protocol of the arriving request
+	Source   wire.Endpoint
+	Domain   string // experiment domain carried by the request
+	Label    string // left-most label (encoded identifier)
+	HTTPPath string // HTTP(S) only
+	Payload  string // request head for signature matching
+	DNSType  uint16 // DNS only
+}
+
+// Log is a thread-safe append-only capture log shared by all honeypot
+// sites.
+type Log struct {
+	mu       sync.Mutex
+	captures []Capture
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append adds one capture.
+func (l *Log) Append(c Capture) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.captures = append(l.captures, c)
+}
+
+// Snapshot copies the log contents.
+func (l *Log) Snapshot() []Capture {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Capture(nil), l.captures...)
+}
+
+// Len reports the number of captures.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.captures)
+}
+
+// Site is one honeypot location: an authoritative DNS server and a honey
+// web server.
+type Site struct {
+	Location string
+	AuthAddr wire.Addr
+	WebAddr  wire.Addr
+}
+
+// Config parameterizes a honeypot deployment.
+type Config struct {
+	// Zone is the experiment domain (wildcarded to the honeypots).
+	Zone string
+	// RecordTTL is the wildcard DNS record TTL; the paper uses 3600s.
+	RecordTTL uint32
+	// Codec decodes identifier labels for pre-filtering; optional.
+	Codec *identifier.Codec
+}
+
+// Deployment is the set of honeypot sites plus their shared log.
+type Deployment struct {
+	Zone  string
+	Sites []*Site
+	Log   *Log
+
+	recordTTL uint32
+	codec     *identifier.Codec
+	webAddrs  []wire.Addr
+
+	mu          sync.Mutex
+	homepage    int64 // visits to the documented experiment homepage
+	unparseable int64
+}
+
+// HomepageHTML is served at "/" — the paper documents the experiment and a
+// contact address on the honey site's homepage (Appendix A).
+const HomepageHTML = `<html><head><title>Network Measurement Experiment</title></head>
+<body><h1>Internet Traffic Shadowing Measurement</h1>
+<p>This server is part of an academic measurement experiment studying
+unsolicited re-use of network traffic data. No personal data is collected.
+Contact: research@experiment.invalid</p></body></html>`
+
+// Deploy builds sites at the given locations, registers their hosts on the
+// network, installs the zone delegation, and returns the deployment.
+// Addresses are supplied by the caller (core allocates them in hosting
+// ASes of the right countries).
+func Deploy(n *netsim.Network, cfg Config, sites []*Site, registry interface {
+	Delegate(zone string, auth wire.Addr)
+}) *Deployment {
+	ttl := cfg.RecordTTL
+	if ttl == 0 {
+		ttl = 3600
+	}
+	d := &Deployment{
+		Zone:      dnswire.Canonical(cfg.Zone),
+		Sites:     sites,
+		Log:       NewLog(),
+		recordTTL: ttl,
+		codec:     cfg.Codec,
+	}
+	for _, s := range sites {
+		d.webAddrs = append(d.webAddrs, s.WebAddr)
+	}
+	for _, s := range sites {
+		s := s
+		auth := netsim.NewHost(n, s.AuthAddr)
+		auth.ServeUDP(53, func(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+			return d.handleDNS(n, s, from, payload)
+		})
+		web := netsim.NewHost(n, s.WebAddr)
+		web.ServeTCP(80, func(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+			return d.handleHTTP(n, s, from, payload)
+		})
+		web.ServeTCP(443, func(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+			return d.handleTLS(n, s, from, payload)
+		})
+	}
+	// All sites serve the zone; the first is the registered primary.
+	if len(sites) > 0 && registry != nil {
+		registry.Delegate(d.Zone, sites[0].AuthAddr)
+	}
+	return d
+}
+
+// handleDNS answers authoritative queries for the experiment zone with the
+// wildcard A records pointing at the honey web servers, logging every
+// arrival.
+func (d *Deployment) handleDNS(n *netsim.Network, s *Site, from wire.Endpoint, payload []byte) []byte {
+	q, err := dnswire.Decode(payload)
+	if err != nil || q.Header.QR || len(q.Questions) == 0 {
+		d.countUnparseable()
+		return nil
+	}
+	name := q.QName()
+	if !dnswire.IsSubdomain(name, d.Zone) {
+		resp := dnswire.NewResponse(q, dnswire.RcodeRefused)
+		raw, _ := resp.Encode()
+		return raw
+	}
+	d.Log.Append(Capture{
+		Time: n.Now(), Location: s.Location, Protocol: decoy.DNS,
+		Source: from, Domain: name, Label: firstIdentifierLabel(name),
+		DNSType: q.QType(),
+	})
+	resp := dnswire.NewResponse(q, dnswire.RcodeNoError)
+	resp.Header.AA = true
+	if q.QType() == dnswire.TypeA || q.QType() == dnswire.TypeANY {
+		// Rotate the answer order by name hash so probe traffic spreads
+		// over the three sites.
+		start := nameHash(name) % len(d.webAddrs)
+		for i := 0; i < len(d.webAddrs); i++ {
+			addr := d.webAddrs[(start+i)%len(d.webAddrs)]
+			resp.Answers = append(resp.Answers, dnswire.RR{
+				Name: name, Type: dnswire.TypeA, TTL: d.recordTTL, Addr: addr,
+			})
+		}
+	}
+	raw, err := resp.Encode()
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+// handleHTTP serves the honey website and logs the request.
+func (d *Deployment) handleHTTP(n *netsim.Network, s *Site, from wire.Endpoint, payload []byte) []byte {
+	req, err := httpwire.ParseRequest(payload)
+	if err != nil {
+		d.countUnparseable()
+		return httpwire.NewResponse(400, "bad request").Encode()
+	}
+	host := dnswire.Canonical(req.Host())
+	d.Log.Append(Capture{
+		Time: n.Now(), Location: s.Location, Protocol: decoy.HTTP,
+		Source: from, Domain: host, Label: firstIdentifierLabel(host),
+		HTTPPath: req.Path, Payload: requestHead(req),
+	})
+	if req.Path == "/" {
+		d.mu.Lock()
+		d.homepage++
+		d.mu.Unlock()
+		return httpwire.NewResponse(200, HomepageHTML).Encode()
+	}
+	return httpwire.NewResponse(404, "not found").Encode()
+}
+
+// handleTLS answers ClientHellos with a minimal ServerHello and logs SNI.
+func (d *Deployment) handleTLS(n *netsim.Network, s *Site, from wire.Endpoint, payload []byte) []byte {
+	ch, err := tlswire.ParseClientHello(payload)
+	if err != nil {
+		d.countUnparseable()
+		return nil
+	}
+	name := dnswire.Canonical(ch.ServerName)
+	d.Log.Append(Capture{
+		Time: n.Now(), Location: s.Location, Protocol: decoy.TLS,
+		Source: from, Domain: name, Label: firstIdentifierLabel(name),
+		Payload: "CLIENTHELLO sni=" + name,
+	})
+	sh := tlswire.ServerHello{Version: tlswire.VersionTLS12, CipherSuite: 0x1301}
+	copy(sh.Random[:], name) // deterministic, content-derived
+	return sh.Encode()
+}
+
+// HomepageVisits reports how many times "/" was fetched.
+func (d *Deployment) HomepageVisits() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.homepage
+}
+
+// Unparseable reports malformed arrivals.
+func (d *Deployment) Unparseable() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.unparseable
+}
+
+func (d *Deployment) countUnparseable() {
+	d.mu.Lock()
+	d.unparseable++
+	d.mu.Unlock()
+}
+
+// firstIdentifierLabel extracts the left-most label if it is shaped like an
+// encoded identifier, else "".
+func firstIdentifierLabel(name string) string {
+	label := dnswire.FirstLabel(name)
+	if identifier.IsIdentifierLabel(label) {
+		return label
+	}
+	return ""
+}
+
+func requestHead(req *httpwire.Request) string {
+	return fmt.Sprintf("%s %s %s host=%s", req.Method, req.Path, req.Proto, req.Host())
+}
+
+func nameHash(s string) int {
+	h := 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ int(s[i])) * 16777619 & 0x7FFFFFFF
+	}
+	return h
+}

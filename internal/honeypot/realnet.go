@@ -1,0 +1,324 @@
+package honeypot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/dnswire"
+	"shadowmeter/internal/httpwire"
+	"shadowmeter/internal/tlswire"
+	"shadowmeter/internal/wire"
+)
+
+// RealNet is the honeypot deployed on actual network sockets: an
+// authoritative DNS server on UDP and the honey website on TCP, sharing
+// the simulator honeypot's zone logic and capture log. cmd/honeypotd wraps
+// it; the realnet example drives it over loopback.
+type RealNet struct {
+	Zone string
+	Log  *Log
+	// WebAddrs are the A records the wildcard answers with.
+	WebAddrs []wire.Addr
+	// RecordTTL is the wildcard record TTL (default 3600).
+	RecordTTL uint32
+	Location  string
+
+	mu      sync.Mutex
+	udp     *net.UDPConn
+	tcp     net.Listener
+	tls     net.Listener
+	closed  bool
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewRealNet builds a real-network honeypot for zone.
+func NewRealNet(zone, location string, webAddrs []wire.Addr) *RealNet {
+	return &RealNet{
+		Zone:      dnswire.Canonical(zone),
+		Log:       NewLog(),
+		WebAddrs:  webAddrs,
+		RecordTTL: 3600,
+		Location:  location,
+	}
+}
+
+// Start binds the DNS server to dnsAddr (e.g. "127.0.0.1:5353") and the
+// web server to httpAddr (e.g. "127.0.0.1:8080") and serves until Close.
+// Either address may be empty to skip that listener. It returns the bound
+// addresses. Use StartTLS afterwards to also accept TLS ClientHellos.
+func (r *RealNet) Start(dnsAddr, httpAddr string) (boundDNS, boundHTTP string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return "", "", errors.New("honeypot: already started")
+	}
+	if dnsAddr != "" {
+		ua, err := net.ResolveUDPAddr("udp", dnsAddr)
+		if err != nil {
+			return "", "", fmt.Errorf("honeypot: resolve %q: %w", dnsAddr, err)
+		}
+		conn, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			return "", "", fmt.Errorf("honeypot: listen udp: %w", err)
+		}
+		r.udp = conn
+		boundDNS = conn.LocalAddr().String()
+		r.wg.Add(1)
+		go r.serveDNS(conn)
+	}
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			if r.udp != nil {
+				r.udp.Close()
+			}
+			return "", "", fmt.Errorf("honeypot: listen tcp: %w", err)
+		}
+		r.tcp = ln
+		boundHTTP = ln.Addr().String()
+		r.wg.Add(1)
+		go r.serveHTTP(ln)
+	}
+	r.started = true
+	return boundDNS, boundHTTP, nil
+}
+
+// StartTLS binds a third listener that speaks the TLS handshake front: it
+// parses ClientHellos (clear-text SNI or ECH), logs the server name, and
+// answers with a minimal ServerHello — the real-socket counterpart of the
+// simulated honey site's port 443.
+func (r *RealNet) StartTLS(addr string) (bound string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tls != nil {
+		return "", errors.New("honeypot: TLS already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("honeypot: listen tls: %w", err)
+	}
+	r.tls = ln
+	r.wg.Add(1)
+	go r.serveTLS(ln)
+	return ln.Addr().String(), nil
+}
+
+func (r *RealNet) serveTLS(ln net.Listener) {
+	defer r.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if r.isClosed() {
+				return
+			}
+			continue
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			buf := make([]byte, 16<<10)
+			n, err := conn.Read(buf)
+			if err != nil || n == 0 {
+				return
+			}
+			if resp := r.HandleClientHello(buf[:n], remoteAddr(conn)); resp != nil {
+				conn.Write(resp)
+			}
+		}()
+	}
+}
+
+// HandleClientHello implements the TLS front over raw record bytes.
+func (r *RealNet) HandleClientHello(raw []byte, src wire.Endpoint) []byte {
+	ch, err := tlswire.ParseClientHello(raw)
+	if err != nil {
+		return nil
+	}
+	name := ch.ServerName
+	if name == "" {
+		name, _ = ch.ECHServerName()
+	}
+	name = dnswire.Canonical(name)
+	r.Log.Append(Capture{
+		Time: time.Now(), Location: r.Location, Protocol: decoy.TLS,
+		Source: src, Domain: name, Label: firstIdentifierLabel(name),
+		Payload: "CLIENTHELLO sni=" + name,
+	})
+	sh := tlswire.ServerHello{Version: tlswire.VersionTLS12, CipherSuite: 0x1301}
+	copy(sh.Random[:], name)
+	return sh.Encode()
+}
+
+// Close stops all listeners and waits for the serve loops to exit.
+func (r *RealNet) Close() {
+	r.mu.Lock()
+	r.closed = true
+	if r.udp != nil {
+		r.udp.Close()
+	}
+	if r.tcp != nil {
+		r.tcp.Close()
+	}
+	if r.tls != nil {
+		r.tls.Close()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+func (r *RealNet) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+func (r *RealNet) serveDNS(conn *net.UDPConn) {
+	defer r.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if r.isClosed() {
+				return
+			}
+			continue
+		}
+		resp := r.HandleDNSQuery(buf[:n], addrOf(from.IP), uint16(from.Port))
+		if resp != nil {
+			conn.WriteToUDP(resp, from)
+		}
+	}
+}
+
+// HandleDNSQuery implements the authoritative logic over raw message
+// bytes; exposed for tests and for embedding in custom servers.
+func (r *RealNet) HandleDNSQuery(payload []byte, src wire.Addr, srcPort uint16) []byte {
+	q, err := dnswire.Decode(payload)
+	if err != nil || q.Header.QR || len(q.Questions) == 0 {
+		return nil
+	}
+	name := q.QName()
+	if !dnswire.IsSubdomain(name, r.Zone) {
+		resp := dnswire.NewResponse(q, dnswire.RcodeRefused)
+		raw, _ := resp.Encode()
+		return raw
+	}
+	r.Log.Append(Capture{
+		Time: time.Now(), Location: r.Location, Protocol: decoy.DNS,
+		Source: wire.Endpoint{Addr: src, Port: srcPort},
+		Domain: name, Label: firstIdentifierLabel(name), DNSType: q.QType(),
+	})
+	resp := dnswire.NewResponse(q, dnswire.RcodeNoError)
+	resp.Header.AA = true
+	if q.QType() == dnswire.TypeA || q.QType() == dnswire.TypeANY {
+		for _, a := range r.WebAddrs {
+			resp.Answers = append(resp.Answers, dnswire.RR{
+				Name: name, Type: dnswire.TypeA, TTL: r.RecordTTL, Addr: a,
+			})
+		}
+	}
+	raw, err := resp.Encode()
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+func (r *RealNet) serveHTTP(ln net.Listener) {
+	defer r.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if r.isClosed() {
+				return
+			}
+			continue
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer conn.Close()
+			r.handleHTTPConn(conn)
+		}()
+	}
+}
+
+func (r *RealNet) handleHTTPConn(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	head, err := readHTTPHead(conn)
+	if err != nil {
+		return
+	}
+	resp := r.HandleHTTPRequest(head, remoteAddr(conn))
+	conn.Write(resp)
+}
+
+// HandleHTTPRequest implements the honey-website logic over raw request
+// bytes.
+func (r *RealNet) HandleHTTPRequest(raw []byte, src wire.Endpoint) []byte {
+	req, err := httpwire.ParseRequest(raw)
+	if err != nil {
+		return httpwire.NewResponse(400, "bad request").Encode()
+	}
+	host := dnswire.Canonical(req.Host())
+	r.Log.Append(Capture{
+		Time: time.Now(), Location: r.Location, Protocol: decoy.HTTP,
+		Source: src, Domain: host, Label: firstIdentifierLabel(host),
+		HTTPPath: req.Path, Payload: requestHead(req),
+	})
+	if req.Path == "/" {
+		return httpwire.NewResponse(200, HomepageHTML).Encode()
+	}
+	return httpwire.NewResponse(404, "not found").Encode()
+}
+
+// readHTTPHead reads a request until the end of headers plus any
+// Content-Length body (bounded at 64 KiB).
+func readHTTPHead(conn net.Conn) ([]byte, error) {
+	var buf []byte
+	tmp := make([]byte, 2048)
+	for len(buf) < 64<<10 {
+		n, err := conn.Read(tmp)
+		if n > 0 {
+			buf = append(buf, tmp[:n]...)
+			if i := strings.Index(string(buf), "\r\n\r\n"); i >= 0 {
+				// Head complete; httpwire handles short bodies tolerantly
+				// for GETs (no Content-Length).
+				return buf, nil
+			}
+		}
+		if err != nil {
+			if err == io.EOF && len(buf) > 0 {
+				return buf, nil
+			}
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func addrOf(ip net.IP) wire.Addr {
+	var a wire.Addr
+	if v4 := ip.To4(); v4 != nil {
+		copy(a[:], v4)
+	}
+	return a
+}
+
+func remoteAddr(conn net.Conn) wire.Endpoint {
+	var ep wire.Endpoint
+	if tcp, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		ep.Addr = addrOf(tcp.IP)
+		ep.Port = uint16(tcp.Port)
+	}
+	return ep
+}

@@ -1,0 +1,175 @@
+package honeypot
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/dnswire"
+	"shadowmeter/internal/httpwire"
+	"shadowmeter/internal/tlswire"
+	"shadowmeter/internal/wire"
+)
+
+func startRealNet(t *testing.T) (*RealNet, string, string) {
+	t.Helper()
+	rn := NewRealNet("experiment.domain", "TEST", []wire.Addr{wire.MustParseAddr("127.0.0.1")})
+	dnsAddr, httpAddr, err := rn.Start("127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rn.Close)
+	return rn, dnsAddr, httpAddr
+}
+
+func TestRealNetDNSOverUDP(t *testing.T) {
+	rn, dnsAddr, _ := startRealNet(t)
+	conn, err := net.Dial("udp", dnsAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	name := label(t) + ".www.experiment.domain"
+	q := dnswire.NewQuery(77, name, dnswire.TypeA)
+	payload, _ := q.Encode()
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Decode(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Header.AA || len(resp.Answers) != 1 || resp.Answers[0].Addr != wire.MustParseAddr("127.0.0.1") {
+		t.Fatalf("response = %+v", resp)
+	}
+	caps := rn.Log.Snapshot()
+	if len(caps) != 1 || caps[0].Protocol != decoy.DNS || caps[0].Domain != name || caps[0].Label == "" {
+		t.Fatalf("captures = %+v", caps)
+	}
+}
+
+func TestRealNetHTTPOverTCP(t *testing.T) {
+	rn, _, httpAddr := startRealNet(t)
+	conn, err := net.Dial("tcp", httpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	name := label(t) + ".www.experiment.domain"
+	req := httpwire.NewGET(name, "/.git/config").Encode()
+	if _, err := conn.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 8192)
+	n, _ := conn.Read(buf)
+	resp, err := httpwire.ParseResponse(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	caps := rn.Log.Snapshot()
+	if len(caps) != 1 || caps[0].HTTPPath != "/.git/config" {
+		t.Fatalf("captures = %+v", caps)
+	}
+}
+
+func TestRealNetHomepage(t *testing.T) {
+	rn, _, httpAddr := startRealNet(t)
+	conn, err := net.Dial("tcp", httpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write(httpwire.NewGET("visitor.example", "/").Encode())
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 16384)
+	n, _ := conn.Read(buf)
+	if !strings.Contains(string(buf[:n]), "measurement experiment") {
+		t.Error("homepage should document the experiment")
+	}
+	_ = rn
+}
+
+func TestRealNetRefusesOutOfZone(t *testing.T) {
+	rn, _, _ := startRealNet(t)
+	q := dnswire.NewQuery(5, "www.elsewhere.tld", dnswire.TypeA)
+	payload, _ := q.Encode()
+	resp := rn.HandleDNSQuery(payload, wire.MustParseAddr("10.0.0.1"), 5555)
+	m, err := dnswire.Decode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.Rcode != dnswire.RcodeRefused {
+		t.Errorf("rcode = %d", m.Header.Rcode)
+	}
+	if rn.Log.Len() != 0 {
+		t.Error("out-of-zone query logged")
+	}
+}
+
+func TestRealNetDoubleStart(t *testing.T) {
+	rn, _, _ := startRealNet(t)
+	if _, _, err := rn.Start("127.0.0.1:0", ""); err == nil {
+		t.Error("second Start should fail")
+	}
+}
+
+func TestRealNetTLSOverTCP(t *testing.T) {
+	rn, _, _ := startRealNet(t)
+	tlsAddr, err := rn.StartTLS("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", tlsAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	name := label(t) + ".www.experiment.domain"
+	var rnd [32]byte
+	ch := tlswire.NewClientHello(name, rnd)
+	payload, _ := ch.Encode()
+	conn.Write(payload)
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tlswire.ParseServerHello(buf[:n]); err != nil {
+		t.Fatalf("no ServerHello: %v", err)
+	}
+	caps := rn.Log.Snapshot()
+	if len(caps) != 1 || caps[0].Protocol != decoy.TLS || caps[0].Domain != name || caps[0].Label == "" {
+		t.Fatalf("captures = %+v", caps)
+	}
+}
+
+func TestRealNetTLSWithECH(t *testing.T) {
+	rn, _, _ := startRealNet(t)
+	name := label(t) + ".www.experiment.domain"
+	var rnd [32]byte
+	ch := tlswire.NewClientHelloECH(name, rnd)
+	payload, _ := ch.Encode()
+	// Handler-level test: the honeypot (a terminating server) decrypts ECH.
+	resp := rn.HandleClientHello(payload, wire.Endpoint{Addr: wire.MustParseAddr("10.0.0.9"), Port: 1})
+	if resp == nil {
+		t.Fatal("no ServerHello for ECH hello")
+	}
+	caps := rn.Log.Snapshot()
+	if len(caps) != 1 || caps[0].Domain != name {
+		t.Fatalf("captures = %+v", caps)
+	}
+}

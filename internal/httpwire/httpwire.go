@@ -1,0 +1,257 @@
+// Package httpwire implements a compact HTTP/1.1 request/response codec for
+// the simulated wire. Decoy HTTP GETs, honey-website responses, and the
+// path-enumeration probes emitted by shadowing exhibitors all pass through
+// this codec, so on-path observers parse exactly what a DPI box would see.
+package httpwire
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by the parser.
+var (
+	ErrMalformed  = errors.New("httpwire: malformed message")
+	ErrIncomplete = errors.New("httpwire: incomplete message")
+)
+
+// Request is a parsed HTTP/1.1 request.
+type Request struct {
+	Method  string
+	Path    string
+	Proto   string
+	Headers map[string]string // canonical-lowercase keys
+	Body    []byte
+}
+
+// Response is a parsed HTTP/1.1 response.
+type Response struct {
+	Proto      string
+	StatusCode int
+	Status     string
+	Headers    map[string]string
+	Body       []byte
+}
+
+// NewGET builds a GET request for path with the given Host header.
+func NewGET(host, path string) *Request {
+	if path == "" {
+		path = "/"
+	}
+	return &Request{
+		Method: "GET",
+		Path:   path,
+		Proto:  "HTTP/1.1",
+		Headers: map[string]string{
+			"host":       host,
+			"user-agent": "shadowmeter/1.0",
+			"accept":     "*/*",
+			"connection": "close",
+		},
+	}
+}
+
+// Host returns the Host header.
+func (r *Request) Host() string { return r.Headers["host"] }
+
+// Header returns the named header (case-insensitive).
+func (r *Request) Header(name string) string { return r.Headers[strings.ToLower(name)] }
+
+// Encode serializes the request to wire bytes. Header order is
+// deterministic (request line, host first, then sorted) so identical
+// requests serialize identically.
+func (r *Request) Encode() []byte {
+	var b strings.Builder
+	path := r.Path
+	if path == "" {
+		path = "/"
+	}
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, path, proto)
+	writeHeaders(&b, r.Headers, len(r.Body))
+	b.WriteString("\r\n")
+	out := []byte(b.String())
+	return append(out, r.Body...)
+}
+
+// NewResponse builds a response with a body and standard headers.
+func NewResponse(code int, body string) *Response {
+	return &Response{
+		Proto:      "HTTP/1.1",
+		StatusCode: code,
+		Status:     StatusText(code),
+		Headers: map[string]string{
+			"server":       "shadowmeter-honeypot/1.0",
+			"content-type": "text/html; charset=utf-8",
+			"connection":   "close",
+		},
+		Body: []byte(body),
+	}
+}
+
+// Encode serializes the response.
+func (r *Response) Encode() []byte {
+	var b strings.Builder
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	status := r.Status
+	if status == "" {
+		status = StatusText(r.StatusCode)
+	}
+	fmt.Fprintf(&b, "%s %d %s\r\n", proto, r.StatusCode, status)
+	writeHeaders(&b, r.Headers, len(r.Body))
+	b.WriteString("\r\n")
+	out := []byte(b.String())
+	return append(out, r.Body...)
+}
+
+func writeHeaders(b *strings.Builder, headers map[string]string, bodyLen int) {
+	if host, ok := headers["host"]; ok {
+		fmt.Fprintf(b, "Host: %s\r\n", host)
+	}
+	keys := make([]string, 0, len(headers))
+	for k := range headers {
+		if k == "host" || k == "content-length" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s: %s\r\n", CanonicalHeader(k), headers[k])
+	}
+	if bodyLen > 0 || headers["content-length"] != "" {
+		fmt.Fprintf(b, "Content-Length: %d\r\n", bodyLen)
+	}
+}
+
+// ParseRequest parses a serialized request. It requires the full head to be
+// present; a Content-Length body may be shorter than declared, in which case
+// ErrIncomplete is returned.
+func ParseRequest(data []byte) (*Request, error) {
+	head, body, err := splitHead(data)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformed, lines[0])
+	}
+	req := &Request{Method: parts[0], Path: parts[1], Proto: parts[2]}
+	req.Headers, err = parseHeaders(lines[1:])
+	if err != nil {
+		return nil, err
+	}
+	req.Body, err = takeBody(req.Headers, body)
+	return req, err
+}
+
+// ParseResponse parses a serialized response.
+func ParseResponse(data []byte) (*Response, error) {
+	head, body, err := splitHead(data)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformed, lines[0])
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformed, parts[1])
+	}
+	resp := &Response{Proto: parts[0], StatusCode: code}
+	if len(parts) == 3 {
+		resp.Status = parts[2]
+	}
+	resp.Headers, err = parseHeaders(lines[1:])
+	if err != nil {
+		return nil, err
+	}
+	resp.Body, err = takeBody(resp.Headers, body)
+	return resp, err
+}
+
+func splitHead(data []byte) (head string, body []byte, err error) {
+	i := strings.Index(string(data), "\r\n\r\n")
+	if i < 0 {
+		return "", nil, ErrIncomplete
+	}
+	return string(data[:i]), data[i+4:], nil
+}
+
+func parseHeaders(lines []string) (map[string]string, error) {
+	h := make(map[string]string, len(lines))
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		i := strings.IndexByte(line, ':')
+		if i <= 0 {
+			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:i]))
+		h[key] = strings.TrimSpace(line[i+1:])
+	}
+	return h, nil
+}
+
+func takeBody(headers map[string]string, body []byte) ([]byte, error) {
+	cl := headers["content-length"]
+	if cl == "" {
+		return body, nil
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: bad content-length %q", ErrMalformed, cl)
+	}
+	if len(body) < n {
+		return nil, ErrIncomplete
+	}
+	return body[:n], nil
+}
+
+// CanonicalHeader renders a lowercase header key in canonical form
+// (e.g. "user-agent" -> "User-Agent").
+func CanonicalHeader(k string) string {
+	parts := strings.Split(k, "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, "-")
+}
+
+// StatusText maps the status codes the simulator uses to reason phrases.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 400:
+		return "Bad Request"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Unknown"
+	}
+}

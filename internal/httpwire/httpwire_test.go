@@ -1,0 +1,169 @@
+package httpwire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGETRoundTrip(t *testing.T) {
+	req := NewGET("abc123.www.experiment.domain", "/")
+	data := req.Encode()
+	got, err := ParseRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "GET" || got.Path != "/" || got.Proto != "HTTP/1.1" {
+		t.Errorf("request line: %+v", got)
+	}
+	if got.Host() != "abc123.www.experiment.domain" {
+		t.Errorf("Host = %q", got.Host())
+	}
+	if got.Header("User-Agent") != "shadowmeter/1.0" {
+		t.Errorf("User-Agent = %q", got.Header("User-Agent"))
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := NewGET("h.example", "/x").Encode()
+	b := NewGET("h.example", "/x").Encode()
+	if !bytes.Equal(a, b) {
+		t.Error("identical requests should serialize identically")
+	}
+	if !bytes.HasPrefix(a, []byte("GET /x HTTP/1.1\r\nHost: h.example\r\n")) {
+		t.Errorf("unexpected prefix: %q", a[:40])
+	}
+}
+
+func TestRequestWithBody(t *testing.T) {
+	req := &Request{
+		Method:  "POST",
+		Path:    "/submit",
+		Headers: map[string]string{"host": "x.example", "content-type": "text/plain"},
+		Body:    []byte("hello body"),
+	}
+	data := req.Encode()
+	got, err := ParseRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body) != "hello body" {
+		t.Errorf("Body = %q", got.Body)
+	}
+	if got.Header("content-length") != "10" {
+		t.Errorf("Content-Length = %q", got.Header("content-length"))
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := NewResponse(200, "<html>honeypot</html>")
+	data := resp.Encode()
+	got, err := ParseResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatusCode != 200 || got.Status != "OK" {
+		t.Errorf("status: %d %q", got.StatusCode, got.Status)
+	}
+	if string(got.Body) != "<html>honeypot</html>" {
+		t.Errorf("Body = %q", got.Body)
+	}
+}
+
+func TestResponse404(t *testing.T) {
+	resp := NewResponse(404, "not here")
+	got, err := ParseResponse(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatusCode != 404 || got.Status != "Not Found" {
+		t.Errorf("status: %d %q", got.StatusCode, got.Status)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseRequest([]byte("GET / HTTP/1.1\r\n")); err != ErrIncomplete {
+		t.Errorf("missing blank line: %v", err)
+	}
+	if _, err := ParseRequest([]byte("NOT-HTTP\r\n\r\n")); err == nil {
+		t.Error("bad request line should fail")
+	}
+	if _, err := ParseRequest([]byte("GET / HTTP/1.1\r\nbadheader\r\n\r\n")); err == nil {
+		t.Error("bad header should fail")
+	}
+	if _, err := ParseResponse([]byte("HTTP/1.1 xx OK\r\n\r\n")); err == nil {
+		t.Error("bad status code should fail")
+	}
+	if _, err := ParseRequest([]byte("GET / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort")); err != ErrIncomplete {
+		t.Errorf("short body: %v", err)
+	}
+	if _, err := ParseRequest([]byte("GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n")); err == nil {
+		t.Error("negative content-length should fail")
+	}
+}
+
+func TestCanonicalHeader(t *testing.T) {
+	cases := map[string]string{
+		"user-agent":     "User-Agent",
+		"host":           "Host",
+		"content-length": "Content-Length",
+		"x--odd":         "X--Odd",
+	}
+	for in, want := range cases {
+		if got := CanonicalHeader(in); got != want {
+			t.Errorf("CanonicalHeader(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHeaderCaseInsensitive(t *testing.T) {
+	raw := "GET / HTTP/1.1\r\nHOST: UPPER.example\r\nX-Custom:  spaced \r\n\r\n"
+	got, err := ParseRequest([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host() != "UPPER.example" {
+		t.Errorf("Host = %q", got.Host())
+	}
+	if got.Header("x-custom") != "spaced" {
+		t.Errorf("X-Custom = %q", got.Header("x-custom"))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pathSeed uint32, bodyLen uint8) bool {
+		path := "/p" + strings.Repeat("a", int(pathSeed%50))
+		req := &Request{
+			Method:  "GET",
+			Path:    path,
+			Headers: map[string]string{"host": "h.example"},
+			Body:    bytes.Repeat([]byte("b"), int(bodyLen)),
+		}
+		got, err := ParseRequest(req.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Path == path && len(got.Body) == int(bodyLen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeGET(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewGET("id.www.experiment.domain", "/").Encode()
+	}
+}
+
+func BenchmarkParseRequest(b *testing.B) {
+	data := NewGET("id.www.experiment.domain", "/admin/backup").Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRequest(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package intel provides the threat-intelligence substrates the behavioral
+// analysis consults: an IP blocklist standing in for Spamhaus, and a payload
+// signature matcher standing in for the exploit-db corpus. Both carry
+// deterministic synthetic data so experiments are reproducible.
+package intel
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+
+	"shadowmeter/internal/wire"
+)
+
+// Blocklist is an IP reputation list (Spamhaus-like). Membership is by
+// exact address or covering /24.
+type Blocklist struct {
+	mu       sync.RWMutex
+	addrs    map[wire.Addr]string // addr -> listing reason
+	prefixes map[wire.Addr]string // /24 base -> reason
+}
+
+// NewBlocklist returns an empty blocklist.
+func NewBlocklist() *Blocklist {
+	return &Blocklist{
+		addrs:    make(map[wire.Addr]string),
+		prefixes: make(map[wire.Addr]string),
+	}
+}
+
+// ListAddr adds a single address with a reason code.
+func (b *Blocklist) ListAddr(a wire.Addr, reason string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addrs[a] = reason
+}
+
+// ListPrefix24 lists an entire /24 (the base's host octet is ignored).
+func (b *Blocklist) ListPrefix24(a wire.Addr, reason string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.prefixes[a.Slash24()] = reason
+}
+
+// Contains reports whether a is listed, with the listing reason.
+func (b *Blocklist) Contains(a wire.Addr) (string, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if r, ok := b.addrs[a]; ok {
+		return r, true
+	}
+	if r, ok := b.prefixes[a.Slash24()]; ok {
+		return r, true
+	}
+	return "", false
+}
+
+// IsListed is a boolean convenience for Contains.
+func (b *Blocklist) IsListed(a wire.Addr) bool {
+	_, ok := b.Contains(a)
+	return ok
+}
+
+// Len reports the number of listings (addresses + prefixes).
+func (b *Blocklist) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.addrs) + len(b.prefixes)
+}
+
+// Listing reasons used by the synthetic data.
+const (
+	ReasonSBL  = "SBL"  // spam source
+	ReasonXBL  = "XBL"  // exploited host
+	ReasonDROP = "DROP" // hijacked/leased ranges
+)
+
+// Signature is one exploit-db-style detection rule over request payloads.
+type Signature struct {
+	ID          string
+	Description string
+	Severity    string // "low", "medium", "high", "critical"
+	pattern     *regexp.Regexp
+}
+
+// SignatureDB matches request payloads against known exploit patterns.
+type SignatureDB struct {
+	sigs []Signature
+}
+
+// NewSignatureDB compiles the given (id, description, severity, pattern)
+// rules. Patterns are regular expressions matched case-insensitively
+// against the full request line + payload.
+func NewSignatureDB(rules []SignatureRule) (*SignatureDB, error) {
+	db := &SignatureDB{}
+	for _, r := range rules {
+		re, err := regexp.Compile("(?i)" + r.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		db.sigs = append(db.sigs, Signature{
+			ID: r.ID, Description: r.Description, Severity: r.Severity, pattern: re,
+		})
+	}
+	return db, nil
+}
+
+// SignatureRule is the construction input for one signature.
+type SignatureRule struct {
+	ID, Description, Severity, Pattern string
+}
+
+// DefaultSignatureRules is a representative exploit corpus: the classes of
+// payloads the paper checked unsolicited requests against (and found
+// absent). Shadowing probes in the simulation perform benign path
+// enumeration, so analysis over honeypot logs should report zero matches —
+// mirroring the paper's "no exploit codes found" result.
+var DefaultSignatureRules = []SignatureRule{
+	{"EDB-0001", "PHP remote code execution attempt", "critical", `(?:\?|&)(?:cmd|exec|system)=`},
+	{"EDB-0002", "Log4Shell JNDI injection", "critical", `\$\{jndi:(?:ldap|rmi|dns)://`},
+	{"EDB-0003", "Shellshock CGI header injection", "critical", `\(\)\s*\{\s*:;\s*\}\s*;`},
+	{"EDB-0004", "SQL injection (union select)", "high", `union[+\s]+select`},
+	{"EDB-0005", "Directory traversal escape", "high", `\.\./\.\./`},
+	{"EDB-0006", "Struts2 OGNL injection", "critical", `%\{\(#`},
+	{"EDB-0007", "XML external entity", "high", `<!ENTITY\s+\S+\s+SYSTEM`},
+	{"EDB-0008", "Cross-site scripting probe", "medium", `<script[^>]*>`},
+	{"EDB-0009", "PHPUnit eval-stdin RCE", "critical", `eval-stdin\.php`},
+	{"EDB-0010", "Spring4Shell class.module probe", "critical", `class\.module\.classLoader`},
+}
+
+// DefaultSignatureDB builds the default corpus; it panics on compile error
+// because the rules are static.
+func DefaultSignatureDB() *SignatureDB {
+	db, err := NewSignatureDB(DefaultSignatureRules)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Match returns all signatures matching the payload.
+func (db *SignatureDB) Match(payload string) []Signature {
+	var out []Signature
+	for _, s := range db.sigs {
+		if s.pattern.MatchString(payload) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Matches reports whether any signature fires.
+func (db *SignatureDB) Matches(payload string) bool {
+	for _, s := range db.sigs {
+		if s.pattern.MatchString(payload) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the number of compiled signatures.
+func (db *SignatureDB) Len() int { return len(db.sigs) }
+
+// EnumerationPaths is the dictionary shadowing probes walk when performing
+// HTTP path enumeration against honey websites (Section 5.1: "95% of
+// requests are performing path enumeration that attempts to yield
+// directories of our honey website").
+var EnumerationPaths = []string{
+	"/", "/admin/", "/login", "/wp-login.php", "/backup/", "/.git/config",
+	"/config.php", "/phpinfo.php", "/robots.txt", "/.env", "/api/",
+	"/test/", "/old/", "/dev/", "/staging/", "/uploads/", "/db/",
+	"/static/", "/console", "/manager/html",
+}
+
+// IsEnumerationPath reports whether an HTTP path looks like directory/file
+// enumeration rather than a normal page fetch. The classifier mirrors what
+// the paper's manual payload inspection identified: dictionary paths,
+// trailing-slash directory probes, and well-known sensitive filenames.
+func IsEnumerationPath(path string) bool {
+	p := strings.ToLower(path)
+	if i := strings.IndexByte(p, '?'); i >= 0 {
+		p = p[:i]
+	}
+	for _, known := range EnumerationPaths {
+		if p == known {
+			return true
+		}
+	}
+	switch {
+	case strings.HasSuffix(p, "/") && p != "/":
+		return true
+	case strings.Contains(p, "/.git"), strings.Contains(p, "/.env"),
+		strings.Contains(p, "/wp-"), strings.Contains(p, "backup"),
+		strings.Contains(p, "admin"), strings.Contains(p, "config"):
+		return true
+	}
+	return false
+}

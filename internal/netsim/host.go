@@ -1,0 +1,369 @@
+package netsim
+
+import (
+	"time"
+
+	"shadowmeter/internal/wire"
+)
+
+// Host is a protocol multiplexer for one simulated address: UDP services,
+// TCP services, a lightweight TCP/UDP client, and an ICMP hook. Vantage
+// points, resolvers, web servers and honeypots are all Hosts.
+type Host struct {
+	Addr wire.Addr
+
+	udpServices map[uint16]UDPService
+	tcpServices map[uint16]TCPApp
+	onICMP      func(n *Network, pkt *wire.Packet)
+
+	// client state
+	nextEphemeral uint16
+	nextIPID      uint16
+	udpWaiters    map[wire.Endpoint]map[uint16]*udpWaiter // dst -> srcPort -> waiter
+	tcpFlows      map[tcpFlowKey]*clientFlow
+
+	// OnUnmatched, if set, sees packets no service or client flow claimed.
+	OnUnmatched func(n *Network, pkt *wire.Packet)
+}
+
+// UDPService handles datagrams arriving on a UDP port. Return a non-nil
+// reply to answer the sender (a nil return means no response).
+type UDPService func(n *Network, from wire.Endpoint, payload []byte) []byte
+
+// TCPApp handles one request payload on an accepted TCP "connection" and
+// returns the response payload.
+type TCPApp func(n *Network, from wire.Endpoint, payload []byte) []byte
+
+// NewHost creates a host and registers it on the network.
+func NewHost(n *Network, addr wire.Addr) *Host {
+	h := &Host{
+		Addr:          addr,
+		udpServices:   make(map[uint16]UDPService),
+		tcpServices:   make(map[uint16]TCPApp),
+		nextEphemeral: 32768,
+		udpWaiters:    make(map[wire.Endpoint]map[uint16]*udpWaiter),
+		tcpFlows:      make(map[tcpFlowKey]*clientFlow),
+	}
+	n.AddHost(addr, h)
+	return h
+}
+
+// ServeUDP registers a UDP service on port.
+func (h *Host) ServeUDP(port uint16, svc UDPService) { h.udpServices[port] = svc }
+
+// ServeTCP registers a TCP application on port.
+func (h *Host) ServeTCP(port uint16, app TCPApp) { h.tcpServices[port] = app }
+
+// OnICMP registers the ICMP hook (traceroute return channel).
+func (h *Host) OnICMP(fn func(n *Network, pkt *wire.Packet)) { h.onICMP = fn }
+
+// Handle implements Handler.
+func (h *Host) Handle(n *Network, pkt *wire.Packet) {
+	switch {
+	case pkt.ICMP != nil:
+		if h.onICMP != nil {
+			h.onICMP(n, pkt)
+			return
+		}
+	case pkt.UDP != nil:
+		if h.handleUDP(n, pkt) {
+			return
+		}
+	case pkt.TCP != nil:
+		if h.handleTCP(n, pkt) {
+			return
+		}
+	}
+	if h.OnUnmatched != nil {
+		h.OnUnmatched(n, pkt)
+	}
+}
+
+func (h *Host) handleUDP(n *Network, pkt *wire.Packet) bool {
+	from := wire.Endpoint{Addr: pkt.IP.Src, Port: pkt.UDP.SrcPort}
+	// Server side.
+	if svc, ok := h.udpServices[pkt.UDP.DstPort]; ok {
+		payload := append([]byte(nil), pkt.UDP.Payload()...)
+		if reply := svc(n, from, payload); reply != nil {
+			h.sendUDPRaw(n, wire.Endpoint{Addr: h.Addr, Port: pkt.UDP.DstPort}, from, 64, reply)
+		}
+		return true
+	}
+	// Client side: a reply to an outstanding request?
+	if waiters, ok := h.udpWaiters[from]; ok {
+		if w, ok := waiters[pkt.UDP.DstPort]; ok {
+			delete(waiters, pkt.UDP.DstPort)
+			if len(waiters) == 0 {
+				delete(h.udpWaiters, from)
+			}
+			if w.onReply != nil {
+				w.onReply(n, append([]byte(nil), pkt.UDP.Payload()...))
+			}
+			return true
+		}
+	}
+	return false
+}
+
+type udpWaiter struct {
+	onReply   func(n *Network, payload []byte)
+	onTimeout func(n *Network)
+	expired   bool
+}
+
+// UDPRequestOpts parameterizes SendUDPRequest.
+type UDPRequestOpts struct {
+	TTL     uint8         // initial IP TTL; 0 means 64
+	IPID    uint16        // 0 means auto-assign
+	Timeout time.Duration // 0 means 5s of virtual time
+	// OnReply receives the response payload (nil-safe).
+	OnReply func(n *Network, payload []byte)
+	// OnTimeout fires if no reply arrived before Timeout (nil-safe).
+	OnTimeout func(n *Network)
+}
+
+// SendUDPRequest sends payload to dst from an ephemeral port and invokes
+// OnReply with the response. It returns the chosen source port.
+func (h *Host) SendUDPRequest(n *Network, dst wire.Endpoint, payload []byte, opts UDPRequestOpts) uint16 {
+	sport := h.allocPort()
+	ttl := opts.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	w := &udpWaiter{onReply: opts.OnReply, onTimeout: opts.OnTimeout}
+	if h.udpWaiters[dst] == nil {
+		h.udpWaiters[dst] = make(map[uint16]*udpWaiter)
+	}
+	h.udpWaiters[dst][sport] = w
+	src := wire.Endpoint{Addr: h.Addr, Port: sport}
+	raw, err := wire.BuildUDP(src, dst, ttl, h.ipID(opts.IPID), payload)
+	if err == nil {
+		n.SendPacket(raw)
+	}
+	n.Schedule(timeout, func() {
+		waiters, ok := h.udpWaiters[dst]
+		if !ok {
+			return
+		}
+		if cur, ok := waiters[sport]; ok && cur == w && !w.expired {
+			w.expired = true
+			delete(waiters, sport)
+			if len(waiters) == 0 {
+				delete(h.udpWaiters, dst)
+			}
+			if w.onTimeout != nil {
+				w.onTimeout(n)
+			}
+		}
+	})
+	return sport
+}
+
+// SendUDPOneShot sends a datagram without waiting for any reply (used by
+// Phase II tracerouting, where the interesting response is ICMP, and by
+// shadowing exhibitors issuing fire-and-forget probes).
+func (h *Host) SendUDPOneShot(n *Network, dst wire.Endpoint, ttl uint8, ipID uint16, payload []byte) {
+	src := wire.Endpoint{Addr: h.Addr, Port: h.allocPort()}
+	h.sendUDPFrom(n, src, dst, ttl, ipID, payload)
+}
+
+func (h *Host) sendUDPFrom(n *Network, src, dst wire.Endpoint, ttl uint8, ipID uint16, payload []byte) {
+	if ttl == 0 {
+		ttl = 64
+	}
+	raw, err := wire.BuildUDP(src, dst, ttl, h.ipID(ipID), payload)
+	if err == nil {
+		n.SendPacket(raw)
+	}
+}
+
+func (h *Host) sendUDPRaw(n *Network, src, dst wire.Endpoint, ttl uint8, payload []byte) {
+	raw, err := wire.BuildUDP(src, dst, ttl, h.ipID(0), payload)
+	if err == nil {
+		n.SendPacket(raw)
+	}
+}
+
+type tcpFlowKey struct {
+	remote wire.Endpoint
+	local  uint16
+}
+
+type clientFlow struct {
+	state      int // 0 syn-sent, 1 established (payload sent), 2 closed
+	ttl        uint8
+	ipID       uint16
+	payload    []byte
+	onResponse func(n *Network, payload []byte)
+	onFail     func(n *Network)
+	isn        uint32
+}
+
+const (
+	flowSynSent = iota
+	flowEstablished
+	flowClosed
+)
+
+// TCPRequestOpts parameterizes SendTCPRequest.
+type TCPRequestOpts struct {
+	TTL     uint8
+	IPID    uint16
+	Timeout time.Duration
+	// OnResponse receives the server's response payload.
+	OnResponse func(n *Network, payload []byte)
+	// OnFail fires on handshake/response timeout.
+	OnFail func(n *Network)
+}
+
+// SendTCPRequest opens a minimal TCP exchange with dst: SYN, SYN-ACK, ACK,
+// one request payload, one response payload. The full exchange crosses the
+// simulated path packet by packet, so on-path taps observe the handshake
+// and the request bytes exactly as a middlebox would. It returns the local
+// port.
+func (h *Host) SendTCPRequest(n *Network, dst wire.Endpoint, payload []byte, opts TCPRequestOpts) uint16 {
+	sport := h.allocPort()
+	ttl := opts.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	key := tcpFlowKey{remote: dst, local: sport}
+	fl := &clientFlow{
+		state:      flowSynSent,
+		ttl:        ttl,
+		ipID:       opts.IPID,
+		payload:    payload,
+		onResponse: opts.OnResponse,
+		onFail:     opts.OnFail,
+		isn:        uint32(sport)<<16 | 0x1234,
+	}
+	h.tcpFlows[key] = fl
+	src := wire.Endpoint{Addr: h.Addr, Port: sport}
+	raw, err := wire.BuildTCP(src, dst, ttl, h.ipID(opts.IPID), wire.TCPSyn, fl.isn, 0, nil)
+	if err == nil {
+		n.SendPacket(raw)
+	}
+	n.Schedule(timeout, func() {
+		if cur, ok := h.tcpFlows[key]; ok && cur == fl && fl.state != flowClosed {
+			fl.state = flowClosed
+			delete(h.tcpFlows, key)
+			if fl.onFail != nil {
+				fl.onFail(n)
+			}
+		}
+	})
+	return sport
+}
+
+// SendRawTCPPayload emits a single TCP data packet without any handshake —
+// the Phase II traceroute mode for HTTP/TLS decoys ("we do not perform TCP
+// handshakes with destinations before tracerouting").
+func (h *Host) SendRawTCPPayload(n *Network, dst wire.Endpoint, ttl uint8, ipID uint16, payload []byte) {
+	src := wire.Endpoint{Addr: h.Addr, Port: h.allocPort()}
+	raw, err := wire.BuildTCP(src, dst, ttl, h.ipID(ipID), wire.TCPPsh|wire.TCPAck, 1, 1, payload)
+	if err == nil {
+		n.SendPacket(raw)
+	}
+}
+
+func (h *Host) handleTCP(n *Network, pkt *wire.Packet) bool {
+	t := pkt.TCP
+	from := wire.Endpoint{Addr: pkt.IP.Src, Port: t.SrcPort}
+
+	// Server side.
+	if app, ok := h.tcpServices[t.DstPort]; ok {
+		h.serveTCP(n, app, from, t)
+		return true
+	}
+
+	// Client side.
+	key := tcpFlowKey{remote: from, local: t.DstPort}
+	fl, ok := h.tcpFlows[key]
+	if !ok {
+		return false
+	}
+	local := wire.Endpoint{Addr: h.Addr, Port: t.DstPort}
+	switch {
+	case fl.state == flowSynSent && t.Flags&wire.TCPSyn != 0 && t.Flags&wire.TCPAck != 0:
+		fl.state = flowEstablished
+		// Final handshake ACK, then the request payload.
+		ack, err := wire.BuildTCP(local, from, fl.ttl, h.ipID(fl.ipID), wire.TCPAck, fl.isn+1, t.Seq+1, nil)
+		if err == nil {
+			n.SendPacket(ack)
+		}
+		data, err := wire.BuildTCP(local, from, fl.ttl, h.ipID(fl.ipID), wire.TCPPsh|wire.TCPAck, fl.isn+1, t.Seq+1, fl.payload)
+		if err == nil {
+			n.SendPacket(data)
+		}
+		return true
+	case fl.state == flowSynSent && t.Flags&wire.TCPRst != 0:
+		fl.state = flowClosed
+		delete(h.tcpFlows, key)
+		if fl.onFail != nil {
+			fl.onFail(n)
+		}
+		return true
+	case fl.state == flowEstablished && len(t.Payload()) > 0:
+		fl.state = flowClosed
+		delete(h.tcpFlows, key)
+		if fl.onResponse != nil {
+			fl.onResponse(n, append([]byte(nil), t.Payload()...))
+		}
+		return true
+	}
+	return true // packets for a known flow are consumed even when ignored
+}
+
+// serveTCP implements the stateless server side: answer SYN with SYN-ACK,
+// answer a data segment by invoking the app and replying with its output
+// plus FIN. Statelessness keeps memory flat across millions of decoy
+// flows.
+func (h *Host) serveTCP(n *Network, app TCPApp, from wire.Endpoint, t *wire.TCP) {
+	local := wire.Endpoint{Addr: h.Addr, Port: t.DstPort}
+	switch {
+	case t.Flags&wire.TCPSyn != 0 && t.Flags&wire.TCPAck == 0:
+		sisn := uint32(t.SrcPort)<<16 | 0x5678
+		raw, err := wire.BuildTCP(local, from, 64, h.ipID(0), wire.TCPSyn|wire.TCPAck, sisn, t.Seq+1, nil)
+		if err == nil {
+			n.SendPacket(raw)
+		}
+	case len(t.Payload()) > 0:
+		payload := append([]byte(nil), t.Payload()...)
+		resp := app(n, from, payload)
+		if resp == nil {
+			return
+		}
+		raw, err := wire.BuildTCP(local, from, 64, h.ipID(0), wire.TCPPsh|wire.TCPAck|wire.TCPFin, t.Ack, t.Seq+uint32(len(t.Payload())), resp)
+		if err == nil {
+			n.SendPacket(raw)
+		}
+	}
+}
+
+func (h *Host) allocPort() uint16 {
+	p := h.nextEphemeral
+	h.nextEphemeral++
+	if h.nextEphemeral == 0 {
+		h.nextEphemeral = 32768
+	}
+	return p
+}
+
+func (h *Host) ipID(requested uint16) uint16 {
+	if requested != 0 {
+		return requested
+	}
+	h.nextIPID++
+	if h.nextIPID == 0 {
+		h.nextIPID = 1
+	}
+	return h.nextIPID
+}

@@ -1,0 +1,210 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"shadowmeter/internal/wire"
+)
+
+func twoRouterNet() (*Network, []*Router) {
+	routers := []*Router{
+		{Name: "r1", Addr: wire.AddrFrom(10, 0, 0, 1)},
+		{Name: "r2", Addr: wire.AddrFrom(10, 0, 0, 2)},
+	}
+	n := New(Config{Start: t0, Path: func(src, dst wire.Addr) []*Router { return routers }})
+	return n, routers
+}
+
+func TestUDPRequestResponse(t *testing.T) {
+	n, _ := twoRouterNet()
+	client := NewHost(n, wire.AddrFrom(100, 0, 0, 1))
+	server := NewHost(n, wire.AddrFrom(192, 0, 2, 53))
+	server.ServeUDP(53, func(n *Network, from wire.Endpoint, payload []byte) []byte {
+		return append([]byte("re:"), payload...)
+	})
+
+	var reply []byte
+	client.SendUDPRequest(n, wire.Endpoint{Addr: server.Addr, Port: 53}, []byte("query"), UDPRequestOpts{
+		OnReply: func(n *Network, payload []byte) { reply = payload },
+	})
+	n.RunUntilIdle()
+	if string(reply) != "re:query" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestUDPTimeout(t *testing.T) {
+	n, _ := twoRouterNet()
+	client := NewHost(n, wire.AddrFrom(100, 0, 0, 1))
+	// No server registered at destination.
+	timedOut := false
+	replied := false
+	client.SendUDPRequest(n, wire.Endpoint{Addr: wire.AddrFrom(9, 9, 9, 9), Port: 53}, []byte("q"), UDPRequestOpts{
+		Timeout:   2 * time.Second,
+		OnReply:   func(*Network, []byte) { replied = true },
+		OnTimeout: func(*Network) { timedOut = true },
+	})
+	n.RunUntilIdle()
+	if !timedOut || replied {
+		t.Errorf("timedOut=%v replied=%v", timedOut, replied)
+	}
+}
+
+func TestUDPNoDoubleCallback(t *testing.T) {
+	n, _ := twoRouterNet()
+	client := NewHost(n, wire.AddrFrom(100, 0, 0, 1))
+	server := NewHost(n, wire.AddrFrom(192, 0, 2, 53))
+	server.ServeUDP(53, func(n *Network, from wire.Endpoint, payload []byte) []byte { return payload })
+	calls := 0
+	client.SendUDPRequest(n, wire.Endpoint{Addr: server.Addr, Port: 53}, []byte("q"), UDPRequestOpts{
+		Timeout:   time.Second,
+		OnReply:   func(*Network, []byte) { calls++ },
+		OnTimeout: func(*Network) { calls += 100 },
+	})
+	n.RunUntilIdle()
+	if calls != 1 {
+		t.Errorf("calls = %d, want exactly 1 (reply only)", calls)
+	}
+}
+
+func TestTCPRequestResponse(t *testing.T) {
+	n, routers := twoRouterNet()
+	tap := &recordingTap{}
+	routers[0].AttachTap(tap)
+
+	client := NewHost(n, wire.AddrFrom(100, 0, 0, 1))
+	server := NewHost(n, wire.AddrFrom(203, 0, 113, 80))
+	server.ServeTCP(80, func(n *Network, from wire.Endpoint, payload []byte) []byte {
+		return append([]byte("HTTP/1.1 200 OK\r\n\r\n"), payload...)
+	})
+
+	var resp []byte
+	client.SendTCPRequest(n, wire.Endpoint{Addr: server.Addr, Port: 80}, []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"), TCPRequestOpts{
+		OnResponse: func(n *Network, payload []byte) { resp = payload },
+	})
+	n.RunUntilIdle()
+	if len(resp) == 0 || string(resp[:15]) != "HTTP/1.1 200 OK" {
+		t.Fatalf("resp = %q", resp)
+	}
+	// The tap must have seen the handshake (SYN, ACK, data) client-side
+	// packets plus any request payload — at least 3 observations.
+	if len(tap.seen) < 3 {
+		t.Errorf("tap observed %d packets, want >= 3 (handshake + data)", len(tap.seen))
+	}
+	foundPayload := false
+	for _, s := range tap.seen {
+		if len(s) > 0 && s[:3] == "GET" {
+			foundPayload = true
+		}
+	}
+	if !foundPayload {
+		t.Error("tap never saw the request payload on the wire")
+	}
+}
+
+func TestTCPFailNoServer(t *testing.T) {
+	n, _ := twoRouterNet()
+	client := NewHost(n, wire.AddrFrom(100, 0, 0, 1))
+	failed := false
+	client.SendTCPRequest(n, wire.Endpoint{Addr: wire.AddrFrom(9, 9, 9, 9), Port: 80}, []byte("x"), TCPRequestOpts{
+		Timeout: time.Second,
+		OnFail:  func(*Network) { failed = true },
+	})
+	n.RunUntilIdle()
+	if !failed {
+		t.Error("handshake to nonexistent server should fail")
+	}
+}
+
+func TestSendRawTCPPayload(t *testing.T) {
+	n, routers := twoRouterNet()
+	tap := &recordingTap{}
+	routers[1].AttachTap(tap)
+	client := NewHost(n, wire.AddrFrom(100, 0, 0, 1))
+	// No handshake: single data packet with limited TTL (Phase II mode).
+	client.SendRawTCPPayload(n, wire.Endpoint{Addr: wire.AddrFrom(203, 0, 113, 80), Port: 443}, 2, 77, []byte("clienthello-bytes"))
+	n.RunUntilIdle()
+	if len(tap.seen) != 1 || tap.seen[0] != "clienthello-bytes" {
+		t.Fatalf("tap saw %v", tap.seen)
+	}
+	// TTL=2 expired exactly at r2: the data packet never reached a server,
+	// and the only delivery is the ICMP error back to the client.
+	if s := n.Stats(); s.TTLExpired != 1 || s.PacketsDelivered != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestHostICMPHook(t *testing.T) {
+	n, routers := twoRouterNet()
+	client := NewHost(n, wire.AddrFrom(100, 0, 0, 1))
+	var from wire.Addr
+	client.OnICMP(func(n *Network, pkt *wire.Packet) { from = pkt.IP.Src })
+	client.SendUDPOneShot(n, wire.Endpoint{Addr: wire.AddrFrom(9, 9, 9, 9), Port: 53}, 1, 5, []byte("ttl1"))
+	n.RunUntilIdle()
+	if from != routers[0].Addr {
+		t.Errorf("ICMP from %v, want %v", from, routers[0].Addr)
+	}
+}
+
+func TestHostUnmatchedHook(t *testing.T) {
+	n, _ := twoRouterNet()
+	host := NewHost(n, wire.AddrFrom(100, 0, 0, 1))
+	var unmatched int
+	host.OnUnmatched = func(n *Network, pkt *wire.Packet) { unmatched++ }
+	raw, _ := wire.BuildUDP(wire.Endpoint{Addr: wire.AddrFrom(5, 5, 5, 5), Port: 999}, wire.Endpoint{Addr: host.Addr, Port: 31337}, 64, 1, []byte("scan"))
+	n.SendPacket(raw)
+	n.RunUntilIdle()
+	if unmatched != 1 {
+		t.Errorf("unmatched = %d", unmatched)
+	}
+}
+
+func TestEphemeralPortsDistinct(t *testing.T) {
+	n, _ := twoRouterNet()
+	client := NewHost(n, wire.AddrFrom(100, 0, 0, 1))
+	seen := make(map[uint16]bool)
+	for i := 0; i < 100; i++ {
+		p := client.SendUDPRequest(n, wire.Endpoint{Addr: wire.AddrFrom(9, 9, 9, 9), Port: 53}, nil, UDPRequestOpts{Timeout: time.Millisecond})
+		if seen[p] {
+			t.Fatalf("port %d reused", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestConcurrentUDPRequestsSameDst(t *testing.T) {
+	n, _ := twoRouterNet()
+	client := NewHost(n, wire.AddrFrom(100, 0, 0, 1))
+	server := NewHost(n, wire.AddrFrom(192, 0, 2, 53))
+	server.ServeUDP(53, func(n *Network, from wire.Endpoint, payload []byte) []byte { return payload })
+	got := make(map[string]bool)
+	for _, q := range []string{"a", "b", "c"} {
+		q := q
+		client.SendUDPRequest(n, wire.Endpoint{Addr: server.Addr, Port: 53}, []byte(q), UDPRequestOpts{
+			OnReply: func(n *Network, payload []byte) { got[string(payload)] = true },
+		})
+	}
+	n.RunUntilIdle()
+	if len(got) != 3 {
+		t.Errorf("got %v, want 3 distinct replies", got)
+	}
+}
+
+func BenchmarkEndToEndUDP(b *testing.B) {
+	routers := []*Router{
+		{Addr: wire.AddrFrom(10, 0, 0, 1)},
+		{Addr: wire.AddrFrom(10, 0, 0, 2)},
+		{Addr: wire.AddrFrom(10, 0, 0, 3)},
+	}
+	n := New(Config{Start: t0, Path: func(src, dst wire.Addr) []*Router { return routers }})
+	client := NewHost(n, wire.AddrFrom(100, 0, 0, 1))
+	server := NewHost(n, wire.AddrFrom(192, 0, 2, 53))
+	server.ServeUDP(53, func(n *Network, from wire.Endpoint, payload []byte) []byte { return payload })
+	payload := []byte("benchmark query payload")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		client.SendUDPRequest(n, wire.Endpoint{Addr: server.Addr, Port: 53}, payload, UDPRequestOpts{})
+		n.RunUntilIdle()
+	}
+}

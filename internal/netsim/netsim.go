@@ -1,0 +1,354 @@
+// Package netsim is a deterministic, discrete-event IPv4 network simulator:
+// the stand-in for the real Internet that shadowmeter's measurement
+// pipeline runs against.
+//
+// The simulator moves real serialized packets (internal/wire) across
+// router paths with per-hop TTL decrement and ICMP Time Exceeded
+// generation, which is exactly the substrate the paper's Phase II
+// hop-by-hop traceroute needs. On-path devices attach to routers as Taps
+// and see the same bytes a DPI middlebox would.
+//
+// Time is virtual: a binary-heap event queue advances a simulated clock, so
+// a two-month measurement campaign with multi-day data-retention delays
+// runs in milliseconds of wall-clock time. All execution is single
+// goroutine and fully deterministic for a given seed and call order.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"shadowmeter/internal/wire"
+)
+
+// Router is one forwarding hop. Routers decrement TTL, generate ICMP Time
+// Exceeded when it expires, and expose attached Taps to every packet that
+// arrives on their wire.
+type Router struct {
+	Name string
+	// Addr is the interface address exposed in ICMP error messages. A
+	// router with ICMPSilent set never answers, modeling the hops that make
+	// real traceroutes incomplete (Section 3 "Comparison and limitations").
+	Addr       wire.Addr
+	ICMPSilent bool
+
+	taps []Tap
+}
+
+// AttachTap registers an on-path device at this router.
+func (r *Router) AttachTap(t Tap) { r.taps = append(r.taps, t) }
+
+// Taps returns the attached taps (read-only use).
+func (r *Router) Taps() []Tap { return r.taps }
+
+// Tap is an on-path observer device: it inspects every packet arriving at
+// its router. Taps must not mutate the packet; they may call back into the
+// Network to schedule their own traffic (that is what a traffic-shadowing
+// exhibitor does).
+type Tap interface {
+	Observe(net *Network, at *Router, pkt *wire.Packet)
+}
+
+// Handler terminates packets at a host address (resolver, web server,
+// honeypot, vantage point...). The packet's transport payload has already
+// been decoded by the network's parser.
+type Handler interface {
+	Handle(net *Network, pkt *wire.Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(net *Network, pkt *wire.Packet)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(net *Network, pkt *wire.Packet) { f(net, pkt) }
+
+// PathFunc returns the ordered router hops between two addresses, or nil if
+// no route exists. It must be deterministic.
+type PathFunc func(src, dst wire.Addr) []*Router
+
+// Stats counts simulator activity.
+type Stats struct {
+	PacketsSent      int64
+	PacketsDelivered int64
+	PacketsLost      int64
+	TTLExpired       int64
+	ICMPSent         int64
+	NoRoute          int64
+	NoHandler        int64
+	Events           int64
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Start is the virtual-clock origin.
+	Start time.Time
+	// HopLatency is the one-way latency contributed by each router hop.
+	// Zero selects DefaultHopLatency.
+	HopLatency time.Duration
+	// Path supplies routes. Nil means every src/dst pair is directly
+	// connected (useful in unit tests).
+	Path PathFunc
+	// LossRate drops each packet independently at every hop with this
+	// probability (failure injection; deterministic for a given LossSeed
+	// and call order). 0 disables loss.
+	LossRate float64
+	// LossSeed seeds the loss coin.
+	LossSeed int64
+}
+
+// DefaultHopLatency approximates a wide-area per-hop delay.
+const DefaultHopLatency = 8 * time.Millisecond
+
+// Network is the simulator instance.
+type Network struct {
+	now    time.Time
+	events eventHeap
+	seq    int64
+
+	hosts      map[wire.Addr]Handler
+	pathFn     PathFunc
+	hopLatency time.Duration
+	lossRate   float64
+	lossRNG    *rand.Rand
+
+	stats  Stats
+	parser wire.Parser
+
+	maxEvents int64 // safety valve against runaway schedules; 0 = unlimited
+}
+
+// New creates a network from cfg.
+func New(cfg Config) *Network {
+	hl := cfg.HopLatency
+	if hl == 0 {
+		hl = DefaultHopLatency
+	}
+	n := &Network{
+		now:        cfg.Start,
+		hosts:      make(map[wire.Addr]Handler),
+		pathFn:     cfg.Path,
+		hopLatency: hl,
+		lossRate:   cfg.LossRate,
+	}
+	if cfg.LossRate > 0 {
+		n.lossRNG = rand.New(rand.NewSource(cfg.LossSeed))
+	}
+	return n
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.now }
+
+// Stats returns a snapshot of simulator counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetMaxEvents bounds total processed events (0 disables the bound).
+func (n *Network) SetMaxEvents(max int64) { n.maxEvents = max }
+
+// AddHost registers handler as the terminator for addr. Registering an
+// address twice replaces the handler.
+func (n *Network) AddHost(addr wire.Addr, h Handler) {
+	n.hosts[addr] = h
+}
+
+// RemoveHost deregisters an address.
+func (n *Network) RemoveHost(addr wire.Addr) {
+	delete(n.hosts, addr)
+}
+
+// HasHost reports whether addr terminates at a registered handler.
+func (n *Network) HasHost(addr wire.Addr) bool {
+	_, ok := n.hosts[addr]
+	return ok
+}
+
+// Schedule runs fn after delay of virtual time. A negative delay runs at
+// the current instant (still via the queue, preserving causal order).
+func (n *Network) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	n.seq++
+	heap.Push(&n.events, &event{at: n.now.Add(delay), seq: n.seq, fn: fn})
+}
+
+// SendPacket injects a serialized IPv4 packet at its source address. The
+// packet traverses the path to its destination hop by hop; taps observe it
+// at every router it reaches; TTL expiry produces ICMP Time Exceeded back
+// to the source. Errors are returned only for unparseable packets —
+// routing failures are counted in Stats, as on the real Internet the
+// sender learns nothing synchronously.
+func (n *Network) SendPacket(raw []byte) error {
+	var probe wire.IPv4
+	if err := probe.DecodeFromBytes(raw); err != nil {
+		return fmt.Errorf("netsim: refusing to send unparseable packet: %w", err)
+	}
+	n.stats.PacketsSent++
+	src, dst := probe.Src, probe.Dst
+
+	var path []*Router
+	if n.pathFn != nil {
+		path = n.pathFn(src, dst)
+		if path == nil && src != dst {
+			// No route at all (distinct from the empty direct path).
+			if _, ok := n.hosts[dst]; !ok {
+				n.stats.NoRoute++
+				return nil
+			}
+		}
+	}
+	// Copy: the caller may reuse its buffer, and routers mutate TTL.
+	pkt := append([]byte(nil), raw...)
+	n.forward(pkt, src, path, 0)
+	return nil
+}
+
+// forward schedules arrival of pkt at hop index i of path (or at the
+// destination when i == len(path)).
+func (n *Network) forward(pkt []byte, origin wire.Addr, path []*Router, i int) {
+	n.Schedule(n.hopLatency, func() {
+		if i < len(path) {
+			n.arriveAtRouter(pkt, origin, path, i)
+			return
+		}
+		n.deliver(pkt)
+	})
+}
+
+func (n *Network) arriveAtRouter(pkt []byte, origin wire.Addr, path []*Router, i int) {
+	if n.lossRNG != nil && n.lossRNG.Float64() < n.lossRate {
+		n.stats.PacketsLost++
+		return
+	}
+	r := path[i]
+	// DPI taps see the packet on arrival, before the TTL check: a device on
+	// the wire observes bytes regardless of whether the router then drops
+	// them. This is what makes Phase II's "first TTL that triggers
+	// shadowing = observer hop" inference sound.
+	if len(r.taps) > 0 {
+		var decoded wire.Packet
+		if err := n.parser.Decode(pkt, &decoded); err == nil {
+			for _, t := range r.taps {
+				t.Observe(n, r, &decoded)
+			}
+		}
+	}
+	ttl, err := wire.DecrementTTL(pkt)
+	if err != nil {
+		return // malformed in flight; drop silently
+	}
+	if ttl == 0 {
+		n.stats.TTLExpired++
+		if !r.ICMPSilent {
+			n.sendTimeExceeded(r, origin, pkt)
+		}
+		return
+	}
+	n.forward(pkt, origin, path, i+1)
+}
+
+func (n *Network) sendTimeExceeded(r *Router, origin wire.Addr, expired []byte) {
+	te := wire.NewTimeExceeded(expired)
+	raw, err := wire.BuildICMP(r.Addr, origin, 64, 0, te, te.Payload())
+	if err != nil {
+		return
+	}
+	n.stats.ICMPSent++
+	// The error message returns over the reverse path; the measurement only
+	// needs its eventual arrival at the origin, so model the return trip as
+	// a direct delayed delivery proportional to the forward distance.
+	n.Schedule(n.hopLatency, func() { n.deliver(raw) })
+}
+
+func (n *Network) deliver(pkt []byte) {
+	var decoded wire.Packet
+	if err := n.parser.Decode(pkt, &decoded); err != nil {
+		return
+	}
+	h, ok := n.hosts[decoded.IP.Dst]
+	if !ok {
+		n.stats.NoHandler++
+		return
+	}
+	n.stats.PacketsDelivered++
+	h.Handle(n, &decoded)
+}
+
+// Run processes events until the queue is empty or the virtual clock would
+// pass deadline. It returns the number of events processed.
+func (n *Network) Run(deadline time.Time) int64 {
+	var processed int64
+	for n.events.Len() > 0 {
+		next := n.events[0]
+		if next.at.After(deadline) {
+			break
+		}
+		heap.Pop(&n.events)
+		if next.at.After(n.now) {
+			n.now = next.at
+		}
+		next.fn()
+		processed++
+		n.stats.Events++
+		if n.maxEvents > 0 && n.stats.Events >= n.maxEvents {
+			break
+		}
+	}
+	if deadline.After(n.now) {
+		n.now = deadline
+	}
+	return processed
+}
+
+// RunUntilIdle drains the event queue completely.
+func (n *Network) RunUntilIdle() int64 {
+	var processed int64
+	for n.events.Len() > 0 {
+		next := heap.Pop(&n.events).(*event)
+		if next.at.After(n.now) {
+			n.now = next.at
+		}
+		next.fn()
+		processed++
+		n.stats.Events++
+		if n.maxEvents > 0 && n.stats.Events >= n.maxEvents {
+			break
+		}
+	}
+	return processed
+}
+
+// Pending reports the number of queued events.
+func (n *Network) Pending() int { return n.events.Len() }
+
+type event struct {
+	at  time.Time
+	seq int64 // FIFO tiebreak for simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,308 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"shadowmeter/internal/wire"
+)
+
+var t0 = time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func linearPath(routers ...*Router) PathFunc {
+	return func(src, dst wire.Addr) []*Router { return routers }
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	n := New(Config{Start: t0})
+	var order []int
+	n.Schedule(2*time.Second, func() { order = append(order, 2) })
+	n.Schedule(1*time.Second, func() { order = append(order, 1) })
+	n.Schedule(1*time.Second, func() { order = append(order, 10) }) // FIFO among equals
+	n.Schedule(3*time.Second, func() { order = append(order, 3) })
+	n.RunUntilIdle()
+	want := []int{1, 10, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if got := n.Now(); !got.Equal(t0.Add(3 * time.Second)) {
+		t.Errorf("Now = %v", got)
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	n := New(Config{Start: t0})
+	ran := 0
+	n.Schedule(time.Second, func() { ran++ })
+	n.Schedule(time.Hour, func() { ran++ })
+	n.Run(t0.Add(time.Minute))
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+	if !n.Now().Equal(t0.Add(time.Minute)) {
+		t.Errorf("Now = %v, want deadline", n.Now())
+	}
+	n.RunUntilIdle()
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2", ran)
+	}
+}
+
+func TestPacketDelivery(t *testing.T) {
+	r1 := &Router{Name: "r1", Addr: wire.AddrFrom(10, 0, 0, 1)}
+	r2 := &Router{Name: "r2", Addr: wire.AddrFrom(10, 0, 0, 2)}
+	n := New(Config{Start: t0, Path: linearPath(r1, r2)})
+
+	dst := wire.AddrFrom(192, 0, 2, 1)
+	var got []byte
+	n.AddHost(dst, HandlerFunc(func(n *Network, pkt *wire.Packet) {
+		got = append([]byte(nil), pkt.TransportPayload()...)
+	}))
+
+	raw, err := wire.BuildUDP(
+		wire.Endpoint{Addr: wire.AddrFrom(100, 0, 0, 1), Port: 5000},
+		wire.Endpoint{Addr: dst, Port: 53}, 64, 1, []byte("query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SendPacket(raw); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntilIdle()
+	if string(got) != "query" {
+		t.Fatalf("payload = %q", got)
+	}
+	s := n.Stats()
+	if s.PacketsSent != 1 || s.PacketsDelivered != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTTLExpiryGeneratesICMP(t *testing.T) {
+	routers := []*Router{
+		{Name: "r1", Addr: wire.AddrFrom(10, 0, 0, 1)},
+		{Name: "r2", Addr: wire.AddrFrom(10, 0, 0, 2)},
+		{Name: "r3", Addr: wire.AddrFrom(10, 0, 0, 3)},
+	}
+	n := New(Config{Start: t0, Path: linearPath(routers...)})
+
+	src := wire.AddrFrom(100, 0, 0, 1)
+	dst := wire.AddrFrom(192, 0, 2, 1)
+	delivered := false
+	n.AddHost(dst, HandlerFunc(func(n *Network, pkt *wire.Packet) { delivered = true }))
+
+	var icmpFrom wire.Addr
+	var quotedID uint16
+	n.AddHost(src, HandlerFunc(func(n *Network, pkt *wire.Packet) {
+		if pkt.ICMP != nil && pkt.ICMP.Type == wire.ICMPTimeExceeded {
+			icmpFrom = pkt.IP.Src
+			if q, err := pkt.ICMP.QuotedIPv4(); err == nil {
+				quotedID = q.ID
+			}
+		}
+	}))
+
+	// TTL=2: expires at the second router.
+	raw, _ := wire.BuildUDP(wire.Endpoint{Addr: src, Port: 4000}, wire.Endpoint{Addr: dst, Port: 53}, 2, 0xCAFE, []byte("probe"))
+	n.SendPacket(raw)
+	n.RunUntilIdle()
+
+	if delivered {
+		t.Error("packet with TTL=2 should not reach destination behind 3 routers")
+	}
+	if icmpFrom != routers[1].Addr {
+		t.Errorf("ICMP from %v, want %v", icmpFrom, routers[1].Addr)
+	}
+	if quotedID != 0xCAFE {
+		t.Errorf("quoted IP ID = %#x, want 0xCAFE", quotedID)
+	}
+	if n.Stats().TTLExpired != 1 || n.Stats().ICMPSent != 1 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+}
+
+func TestTTLReachability(t *testing.T) {
+	// Exactly TTL = hops+1 is needed to reach the destination.
+	routers := []*Router{
+		{Addr: wire.AddrFrom(10, 0, 0, 1)},
+		{Addr: wire.AddrFrom(10, 0, 0, 2)},
+		{Addr: wire.AddrFrom(10, 0, 0, 3)},
+	}
+	for ttl := uint8(1); ttl <= 5; ttl++ {
+		n := New(Config{Start: t0, Path: linearPath(routers...)})
+		src, dst := wire.AddrFrom(100, 0, 0, 1), wire.AddrFrom(192, 0, 2, 1)
+		delivered := false
+		n.AddHost(dst, HandlerFunc(func(n *Network, pkt *wire.Packet) { delivered = true }))
+		raw, _ := wire.BuildUDP(wire.Endpoint{Addr: src, Port: 1}, wire.Endpoint{Addr: dst, Port: 2}, ttl, 1, nil)
+		n.SendPacket(raw)
+		n.RunUntilIdle()
+		want := ttl >= 4
+		if delivered != want {
+			t.Errorf("TTL=%d delivered=%v, want %v", ttl, delivered, want)
+		}
+	}
+}
+
+func TestICMPSilentRouter(t *testing.T) {
+	r := &Router{Addr: wire.AddrFrom(10, 0, 0, 1), ICMPSilent: true}
+	n := New(Config{Start: t0, Path: linearPath(r)})
+	src := wire.AddrFrom(100, 0, 0, 1)
+	gotICMP := false
+	n.AddHost(src, HandlerFunc(func(n *Network, pkt *wire.Packet) { gotICMP = pkt.ICMP != nil }))
+	raw, _ := wire.BuildUDP(wire.Endpoint{Addr: src, Port: 1}, wire.Endpoint{Addr: wire.AddrFrom(9, 9, 9, 9), Port: 2}, 1, 1, nil)
+	n.SendPacket(raw)
+	n.RunUntilIdle()
+	if gotICMP {
+		t.Error("silent router must not answer")
+	}
+	if n.Stats().TTLExpired != 1 || n.Stats().ICMPSent != 0 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+}
+
+type recordingTap struct {
+	seen []string
+	ttls []uint8
+}
+
+func (rt *recordingTap) Observe(n *Network, at *Router, pkt *wire.Packet) {
+	rt.seen = append(rt.seen, string(pkt.TransportPayload()))
+	rt.ttls = append(rt.ttls, pkt.IP.TTL)
+}
+
+func TestTapObservesBeforeTTLCheck(t *testing.T) {
+	tap := &recordingTap{}
+	r1 := &Router{Addr: wire.AddrFrom(10, 0, 0, 1)}
+	r2 := &Router{Addr: wire.AddrFrom(10, 0, 0, 2)}
+	r2.AttachTap(tap)
+	n := New(Config{Start: t0, Path: linearPath(r1, r2)})
+	src, dst := wire.AddrFrom(100, 0, 0, 1), wire.AddrFrom(192, 0, 2, 1)
+	n.AddHost(src, HandlerFunc(func(*Network, *wire.Packet) {}))
+
+	// TTL=2 expires exactly at r2; the tap must still see it.
+	raw, _ := wire.BuildUDP(wire.Endpoint{Addr: src, Port: 1}, wire.Endpoint{Addr: dst, Port: 2}, 2, 1, []byte("sniffme"))
+	n.SendPacket(raw)
+	n.RunUntilIdle()
+	if len(tap.seen) != 1 || tap.seen[0] != "sniffme" {
+		t.Fatalf("tap saw %v", tap.seen)
+	}
+	if tap.ttls[0] != 1 {
+		t.Errorf("observed TTL = %d, want 1 (decremented once at r1)", tap.ttls[0])
+	}
+
+	// TTL=1 expires at r1; r2's tap must NOT see it.
+	tap.seen = nil
+	raw, _ = wire.BuildUDP(wire.Endpoint{Addr: src, Port: 1}, wire.Endpoint{Addr: dst, Port: 2}, 1, 2, []byte("hidden"))
+	n.SendPacket(raw)
+	n.RunUntilIdle()
+	if len(tap.seen) != 0 {
+		t.Errorf("tap at hop 2 saw a TTL=1 packet: %v", tap.seen)
+	}
+}
+
+func TestNoHandlerCounted(t *testing.T) {
+	n := New(Config{Start: t0})
+	raw, _ := wire.BuildUDP(wire.Endpoint{Addr: wire.AddrFrom(1, 1, 1, 1), Port: 1}, wire.Endpoint{Addr: wire.AddrFrom(2, 2, 2, 2), Port: 2}, 64, 1, nil)
+	n.SendPacket(raw)
+	n.RunUntilIdle()
+	if n.Stats().NoHandler != 1 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+}
+
+func TestSendPacketRejectsGarbage(t *testing.T) {
+	n := New(Config{Start: t0})
+	if err := n.SendPacket([]byte("junk")); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+func TestVirtualTimeLatency(t *testing.T) {
+	routers := []*Router{{Addr: wire.AddrFrom(10, 0, 0, 1)}, {Addr: wire.AddrFrom(10, 0, 0, 2)}}
+	n := New(Config{Start: t0, Path: linearPath(routers...), HopLatency: 10 * time.Millisecond})
+	dst := wire.AddrFrom(192, 0, 2, 1)
+	var at time.Time
+	n.AddHost(dst, HandlerFunc(func(n *Network, pkt *wire.Packet) { at = n.Now() }))
+	raw, _ := wire.BuildUDP(wire.Endpoint{Addr: wire.AddrFrom(1, 1, 1, 1), Port: 1}, wire.Endpoint{Addr: dst, Port: 2}, 64, 1, nil)
+	n.SendPacket(raw)
+	n.RunUntilIdle()
+	// 2 router hops + final delivery = 3 latency units.
+	if want := t0.Add(30 * time.Millisecond); !at.Equal(want) {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestMaxEventsBound(t *testing.T) {
+	n := New(Config{Start: t0})
+	n.SetMaxEvents(10)
+	var boom func(d time.Duration)
+	boom = func(d time.Duration) {
+		n.Schedule(d, func() { boom(d + time.Millisecond) })
+	}
+	boom(time.Millisecond)
+	processed := n.RunUntilIdle()
+	if processed != 10 {
+		t.Errorf("processed = %d, want 10 (bounded)", processed)
+	}
+}
+
+func TestPacketLossInjection(t *testing.T) {
+	routers := []*Router{
+		{Addr: wire.AddrFrom(10, 0, 0, 1)},
+		{Addr: wire.AddrFrom(10, 0, 0, 2)},
+		{Addr: wire.AddrFrom(10, 0, 0, 3)},
+	}
+	n := New(Config{
+		Start: t0, Path: func(src, dst wire.Addr) []*Router { return routers },
+		LossRate: 0.3, LossSeed: 7,
+	})
+	dst := wire.AddrFrom(192, 0, 2, 1)
+	delivered := 0
+	n.AddHost(dst, HandlerFunc(func(n *Network, pkt *wire.Packet) { delivered++ }))
+	const sent = 500
+	for i := 0; i < sent; i++ {
+		raw, _ := wire.BuildUDP(wire.Endpoint{Addr: wire.AddrFrom(1, 1, 1, 1), Port: 1},
+			wire.Endpoint{Addr: dst, Port: 2}, 64, uint16(i+1), nil)
+		n.SendPacket(raw)
+	}
+	n.RunUntilIdle()
+	s := n.Stats()
+	if s.PacketsLost == 0 {
+		t.Fatal("no loss injected")
+	}
+	if delivered == 0 {
+		t.Fatal("everything lost at 30% per-hop rate")
+	}
+	// Per-hop loss 0.3 over 3 hops => survival ~0.343; allow wide noise.
+	frac := float64(delivered) / float64(sent)
+	if frac < 0.2 || frac > 0.5 {
+		t.Errorf("delivery fraction = %v, want ~0.34", frac)
+	}
+	if s.PacketsLost+int64(delivered) > int64(sent) {
+		// Lost counts per-hop drops of distinct packets only; a packet lost
+		// at hop 1 is never re-dropped.
+		t.Errorf("loss accounting off: lost=%d delivered=%d", s.PacketsLost, delivered)
+	}
+}
+
+func TestLossDeterministic(t *testing.T) {
+	run := func() int64 {
+		routers := []*Router{{Addr: wire.AddrFrom(10, 0, 0, 1)}}
+		n := New(Config{Start: t0, Path: func(src, dst wire.Addr) []*Router { return routers },
+			LossRate: 0.5, LossSeed: 3})
+		dst := wire.AddrFrom(192, 0, 2, 1)
+		n.AddHost(dst, HandlerFunc(func(*Network, *wire.Packet) {}))
+		for i := 0; i < 200; i++ {
+			raw, _ := wire.BuildUDP(wire.Endpoint{Addr: wire.AddrFrom(1, 1, 1, 1), Port: 1},
+				wire.Endpoint{Addr: dst, Port: 2}, 64, uint16(i+1), nil)
+			n.SendPacket(raw)
+		}
+		n.RunUntilIdle()
+		return n.Stats().PacketsLost
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("loss not deterministic: %d vs %d", a, b)
+	}
+}

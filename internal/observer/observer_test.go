@@ -1,0 +1,303 @@
+package observer
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/dnswire"
+	"shadowmeter/internal/geodb"
+	"shadowmeter/internal/httpwire"
+	"shadowmeter/internal/netsim"
+	"shadowmeter/internal/resolversim"
+	"shadowmeter/internal/tlswire"
+	"shadowmeter/internal/wire"
+)
+
+var t0 = time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestDelayDistSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := DelayDist{Ranges: []DelayRange{
+		{Min: time.Second, Max: 2 * time.Second, Weight: 1},
+		{Min: 24 * time.Hour, Max: 48 * time.Hour, Weight: 1},
+	}}
+	short, long := 0, 0
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(rng)
+		switch {
+		case v >= time.Second && v < 2*time.Second:
+			short++
+		case v >= 24*time.Hour && v < 48*time.Hour:
+			long++
+		default:
+			t.Fatalf("sample %v outside both ranges", v)
+		}
+	}
+	if short < 400 || long < 400 {
+		t.Errorf("mixture skewed: short=%d long=%d", short, long)
+	}
+}
+
+func TestDelayDistDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := (DelayDist{}).Sample(rng); got != 0 {
+		t.Errorf("empty dist = %v", got)
+	}
+	d := DelayDist{Ranges: []DelayRange{{Min: time.Minute, Max: time.Minute, Weight: 1}}}
+	if got := d.Sample(rng); got != time.Minute {
+		t.Errorf("point dist = %v", got)
+	}
+}
+
+func TestCountDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := CountDist{Min: 3, Max: 10}
+	for i := 0; i < 100; i++ {
+		v := c.Sample(rng)
+		if v < 3 || v > 10 {
+			t.Fatalf("count %d out of range", v)
+		}
+	}
+	if got := (CountDist{Min: 5}).Sample(rng); got != 5 {
+		t.Errorf("degenerate = %d", got)
+	}
+}
+
+// testRig builds a flat net with a honeypot-style auth+web pair and a
+// resolver the exhibitor origins use.
+type testRig struct {
+	n        *netsim.Network
+	resolver wire.Addr
+	authLog  *[]string // qnames arriving at auth
+	webLog   *[]string // "proto path" arriving at web
+	webAddr  wire.Addr
+}
+
+func newRig(t *testing.T) *testRig {
+	t.Helper()
+	n := netsim.New(netsim.Config{Start: t0})
+	registry := resolversim.NewRegistry()
+
+	authLog := &[]string{}
+	webLog := &[]string{}
+	authAddr := wire.MustParseAddr("198.51.100.1")
+	webAddr := wire.MustParseAddr("198.51.100.2")
+
+	auth := netsim.NewHost(n, authAddr)
+	auth.ServeUDP(53, func(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+		q, err := dnswire.Decode(payload)
+		if err != nil {
+			return nil
+		}
+		*authLog = append(*authLog, q.QName())
+		resp := dnswire.NewResponse(q, dnswire.RcodeNoError)
+		resp.Answers = append(resp.Answers, dnswire.RR{Name: q.QName(), Type: dnswire.TypeA, TTL: 3600, Addr: webAddr})
+		raw, _ := resp.Encode()
+		return raw
+	})
+	registry.Delegate("experiment.domain", authAddr)
+
+	web := netsim.NewHost(n, webAddr)
+	web.ServeTCP(80, func(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+		req, err := httpwire.ParseRequest(payload)
+		if err != nil {
+			return nil
+		}
+		*webLog = append(*webLog, "HTTP "+req.Path)
+		return httpwire.NewResponse(404, "nope").Encode()
+	})
+	web.ServeTCP(443, func(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+		ch, err := tlswire.ParseClientHello(payload)
+		if err != nil {
+			return nil
+		}
+		*webLog = append(*webLog, "TLS "+ch.ServerName)
+		sh := tlswire.ServerHello{Version: tlswire.VersionTLS12, CipherSuite: 0x1301}
+		return sh.Encode()
+	})
+
+	// Recursive resolver used by probe origins.
+	svc := resolversim.NewService(n, "resolver", wire.MustParseAddr("8.8.8.8"), registry, geodb.New())
+	egress := netsim.NewHost(n, wire.MustParseAddr("8.8.9.1"))
+	svc.AddInstance(&resolversim.Instance{Name: "default", Egress: []*netsim.Host{egress}})
+
+	return &testRig{n: n, resolver: wire.MustParseAddr("8.8.8.8"), authLog: authLog, webLog: webLog, webAddr: webAddr}
+}
+
+func TestExhibitorDNSProbe(t *testing.T) {
+	rig := newRig(t)
+	origin := Origin{Host: netsim.NewHost(rig.n, wire.MustParseAddr("100.64.0.9")), Resolver: rig.resolver}
+	ex := NewExhibitor(Profile{
+		Name: "dns-prober",
+		Rules: []ProbeRule{{
+			Kind: ProbeDNS, Prob: 1,
+			Delay: DelayDist{Ranges: []DelayRange{{Min: time.Hour, Max: time.Hour, Weight: 1}}},
+			Count: CountDist{Min: 2, Max: 2},
+		}},
+	}, []Origin{origin}, 1)
+
+	ex.ObserveDomain(rig.n, "abc.www.experiment.domain")
+	rig.n.RunUntilIdle()
+
+	if got := len(*rig.authLog); got != 2 {
+		t.Fatalf("auth saw %d queries, want 2", got)
+	}
+	if (*rig.authLog)[0] != "abc.www.experiment.domain" {
+		t.Errorf("qname = %q", (*rig.authLog)[0])
+	}
+	if s := ex.Stats(); s.Observed != 1 || s.ProbesLaunched != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Delay respected: virtual clock advanced at least an hour.
+	if rig.n.Now().Sub(t0) < time.Hour {
+		t.Errorf("clock only advanced %v", rig.n.Now().Sub(t0))
+	}
+}
+
+func TestExhibitorHTTPProbeResolvesThenFetches(t *testing.T) {
+	rig := newRig(t)
+	origin := Origin{Host: netsim.NewHost(rig.n, wire.MustParseAddr("100.64.0.9")), Resolver: rig.resolver}
+	ex := NewExhibitor(Profile{
+		Name: "http-prober",
+		Rules: []ProbeRule{{
+			Kind: ProbeHTTP, Prob: 1,
+			Delay: DelayDist{Ranges: []DelayRange{{Min: time.Minute, Max: time.Minute, Weight: 1}}},
+			Count: CountDist{Min: 3, Max: 3},
+		}},
+	}, []Origin{origin}, 7)
+
+	ex.ObserveDomain(rig.n, "xyz.www.experiment.domain")
+	rig.n.RunUntilIdle()
+
+	// Each HTTP probe resolves first (3 DNS at auth) then fetches (3 HTTP).
+	if got := len(*rig.authLog); got != 3 {
+		t.Errorf("auth saw %d queries, want 3", got)
+	}
+	if got := len(*rig.webLog); got != 3 {
+		t.Fatalf("web saw %d requests, want 3", got)
+	}
+	for _, e := range *rig.webLog {
+		if e[:5] != "HTTP " {
+			t.Errorf("entry = %q", e)
+		}
+	}
+}
+
+func TestExhibitorHTTPSProbe(t *testing.T) {
+	rig := newRig(t)
+	origin := Origin{Host: netsim.NewHost(rig.n, wire.MustParseAddr("100.64.0.9")), Resolver: rig.resolver}
+	ex := NewExhibitor(Profile{
+		Name: "https-prober",
+		Rules: []ProbeRule{{
+			Kind: ProbeHTTPS, Prob: 1,
+			Delay: DelayDist{Ranges: []DelayRange{{Min: 0, Max: 0, Weight: 1}}},
+			Count: CountDist{Min: 1, Max: 1},
+		}},
+	}, []Origin{origin}, 3)
+
+	ex.ObserveDomain(rig.n, "tls.www.experiment.domain")
+	rig.n.RunUntilIdle()
+	if got := len(*rig.webLog); got != 1 || (*rig.webLog)[0] != "TLS tls.www.experiment.domain" {
+		t.Fatalf("web log = %v", *rig.webLog)
+	}
+}
+
+func TestOncePerDomain(t *testing.T) {
+	rig := newRig(t)
+	origin := Origin{Host: netsim.NewHost(rig.n, wire.MustParseAddr("100.64.0.9")), Resolver: rig.resolver}
+	ex := NewExhibitor(Profile{
+		Name: "once", OncePerDomain: true,
+		Rules: []ProbeRule{{Kind: ProbeDNS, Prob: 1, Count: CountDist{Min: 1, Max: 1}}},
+	}, []Origin{origin}, 5)
+	ex.ObserveDomain(rig.n, "dup.www.experiment.domain")
+	ex.ObserveDomain(rig.n, "dup.www.experiment.domain")
+	ex.ObserveDomain(rig.n, "other.www.experiment.domain")
+	rig.n.RunUntilIdle()
+	if got := len(*rig.authLog); got != 2 {
+		t.Errorf("auth saw %d, want 2 (dup suppressed)", got)
+	}
+}
+
+func TestSampleRate(t *testing.T) {
+	rig := newRig(t)
+	origin := Origin{Host: netsim.NewHost(rig.n, wire.MustParseAddr("100.64.0.9")), Resolver: rig.resolver}
+	ex := NewExhibitor(Profile{
+		Name: "sampler", SampleRate: 0.5,
+		Rules: []ProbeRule{{Kind: ProbeDNS, Prob: 1, Count: CountDist{Min: 1, Max: 1}}},
+	}, []Origin{origin}, 11)
+	for i := 0; i < 400; i++ {
+		ex.ObserveDomain(rig.n, "d"+string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('a'+i/676))+".www.experiment.domain")
+	}
+	obs := ex.Stats().Observed
+	if obs < 120 || obs > 280 {
+		t.Errorf("observed = %d of 400, want ~200", obs)
+	}
+}
+
+func TestExhibitorNoOriginsSafe(t *testing.T) {
+	rig := newRig(t)
+	ex := NewExhibitor(Profile{Name: "empty"}, nil, 1)
+	ex.ObserveDomain(rig.n, "x.www.experiment.domain")
+	rig.n.RunUntilIdle()
+	if ex.Stats().Observed != 0 {
+		t.Error("exhibitor without origins should ignore observations")
+	}
+}
+
+func TestDeviceSniffsDecoysOnWire(t *testing.T) {
+	// Full wire test: a DNS decoy passes a tapped router; the device
+	// records the QNAME and probes it later.
+	router := &netsim.Router{Name: "tapped", Addr: wire.MustParseAddr("10.0.0.1")}
+	n := netsim.New(netsim.Config{Start: t0, Path: func(src, dst wire.Addr) []*netsim.Router {
+		return []*netsim.Router{router}
+	}})
+
+	authLog := []string{}
+	authAddr := wire.MustParseAddr("198.51.100.1")
+	auth := netsim.NewHost(n, authAddr)
+	auth.ServeUDP(53, func(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+		q, err := dnswire.Decode(payload)
+		if err != nil {
+			return nil
+		}
+		authLog = append(authLog, q.QName())
+		resp := dnswire.NewResponse(q, dnswire.RcodeNoError)
+		raw, _ := resp.Encode()
+		return raw
+	})
+
+	origin := Origin{Host: netsim.NewHost(n, wire.MustParseAddr("100.64.0.9")), Resolver: authAddr}
+	dev := NewDevice(Profile{
+		Name:  "wire-dpi",
+		Watch: map[decoy.Protocol]bool{decoy.HTTP: true},
+		Rules: []ProbeRule{{Kind: ProbeDNS, Prob: 1, Count: CountDist{Min: 1, Max: 1},
+			Delay: DelayDist{Ranges: []DelayRange{{Min: time.Minute, Max: time.Minute, Weight: 1}}}}},
+	}, []Origin{origin}, 13, router)
+
+	// An HTTP request crosses the wire toward some web server (no server
+	// needed: the tap sees it en route).
+	client := netsim.NewHost(n, wire.MustParseAddr("100.64.0.1"))
+	req := httpwire.NewGET("watched.www.experiment.domain", "/").Encode()
+	client.SendRawTCPPayload(n, wire.Endpoint{Addr: wire.MustParseAddr("203.0.113.1"), Port: 80}, 64, 1, req)
+
+	// A DNS decoy also crosses, but the device only watches HTTP.
+	q := dnswire.NewQuery(1, "unwatched.www.experiment.domain", dnswire.TypeA)
+	qp, _ := q.Encode()
+	client.SendUDPOneShot(n, wire.Endpoint{Addr: wire.MustParseAddr("203.0.113.2"), Port: 53}, 64, 2, qp)
+
+	n.RunUntilIdle()
+	if len(authLog) != 1 || authLog[0] != "watched.www.experiment.domain" {
+		t.Fatalf("auth log = %v", authLog)
+	}
+	if dev.Stats().Observed != 1 {
+		t.Errorf("device observed = %d", dev.Stats().Observed)
+	}
+}
+
+func TestProbeKindString(t *testing.T) {
+	if ProbeDNS.String() != "DNS" || ProbeHTTP.String() != "HTTP" || ProbeHTTPS.String() != "HTTPS" {
+		t.Error("probe kind names")
+	}
+}

@@ -1,0 +1,158 @@
+// Package probe implements the active reconnaissance of Section 5.2
+// ("Open ports of observers on the wire"): scanning the ICMP-revealed
+// observer addresses for open ports and grabbing banners, to infer what
+// kind of devices the observers are. The paper finds 92% of observers
+// expose no ports, with BGP (179) the most common among the rest —
+// indicating inter-network routing devices.
+package probe
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"shadowmeter/internal/netsim"
+	"shadowmeter/internal/wire"
+)
+
+// DefaultPorts is the scan set: common management/service ports plus BGP.
+var DefaultPorts = []uint16{21, 22, 23, 53, 80, 179, 443, 8080}
+
+// PortResult is one (port, outcome) of a scan.
+type PortResult struct {
+	Port   uint16
+	Open   bool
+	Banner string
+}
+
+// HostResult aggregates one target's scan.
+type HostResult struct {
+	Addr    wire.Addr
+	Results []PortResult
+}
+
+// OpenPorts lists the open ports, ascending.
+func (h HostResult) OpenPorts() []uint16 {
+	var out []uint16
+	for _, r := range h.Results {
+		if r.Open {
+			out = append(out, r.Port)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Scanner drives scans from one source host.
+type Scanner struct {
+	Host *netsim.Host
+	// Timeout per connection attempt (virtual time). 0 means 2s.
+	Timeout time.Duration
+	// Ports to scan; nil means DefaultPorts.
+	Ports []uint16
+}
+
+// Scan probes every target on every port, runs the network to completion,
+// and returns per-host results in input order.
+func (s *Scanner) Scan(n *netsim.Network, targets []wire.Addr) []HostResult {
+	timeout := s.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	ports := s.Ports
+	if ports == nil {
+		ports = DefaultPorts
+	}
+
+	var mu sync.Mutex
+	results := make([]HostResult, len(targets))
+	for i, t := range targets {
+		results[i] = HostResult{Addr: t, Results: make([]PortResult, len(ports))}
+		for j, port := range ports {
+			results[i].Results[j] = PortResult{Port: port}
+			i, j := i, j
+			s.Host.SendTCPRequest(n, wire.Endpoint{Addr: t, Port: port}, []byte("\r\n"), netsim.TCPRequestOpts{
+				Timeout: timeout,
+				OnResponse: func(n *netsim.Network, payload []byte) {
+					mu.Lock()
+					results[i].Results[j].Open = true
+					results[i].Results[j].Banner = bannerString(payload)
+					mu.Unlock()
+				},
+			})
+		}
+	}
+	n.RunUntilIdle()
+	return results
+}
+
+func bannerString(payload []byte) string {
+	const max = 64
+	if len(payload) > max {
+		payload = payload[:max]
+	}
+	out := make([]byte, 0, len(payload))
+	for _, b := range payload {
+		if b >= 0x20 && b < 0x7F {
+			out = append(out, b)
+		}
+	}
+	return string(out)
+}
+
+// BGPBanner returns a TCPApp emitting a BGP-ish banner, installed on the
+// router addresses of observers that expose port 179 (core wires this in
+// as ground truth; the scanner then discovers it blind).
+func BGPBanner(routerName string) netsim.TCPApp {
+	return func(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+		return []byte("BGP-4 " + routerName + " AS-BORDER ready")
+	}
+}
+
+// Summary aggregates a scan campaign for reporting.
+type Summary struct {
+	Targets       int
+	NoOpenPorts   int
+	PortOpenCount map[uint16]int
+}
+
+// Summarize computes the §5.2 statistics from scan results.
+func Summarize(results []HostResult) Summary {
+	sum := Summary{Targets: len(results), PortOpenCount: make(map[uint16]int)}
+	for _, h := range results {
+		open := h.OpenPorts()
+		if len(open) == 0 {
+			sum.NoOpenPorts++
+			continue
+		}
+		for _, p := range open {
+			sum.PortOpenCount[p]++
+		}
+	}
+	return sum
+}
+
+// MostCommonPort returns the port open on the most targets (0 when none).
+func (s Summary) MostCommonPort() uint16 {
+	var best uint16
+	bestN := 0
+	ports := make([]uint16, 0, len(s.PortOpenCount))
+	for p := range s.PortOpenCount {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	for _, p := range ports {
+		if n := s.PortOpenCount[p]; n > bestN {
+			best, bestN = p, n
+		}
+	}
+	return best
+}
+
+// NoOpenFraction is the fraction of targets with no open ports.
+func (s Summary) NoOpenFraction() float64 {
+	if s.Targets == 0 {
+		return 0
+	}
+	return float64(s.NoOpenPorts) / float64(s.Targets)
+}

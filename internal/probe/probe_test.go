@@ -1,0 +1,106 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"shadowmeter/internal/netsim"
+	"shadowmeter/internal/wire"
+)
+
+var t0 = time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestScanFindsBGPRouter(t *testing.T) {
+	n := netsim.New(netsim.Config{Start: t0})
+
+	// Target 1: a border router exposing BGP.
+	bgpAddr := wire.MustParseAddr("10.0.0.1")
+	bgpHost := netsim.NewHost(n, bgpAddr)
+	bgpHost.ServeTCP(179, BGPBanner("cn-gw-1"))
+
+	// Target 2: totally closed (no host registered).
+	closedAddr := wire.MustParseAddr("10.0.0.2")
+
+	// Target 3: a web thing on 80.
+	webAddr := wire.MustParseAddr("10.0.0.3")
+	webHost := netsim.NewHost(n, webAddr)
+	webHost.ServeTCP(80, func(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+		return []byte("HTTP/1.1 200 OK\r\n\r\n")
+	})
+
+	scanner := &Scanner{Host: netsim.NewHost(n, wire.MustParseAddr("100.64.0.1"))}
+	results := scanner.Scan(n, []wire.Addr{bgpAddr, closedAddr, webAddr})
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if open := results[0].OpenPorts(); len(open) != 1 || open[0] != 179 {
+		t.Errorf("bgp target open = %v", open)
+	}
+	found := false
+	for _, r := range results[0].Results {
+		if r.Port == 179 && strings.Contains(r.Banner, "BGP-4 cn-gw-1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("BGP banner missing")
+	}
+	if open := results[1].OpenPorts(); len(open) != 0 {
+		t.Errorf("closed target open = %v", open)
+	}
+	if open := results[2].OpenPorts(); len(open) != 1 || open[0] != 80 {
+		t.Errorf("web target open = %v", open)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []HostResult{
+		{Addr: wire.AddrFrom(1, 1, 1, 1), Results: []PortResult{{Port: 179, Open: true}}},
+		{Addr: wire.AddrFrom(1, 1, 1, 2), Results: []PortResult{{Port: 22, Open: false}}},
+		{Addr: wire.AddrFrom(1, 1, 1, 3), Results: []PortResult{{Port: 179, Open: true}, {Port: 22, Open: true}}},
+		{Addr: wire.AddrFrom(1, 1, 1, 4), Results: nil},
+	}
+	s := Summarize(results)
+	if s.Targets != 4 || s.NoOpenPorts != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MostCommonPort() != 179 {
+		t.Errorf("most common = %d", s.MostCommonPort())
+	}
+	if got := s.NoOpenFraction(); got != 0.5 {
+		t.Errorf("no-open fraction = %v", got)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.MostCommonPort() != 0 || s.NoOpenFraction() != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestBannerString(t *testing.T) {
+	if got := bannerString([]byte("abc\r\ndef")); got != "abcdef" {
+		t.Errorf("banner = %q", got)
+	}
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if got := bannerString(long); len(got) != 64 {
+		t.Errorf("banner length = %d", len(got))
+	}
+}
+
+func TestScanCustomPorts(t *testing.T) {
+	n := netsim.New(netsim.Config{Start: t0})
+	target := wire.MustParseAddr("10.0.0.9")
+	host := netsim.NewHost(n, target)
+	host.ServeTCP(9999, func(n *netsim.Network, from wire.Endpoint, payload []byte) []byte { return []byte("odd") })
+	scanner := &Scanner{Host: netsim.NewHost(n, wire.MustParseAddr("100.64.0.1")), Ports: []uint16{9999}}
+	results := scanner.Scan(n, []wire.Addr{target})
+	if open := results[0].OpenPorts(); len(open) != 1 || open[0] != 9999 {
+		t.Errorf("open = %v", open)
+	}
+}

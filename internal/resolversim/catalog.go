@@ -1,0 +1,85 @@
+package resolversim
+
+import "shadowmeter/internal/wire"
+
+// PublicResolver describes one entry of the paper's Table 4.
+type PublicResolver struct {
+	Name    string
+	Addr    wire.Addr
+	Country string // operator headquarters / primary deployment
+	ASN     int
+	ASName  string
+}
+
+// PublicResolvers is the 20-resolver destination list of Table 4.
+var PublicResolvers = []PublicResolver{
+	{"Cloudflare", wire.MustParseAddr("1.1.1.1"), "US", 13335, "Cloudflare, Inc."},
+	{"CNNIC", wire.MustParseAddr("1.2.4.8"), "CN", 24151, "CNNIC"},
+	{"DNSPAI", wire.MustParseAddr("101.226.4.6"), "CN", 4812, "China Telecom (Group)"},
+	{"DNSPod", wire.MustParseAddr("119.29.29.29"), "CN", 45090, "Tencent Cloud"},
+	{"DNS.Watch", wire.MustParseAddr("84.200.69.80"), "DE", 60679, "DNS.WATCH"},
+	{"Oracle Dyn", wire.MustParseAddr("216.146.35.35"), "US", 33517, "Dynamic Network Services"},
+	{"Google", wire.MustParseAddr("8.8.8.8"), "US", 15169, "Google LLC"},
+	{"Hurricane", wire.MustParseAddr("74.82.42.42"), "US", 6939, "Hurricane Electric"},
+	{"Level3", wire.MustParseAddr("209.244.0.3"), "US", 3356, "Level 3 Parent, LLC"},
+	{"VERCARA", wire.MustParseAddr("156.154.70.1"), "US", 12008, "Vercara (Neustar)"},
+	{"OneDNS", wire.MustParseAddr("117.50.10.10"), "CN", 58879, "Shanghai Anchang Network"},
+	{"OpenDNS", wire.MustParseAddr("208.67.222.222"), "US", 36692, "Cisco OpenDNS"},
+	{"Open NIC", wire.MustParseAddr("217.160.166.161"), "DE", 8560, "IONOS SE"},
+	{"Quad9", wire.MustParseAddr("9.9.9.9"), "US", 19281, "Quad9"},
+	{"Yandex", wire.MustParseAddr("77.88.8.8"), "RU", 13238, "Yandex LLC"},
+	{"SafeDNS", wire.MustParseAddr("195.46.39.39"), "RU", 57926, "SafeDNS"},
+	{"Freenom", wire.MustParseAddr("80.80.80.80"), "NL", 206776, "Freenom World"},
+	{"Baidu", wire.MustParseAddr("180.76.76.76"), "CN", 38365, "Baidu, Inc."},
+	{"114DNS", wire.MustParseAddr("114.114.114.114"), "CN", 174001, "114DNS (Nanjing Xinfeng)"},
+	{"Quad101", wire.MustParseAddr("101.101.101.101"), "TW", 3462, "TWNIC / HiNet"},
+}
+
+// ResolverH is the high-shadowing resolver set of Section 5.1 (the five
+// destinations with the most problematic paths).
+var ResolverH = []string{"Yandex", "114DNS", "OneDNS", "DNSPAI", "VERCARA"}
+
+// IsResolverH reports whether name belongs to the Resolver_h set.
+func IsResolverH(name string) bool {
+	for _, r := range ResolverH {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RootServer is one root DNS server destination.
+type RootServer struct {
+	Name string
+	Addr wire.Addr
+}
+
+// RootServers lists the 13 root servers (Table 4).
+var RootServers = []RootServer{
+	{"a.root", wire.MustParseAddr("198.41.0.4")},
+	{"b.root", wire.MustParseAddr("170.247.170.2")},
+	{"c.root", wire.MustParseAddr("192.33.4.12")},
+	{"d.root", wire.MustParseAddr("199.7.91.13")},
+	{"e.root", wire.MustParseAddr("192.203.230.10")},
+	{"f.root", wire.MustParseAddr("192.5.5.241")},
+	{"g.root", wire.MustParseAddr("192.112.36.4")},
+	{"h.root", wire.MustParseAddr("198.97.190.53")},
+	{"i.root", wire.MustParseAddr("192.36.148.17")},
+	{"j.root", wire.MustParseAddr("192.58.128.30")},
+	{"k.root", wire.MustParseAddr("193.0.14.129")},
+	{"l.root", wire.MustParseAddr("199.7.83.42")},
+	{"m.root", wire.MustParseAddr("202.12.27.33")},
+}
+
+// TLDServer is one top-level-domain authoritative destination.
+type TLDServer struct {
+	Zone string
+	Addr wire.Addr
+}
+
+// TLDServers lists the two TLD authoritative destinations (Table 4).
+var TLDServers = []TLDServer{
+	{"com", wire.MustParseAddr("192.12.94.30")},
+	{"org", wire.MustParseAddr("199.19.57.1")},
+}

@@ -1,0 +1,558 @@
+// Package resolversim implements the DNS server fleet decoys are sent to:
+// recursive public resolvers (with caching, benign retries, anycast
+// instances, and optional shadowing exhibitors at the destination), plus
+// root and TLD authoritative servers that answer with referrals.
+//
+// Resolver-side shadowing is the dominant mode the paper measures for DNS
+// decoys (99.7% of observers located at the destination, Table 2), so the
+// exhibitor hook lives in the query path: after answering the client
+// authentically, an instance may hand the query name to its
+// observer.Exhibitor, which schedules unsolicited requests.
+package resolversim
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"shadowmeter/internal/dnswire"
+	"shadowmeter/internal/geodb"
+	"shadowmeter/internal/httpwire"
+	"shadowmeter/internal/netsim"
+	"shadowmeter/internal/wire"
+)
+
+// DomainObserver receives domains sniffed from resolved queries —
+// destination-side traffic shadowing. It is satisfied by
+// *observer.Exhibitor; an interface here keeps the resolver fleet free of
+// behavioral policy.
+type DomainObserver interface {
+	ObserveDomain(n *netsim.Network, domain string)
+}
+
+// QueryObserver is an optional refinement of DomainObserver: exhibitors
+// whose behavior depends on the querying client (e.g. shadowing only a
+// subset of client paths) receive the client address too. When an
+// Instance's Exhibitor implements QueryObserver, it is preferred.
+type QueryObserver interface {
+	ObserveQuery(n *netsim.Network, domain string, client wire.Addr)
+}
+
+// Registry maps zones to their authoritative server addresses — the
+// simulator's delegation tree. The honeypot registers the experiment zone
+// here; recursion consults it.
+type Registry struct {
+	mu    sync.RWMutex
+	zones map[string]wire.Addr
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{zones: make(map[string]wire.Addr)}
+}
+
+// Delegate registers auth as authoritative for zone and everything below.
+func (r *Registry) Delegate(zone string, auth wire.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.zones[dnswire.Canonical(zone)] = auth
+}
+
+// AuthFor finds the most specific zone covering name.
+func (r *Registry) AuthFor(name string) (zone string, auth wire.Addr, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	name = dnswire.Canonical(name)
+	for n := name; ; {
+		if a, found := r.zones[n]; found {
+			return n, a, true
+		}
+		i := strings.IndexByte(n, '.')
+		if i < 0 {
+			break
+		}
+		n = n[i+1:]
+	}
+	return "", wire.Addr{}, false
+}
+
+// Zones lists registered zones, sorted.
+func (r *Registry) Zones() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.zones))
+	for z := range r.zones {
+		out = append(out, z)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Instance is one deployment site of an anycast resolver service. Client
+// queries are routed to the instance whose Countries set contains the
+// client's country; the Default instance takes the rest.
+type Instance struct {
+	Name      string
+	Countries map[string]bool // client countries served; nil on the default
+	// Egress hosts send upstream queries to authoritative servers. Several
+	// egresses model operators that spread resolution over multiple
+	// networks ("diversified flows of data", Figure 6 discussion).
+	Egress []*netsim.Host
+	// Exhibitor, when non-nil, receives every query name this instance
+	// resolves — destination-side traffic shadowing. observer.Exhibitor
+	// satisfies this interface.
+	Exhibitor DomainObserver
+	// ExtraRetries issues N duplicate upstream queries moments after the
+	// original — the benign "implementation choice" retries that dominate
+	// sub-minute DNS-DNS shadowing in Figure 4.
+	ExtraRetries int
+	// RetryProb is the per-query probability that the duplicates are
+	// issued at all (1 when unset and ExtraRetries > 0 would retry every
+	// query, which would make every path to every resolver problematic —
+	// real resolvers retry situationally). Negative disables retries.
+	RetryProb float64
+	// RetryDelay spaces the duplicates; zero means 2s.
+	RetryDelay time.Duration
+
+	cache map[cacheKey]cacheEntry
+}
+
+type cacheKey struct {
+	name  string
+	qtype uint16
+}
+
+type cacheEntry struct {
+	answers []dnswire.RR
+	rcode   uint8
+	expires time.Time
+}
+
+// Service is one public resolver: a service address plus instances.
+type Service struct {
+	Name string
+	Addr wire.Addr
+
+	host      *netsim.Host
+	geo       *geodb.DB
+	registry  *Registry
+	instances []*Instance
+	def       *Instance
+
+	mu      sync.Mutex
+	stats   ServiceStats
+	clients map[wire.Addr]bool
+}
+
+// ServiceStats counts resolver activity.
+type ServiceStats struct {
+	Queries       int64
+	DoHQueries    int64
+	CacheHits     int64
+	Upstream      int64
+	ServFails     int64
+	RetriesIssued int64
+}
+
+// NewService creates a resolver service listening on addr (UDP/53). The
+// first instance added becomes the default.
+func NewService(n *netsim.Network, name string, addr wire.Addr, registry *Registry, geo *geodb.DB) *Service {
+	s := &Service{Name: name, Addr: addr, geo: geo, registry: registry, clients: make(map[wire.Addr]bool)}
+	s.host = netsim.NewHost(n, addr)
+	s.host.ServeUDP(53, s.handleQuery)
+	return s
+}
+
+// EnableDoH serves DNS-over-HTTPS on the resolver's port 443: a POST to
+// /dns-query whose body is a wire-format DNS message (RFC 8484). The
+// transport stands in for the encrypted channel — on-path observers
+// parsing port-443 traffic as TLS extract nothing, and the HTTP envelope
+// names the resolver, not the query — while the destination decodes the
+// message and (if shadowing) retains the name, exactly the limitation the
+// paper's Discussion points out for encrypted DNS.
+func (s *Service) EnableDoH() {
+	s.host.ServeTCP(443, func(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+		req, err := httpwire.ParseRequest(payload)
+		if err != nil || req.Method != "POST" || req.Path != "/dns-query" {
+			return httpwire.NewResponse(400, "bad DoH request").Encode()
+		}
+		s.mu.Lock()
+		s.stats.DoHQueries++
+		s.mu.Unlock()
+		// The inner DNS exchange reuses the UDP handler; the response (when
+		// answered synchronously from cache) wraps back into HTTP. For
+		// recursion, the client is answered over a direct DoH push.
+		resp := s.handleDoHQuery(n, from, req.Body)
+		if resp == nil {
+			return nil
+		}
+		return dohResponse(resp)
+	})
+}
+
+// handleDoHQuery mirrors handleQuery, but replies through an HTTP wrapper.
+func (s *Service) handleDoHQuery(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+	q, err := dnswire.Decode(payload)
+	if err != nil || q.Header.QR || len(q.Questions) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	s.stats.Queries++
+	s.clients[from.Addr] = true
+	s.mu.Unlock()
+	inst := s.instanceFor(from.Addr)
+	if inst == nil {
+		resp := dnswire.NewResponse(q, dnswire.RcodeServFail)
+		raw, _ := resp.Encode()
+		return raw
+	}
+	if inst.Exhibitor != nil {
+		if qo, ok := inst.Exhibitor.(QueryObserver); ok {
+			qo.ObserveQuery(n, q.QName(), from.Addr)
+		} else {
+			inst.Exhibitor.ObserveDomain(n, q.QName())
+		}
+	}
+	key := cacheKey{q.QName(), q.QType()}
+	if entry, ok := inst.cache[key]; ok && n.Now().Before(entry.expires) {
+		s.mu.Lock()
+		s.stats.CacheHits++
+		s.mu.Unlock()
+		resp := dnswire.NewResponse(q, entry.rcode)
+		resp.Answers = append(resp.Answers, entry.answers...)
+		raw, _ := resp.Encode()
+		return raw
+	}
+	s.recurseDoH(n, inst, q, from)
+	return nil
+}
+
+// recurseDoH resolves upstream and pushes the HTTP-wrapped answer back to
+// the DoH client.
+func (s *Service) recurseDoH(n *netsim.Network, inst *Instance, q *dnswire.Message, client wire.Endpoint) {
+	_, auth, ok := s.registry.AuthFor(q.QName())
+	if !ok || len(inst.Egress) == 0 {
+		s.mu.Lock()
+		s.stats.ServFails++
+		s.mu.Unlock()
+		s.pushDoH(n, client, q, dnswire.RcodeServFail, nil)
+		return
+	}
+	s.mu.Lock()
+	s.stats.Upstream++
+	s.mu.Unlock()
+	egress := inst.Egress[int(q.Header.ID)%len(inst.Egress)]
+	upstream := dnswire.NewQuery(q.Header.ID, q.QName(), q.QType())
+	upstream.Header.RD = false
+	upPayload, err := upstream.Encode()
+	if err != nil {
+		return
+	}
+	egress.SendUDPRequest(n, wire.Endpoint{Addr: auth, Port: 53}, upPayload, netsim.UDPRequestOpts{
+		Timeout: 3 * time.Second,
+		OnReply: func(n *netsim.Network, resp []byte) {
+			msg, err := dnswire.Decode(resp)
+			if err != nil {
+				s.pushDoH(n, client, q, dnswire.RcodeServFail, nil)
+				return
+			}
+			ttl := time.Hour
+			if len(msg.Answers) > 0 {
+				ttl = time.Duration(msg.Answers[0].TTL) * time.Second
+			}
+			inst.cache[cacheKey{q.QName(), q.QType()}] = cacheEntry{
+				answers: msg.Answers, rcode: msg.Header.Rcode, expires: n.Now().Add(ttl),
+			}
+			s.pushDoH(n, client, q, msg.Header.Rcode, msg.Answers)
+		},
+		OnTimeout: func(n *netsim.Network) {
+			s.pushDoH(n, client, q, dnswire.RcodeServFail, nil)
+		},
+	})
+}
+
+// pushDoH sends the HTTP-wrapped DNS answer as a TCP data packet from the
+// resolver's 443 back to the DoH client.
+func (s *Service) pushDoH(n *netsim.Network, client wire.Endpoint, q *dnswire.Message, rcode uint8, answers []dnswire.RR) {
+	resp := dnswire.NewResponse(q, rcode)
+	resp.Answers = append(resp.Answers, answers...)
+	raw, err := resp.Encode()
+	if err != nil {
+		return
+	}
+	body := dohResponse(raw)
+	tcp := wire.TCP{SrcPort: 443, DstPort: client.Port, Seq: 1, Ack: 1, Flags: wire.TCPPsh | wire.TCPAck | wire.TCPFin, Window: 65535}
+	seg, err := tcp.Serialize(s.Addr, client.Addr, body)
+	if err != nil {
+		return
+	}
+	ip := wire.IPv4{TTL: 64, Protocol: wire.ProtoTCP, Src: s.Addr, Dst: client.Addr, Flags: wire.FlagDF}
+	pkt, err := ip.Serialize(seg)
+	if err != nil {
+		return
+	}
+	n.SendPacket(pkt)
+}
+
+// dohResponse wraps a DNS message in the RFC 8484 HTTP envelope.
+func dohResponse(dnsMsg []byte) []byte {
+	resp := httpwire.NewResponse(200, string(dnsMsg))
+	resp.Headers["content-type"] = "application/dns-message"
+	return resp.Encode()
+}
+
+// AddInstance attaches a deployment site. Instances added first win country
+// ties; an instance with nil Countries becomes the default.
+func (s *Service) AddInstance(inst *Instance) {
+	inst.cache = make(map[cacheKey]cacheEntry)
+	if inst.RetryDelay == 0 {
+		inst.RetryDelay = 2 * time.Second
+	}
+	s.instances = append(s.instances, inst)
+	if inst.Countries == nil && s.def == nil {
+		s.def = inst
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// DistinctClients reports how many distinct source addresses this resolver
+// has seen — the operator's view of message *origin*. Oblivious transports
+// collapse it to the proxy's address set, which is exactly the privacy
+// property ODoH buys (ground truth for the mitigation study).
+func (s *Service) DistinctClients() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// instanceFor picks the anycast site serving a client address.
+func (s *Service) instanceFor(client wire.Addr) *Instance {
+	country := s.geo.Country(client)
+	for _, inst := range s.instances {
+		if inst.Countries != nil && inst.Countries[country] {
+			return inst
+		}
+	}
+	return s.def
+}
+
+// handleQuery is the UDP/53 service entry point.
+func (s *Service) handleQuery(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+	q, err := dnswire.Decode(payload)
+	if err != nil || q.Header.QR || len(q.Questions) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	s.stats.Queries++
+	s.clients[from.Addr] = true
+	s.mu.Unlock()
+
+	inst := s.instanceFor(from.Addr)
+	if inst == nil {
+		resp := dnswire.NewResponse(q, dnswire.RcodeServFail)
+		raw, _ := resp.Encode()
+		return raw
+	}
+
+	// Destination-side shadowing: the instance records the query name
+	// regardless of how resolution proceeds.
+	if inst.Exhibitor != nil {
+		if qo, ok := inst.Exhibitor.(QueryObserver); ok {
+			qo.ObserveQuery(n, q.QName(), from.Addr)
+		} else {
+			inst.Exhibitor.ObserveDomain(n, q.QName())
+		}
+	}
+
+	key := cacheKey{q.QName(), q.QType()}
+	if entry, ok := inst.cache[key]; ok && n.Now().Before(entry.expires) {
+		s.mu.Lock()
+		s.stats.CacheHits++
+		s.mu.Unlock()
+		resp := dnswire.NewResponse(q, entry.rcode)
+		resp.Answers = append(resp.Answers, entry.answers...)
+		raw, _ := resp.Encode()
+		return raw
+	}
+
+	// Recurse asynchronously: reply to the client when the authoritative
+	// answer returns. Returning nil here suppresses the synchronous reply.
+	s.recurse(n, inst, q, from)
+	return nil
+}
+
+func (s *Service) recurse(n *netsim.Network, inst *Instance, q *dnswire.Message, client wire.Endpoint) {
+	_, auth, ok := s.registry.AuthFor(q.QName())
+	if !ok || len(inst.Egress) == 0 {
+		s.mu.Lock()
+		s.stats.ServFails++
+		s.mu.Unlock()
+		s.replyToClient(n, client, q, dnswire.RcodeServFail, nil)
+		return
+	}
+	s.mu.Lock()
+	s.stats.Upstream++
+	s.mu.Unlock()
+
+	egress := inst.Egress[int(q.Header.ID)%len(inst.Egress)]
+	upstream := dnswire.NewQuery(q.Header.ID, q.QName(), q.QType())
+	upstream.Header.RD = false
+	upPayload, err := upstream.Encode()
+	if err != nil {
+		return
+	}
+	answered := false
+	egress.SendUDPRequest(n, wire.Endpoint{Addr: auth, Port: 53}, upPayload, netsim.UDPRequestOpts{
+		Timeout: 3 * time.Second,
+		OnReply: func(n *netsim.Network, resp []byte) {
+			answered = true
+			msg, err := dnswire.Decode(resp)
+			if err != nil {
+				s.replyToClient(n, client, q, dnswire.RcodeServFail, nil)
+				return
+			}
+			ttl := time.Hour
+			if len(msg.Answers) > 0 {
+				ttl = time.Duration(msg.Answers[0].TTL) * time.Second
+			}
+			inst.cache[cacheKey{q.QName(), q.QType()}] = cacheEntry{
+				answers: msg.Answers, rcode: msg.Header.Rcode,
+				expires: n.Now().Add(ttl),
+			}
+			s.replyToClient(n, client, q, msg.Header.Rcode, msg.Answers)
+		},
+		OnTimeout: func(n *netsim.Network) {
+			if !answered {
+				s.mu.Lock()
+				s.stats.ServFails++
+				s.mu.Unlock()
+				s.replyToClient(n, client, q, dnswire.RcodeServFail, nil)
+			}
+		},
+	})
+
+	// Benign duplicate upstream queries (implementation choice). These are
+	// the packets APNIC saw as "DNS zombies" within the first minute.
+	if inst.RetryProb < 0 {
+		return
+	}
+	if inst.RetryProb > 0 && inst.RetryProb < 1 {
+		// Deterministic per-query coin derived from the query name, so
+		// repeated runs are reproducible.
+		h := uint32(2166136261)
+		for i := 0; i < len(q.QName()); i++ {
+			h = (h ^ uint32(q.QName()[i])) * 16777619
+		}
+		if float64(h%10000) >= inst.RetryProb*10000 {
+			return
+		}
+	}
+	for i := 0; i < inst.ExtraRetries; i++ {
+		delay := inst.RetryDelay * time.Duration(i+1)
+		n.Schedule(delay, func() {
+			s.mu.Lock()
+			s.stats.RetriesIssued++
+			s.mu.Unlock()
+			egress.SendUDPRequest(n, wire.Endpoint{Addr: auth, Port: 53}, upPayload, netsim.UDPRequestOpts{
+				Timeout: 3 * time.Second,
+			})
+		})
+	}
+}
+
+func (s *Service) replyToClient(n *netsim.Network, client wire.Endpoint, q *dnswire.Message, rcode uint8, answers []dnswire.RR) {
+	resp := dnswire.NewResponse(q, rcode)
+	resp.Answers = append(resp.Answers, answers...)
+	raw, err := resp.Encode()
+	if err != nil {
+		return
+	}
+	udp := wire.UDP{SrcPort: 53, DstPort: client.Port}
+	seg, err := udp.Serialize(s.Addr, client.Addr, raw)
+	if err != nil {
+		return
+	}
+	ip := wire.IPv4{TTL: 64, Protocol: wire.ProtoUDP, Src: s.Addr, Dst: client.Addr, Flags: wire.FlagDF}
+	pkt, err := ip.Serialize(seg)
+	if err != nil {
+		return
+	}
+	n.SendPacket(pkt)
+}
+
+// ReferralServer is a root or TLD authoritative server: it answers every
+// query with a referral (authority NS record) and never shadows. Decoys
+// sent directly to roots/TLDs get authentic responses and, per the paper,
+// trigger nothing.
+type ReferralServer struct {
+	Name string
+	Zone string // zone it speaks for ("" = root)
+
+	mu      sync.Mutex
+	queries int64
+}
+
+// NewReferralServer registers a referral server on addr.
+func NewReferralServer(n *netsim.Network, name, zone string, addr wire.Addr) *ReferralServer {
+	rs := &ReferralServer{Name: name, Zone: zone}
+	host := netsim.NewHost(n, addr)
+	host.ServeUDP(53, rs.handle)
+	return rs
+}
+
+// Queries reports how many queries arrived.
+func (rs *ReferralServer) Queries() int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.queries
+}
+
+func (rs *ReferralServer) handle(n *netsim.Network, from wire.Endpoint, payload []byte) []byte {
+	q, err := dnswire.Decode(payload)
+	if err != nil || q.Header.QR || len(q.Questions) == 0 {
+		return nil
+	}
+	rs.mu.Lock()
+	rs.queries++
+	rs.mu.Unlock()
+	resp := dnswire.NewResponse(q, dnswire.RcodeNoError)
+	resp.Header.AA = false
+	// Refer one level down from our zone toward the query name.
+	child := referralChild(q.QName(), rs.Zone)
+	resp.Authority = append(resp.Authority, dnswire.RR{
+		Name: child, Type: dnswire.TypeNS, TTL: 172800, Target: "ns1." + child,
+	})
+	raw, err := resp.Encode()
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+// referralChild computes the zone one label below zone on the way to name
+// (e.g. name "a.b.example.com", zone "com" -> "example.com").
+func referralChild(name, zone string) string {
+	name, zone = dnswire.Canonical(name), dnswire.Canonical(zone)
+	if !dnswire.IsSubdomain(name, zone) || name == zone {
+		return name
+	}
+	suffixLen := len(zone)
+	head := name
+	if suffixLen > 0 {
+		head = name[:len(name)-suffixLen-1]
+	}
+	if i := strings.LastIndexByte(head, '.'); i >= 0 {
+		head = head[i+1:]
+	}
+	if zone == "" {
+		return head
+	}
+	return head + "." + zone
+}

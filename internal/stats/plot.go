@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// PlotCDF renders an ASCII plot of the CDF over a logarithmic time axis —
+// the report's stand-in for the paper's Figure 4/7 curves. Samples are
+// interpreted as seconds. width and height bound the canvas (sensible
+// defaults when <= 0).
+func PlotCDF(c *CDF, width, height int) string {
+	if c == nil || c.N() == 0 {
+		return "(no samples)\n"
+	}
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 10
+	}
+	minX := c.Min()
+	if minX < 1 {
+		minX = 1 // clamp to 1s for the log axis
+	}
+	maxX := c.Max()
+	if maxX <= minX {
+		maxX = minX * 10
+	}
+	logMin, logMax := math.Log10(minX), math.Log10(maxX)
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for col := 0; col < width; col++ {
+		x := math.Pow(10, logMin+(logMax-logMin)*float64(col)/float64(width-1))
+		y := c.At(x)
+		row := int(math.Round((1 - y) * float64(height-1)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][col] = '*'
+	}
+
+	var b strings.Builder
+	for i, row := range grid {
+		frac := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%5.0f%% |%s|\n", frac*100, string(row))
+	}
+	b.WriteString("       ")
+	b.WriteString(strings.Repeat("-", width+2))
+	b.WriteByte('\n')
+	// Tick labels at both ends and the middle.
+	mid := math.Pow(10, (logMin+logMax)/2)
+	left := humanSeconds(minX)
+	midS := humanSeconds(mid)
+	right := humanSeconds(maxX)
+	pad := width - len(left) - len(midS) - len(right)
+	if pad < 2 {
+		pad = 2
+	}
+	fmt.Fprintf(&b, "       %s%s%s%s%s\n", left,
+		strings.Repeat(" ", pad/2), midS, strings.Repeat(" ", pad-pad/2), right)
+	return b.String()
+}
+
+// humanSeconds renders a duration in seconds compactly ("30s", "2h", "3d").
+func humanSeconds(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%.0fs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%.0fm", d.Minutes())
+	case d < 24*time.Hour:
+		return fmt.Sprintf("%.0fh", d.Hours())
+	default:
+		return fmt.Sprintf("%.0fd", d.Hours()/24)
+	}
+}
+
+// Bars renders a labeled horizontal bar chart (used for Table 2 style
+// distributions and time series).
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(v / max * float64(width)))
+		}
+		fmt.Fprintf(&b, "  %-*s %s %s\n", labelW, labels[i],
+			strings.Repeat("#", n), FormatFloat(v))
+	}
+	return b.String()
+}

@@ -1,0 +1,229 @@
+package tlswire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testRandom() [32]byte {
+	var r [32]byte
+	for i := range r {
+		r[i] = byte(i * 7)
+	}
+	return r
+}
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	ch := NewClientHello("abc123.www.experiment.domain", testRandom())
+	data, err := ch.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseClientHello(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ServerName != "abc123.www.experiment.domain" {
+		t.Errorf("ServerName = %q", got.ServerName)
+	}
+	if got.Version != VersionTLS12 {
+		t.Errorf("Version = %#x", got.Version)
+	}
+	if got.Random != testRandom() {
+		t.Error("Random mismatch")
+	}
+	if len(got.CipherSuites) != len(defaultCipherSuites) {
+		t.Errorf("CipherSuites = %v", got.CipherSuites)
+	}
+}
+
+func TestSNIFromBytes(t *testing.T) {
+	ch := NewClientHello("sni.experiment.domain", testRandom())
+	data, err := ch.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := SNIFromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "sni.experiment.domain" {
+		t.Errorf("SNI = %q", name)
+	}
+}
+
+func TestNoSNI(t *testing.T) {
+	ch := NewClientHello("", testRandom())
+	data, err := ch.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SNIFromBytes(data); err != ErrNoSNI {
+		t.Errorf("want ErrNoSNI, got %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseClientHello(nil); err != ErrTruncated {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := ParseClientHello([]byte{23, 3, 3, 0, 0}); err != ErrNotHandshake {
+		t.Errorf("appdata record: %v", err)
+	}
+	ch := NewClientHello("x.example", testRandom())
+	data, _ := ch.Encode()
+	if _, err := ParseClientHello(data[:len(data)-5]); err == nil {
+		t.Error("truncated hello should fail")
+	}
+	// ServerHello bytes are not a ClientHello.
+	sh := &ServerHello{Version: VersionTLS12, CipherSuite: 0x1301}
+	if _, err := ParseClientHello(sh.Encode()); err != ErrNotHandshake {
+		t.Errorf("serverhello as clienthello: %v", err)
+	}
+}
+
+func TestServerHelloRoundTrip(t *testing.T) {
+	sh := &ServerHello{Version: VersionTLS12, Random: testRandom(), CipherSuite: 0x1301}
+	got, err := ParseServerHello(sh.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CipherSuite != 0x1301 || got.Version != VersionTLS12 || got.Random != testRandom() {
+		t.Errorf("ServerHello mismatch: %+v", got)
+	}
+}
+
+func TestSessionIDPreserved(t *testing.T) {
+	ch := NewClientHello("a.example", testRandom())
+	ch.SessionID = []byte{1, 2, 3, 4}
+	data, err := ch.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseClientHello(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.SessionID) != 4 || got.SessionID[3] != 4 {
+		t.Errorf("SessionID = %v", got.SessionID)
+	}
+}
+
+func TestSNIRoundTripProperty(t *testing.T) {
+	letters := "abcdefghijklmnopqrstuvwxyz0123456789-."
+	f := func(seed uint64, n uint8) bool {
+		l := int(n%60) + 1
+		var sb strings.Builder
+		s := seed
+		for i := 0; i < l; i++ {
+			c := letters[int(s%uint64(len(letters)-2))] // avoid '.' runs for simplicity
+			sb.WriteByte(c)
+			s = s*6364136223846793005 + 1442695040888963407
+		}
+		name := sb.String()
+		ch := NewClientHello(name, testRandom())
+		data, err := ch.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := SNIFromBytes(data)
+		return err == nil && got == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeClientHello(b *testing.B) {
+	r := testRandom()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ch := NewClientHello("id.www.experiment.domain", r)
+		if _, err := ch.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSNIExtraction(b *testing.B) {
+	ch := NewClientHello("id.www.experiment.domain", testRandom())
+	data, _ := ch.Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SNIFromBytes(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestECHHidesSNIFromWire(t *testing.T) {
+	ch := NewClientHelloECH("secret.www.experiment.domain", testRandom())
+	data, err := ch.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire bytes must not contain the clear-text name anywhere.
+	if strings.Contains(string(data), "secret.www.experiment.domain") {
+		t.Fatal("ECH hello leaks the name in clear text")
+	}
+	// An on-path observer extracting SNI sees nothing.
+	if _, err := SNIFromBytes(data); err != ErrNoSNI {
+		t.Errorf("SNI extraction = %v, want ErrNoSNI", err)
+	}
+	// The destination recovers it.
+	parsed, err := ParseClientHello(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.HasECH() {
+		t.Fatal("ECH extension lost on the wire")
+	}
+	name, ok := parsed.ECHServerName()
+	if !ok || name != "secret.www.experiment.domain" {
+		t.Errorf("ECHServerName = %q, %v", name, ok)
+	}
+}
+
+func TestECHRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		l := int(n%50) + 1
+		letters := "abcdefghijklmnopqrstuvwxyz0123456789-."
+		var sb strings.Builder
+		s := seed
+		for i := 0; i < l; i++ {
+			sb.WriteByte(letters[int(s%uint64(len(letters)))])
+			s = s*6364136223846793005 + 1442695040888963407
+		}
+		name := sb.String()
+		ch := NewClientHelloECH(name, testRandom())
+		data, err := ch.Encode()
+		if err != nil {
+			return false
+		}
+		parsed, err := ParseClientHello(data)
+		if err != nil {
+			return false
+		}
+		got, ok := parsed.ECHServerName()
+		return ok && got == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlainHelloHasNoECH(t *testing.T) {
+	ch := NewClientHello("plain.example", testRandom())
+	data, _ := ch.Encode()
+	parsed, err := ParseClientHello(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.HasECH() {
+		t.Error("plain hello should not carry ECH")
+	}
+	if _, ok := parsed.ECHServerName(); ok {
+		t.Error("ECHServerName on plain hello")
+	}
+}

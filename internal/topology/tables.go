@@ -1,0 +1,123 @@
+package topology
+
+// Country is one entry of the world table. Weight steers how many vantage
+// points the platform builder places there, loosely following the
+// distribution of commercial VPN presence.
+type Country struct {
+	Code   string // ISO 3166-1 alpha-2
+	Name   string
+	Weight int
+}
+
+// Countries is the 82-country world of the experiment (81 global countries
+// plus CN, matching Table 1's coverage).
+var Countries = []Country{
+	{"US", "United States", 10}, {"DE", "Germany", 8}, {"GB", "United Kingdom", 7},
+	{"FR", "France", 6}, {"NL", "Netherlands", 6}, {"CA", "Canada", 6},
+	{"SG", "Singapore", 6}, {"JP", "Japan", 5}, {"AU", "Australia", 5},
+	{"CH", "Switzerland", 4}, {"SE", "Sweden", 4}, {"RU", "Russia", 4},
+	{"BR", "Brazil", 4}, {"IN", "India", 4}, {"KR", "South Korea", 4},
+	{"HK", "Hong Kong", 4}, {"TW", "Taiwan", 3}, {"IT", "Italy", 3},
+	{"ES", "Spain", 3}, {"PL", "Poland", 3}, {"RO", "Romania", 3},
+	{"CZ", "Czechia", 3}, {"AT", "Austria", 3}, {"BE", "Belgium", 3},
+	{"DK", "Denmark", 3}, {"NO", "Norway", 3}, {"FI", "Finland", 3},
+	{"IE", "Ireland", 3}, {"PT", "Portugal", 2}, {"GR", "Greece", 2},
+	{"HU", "Hungary", 2}, {"BG", "Bulgaria", 2}, {"UA", "Ukraine", 2},
+	{"TR", "Turkey", 2}, {"IL", "Israel", 2}, {"AE", "UAE", 2},
+	{"SA", "Saudi Arabia", 2}, {"ZA", "South Africa", 2}, {"EG", "Egypt", 2},
+	{"NG", "Nigeria", 2}, {"KE", "Kenya", 2}, {"MX", "Mexico", 2},
+	{"AR", "Argentina", 2}, {"CL", "Chile", 2}, {"CO", "Colombia", 2},
+	{"PE", "Peru", 2}, {"VE", "Venezuela", 1}, {"TH", "Thailand", 2},
+	{"VN", "Vietnam", 2}, {"MY", "Malaysia", 2}, {"ID", "Indonesia", 2},
+	{"PH", "Philippines", 2}, {"NZ", "New Zealand", 2}, {"SK", "Slovakia", 1},
+	{"SI", "Slovenia", 1}, {"HR", "Croatia", 1}, {"RS", "Serbia", 1},
+	{"EE", "Estonia", 1}, {"LV", "Latvia", 1}, {"LT", "Lithuania", 1},
+	{"LU", "Luxembourg", 1}, {"IS", "Iceland", 1}, {"MT", "Malta", 1},
+	{"CY", "Cyprus", 1}, {"MD", "Moldova", 1}, {"GE", "Georgia", 1},
+	{"AM", "Armenia", 1}, {"AZ", "Azerbaijan", 1}, {"KZ", "Kazakhstan", 1},
+	{"PK", "Pakistan", 1}, {"BD", "Bangladesh", 1}, {"LK", "Sri Lanka", 1},
+	{"NP", "Nepal", 1}, {"MM", "Myanmar", 1}, {"KH", "Cambodia", 1},
+	{"MA", "Morocco", 1}, {"TN", "Tunisia", 1}, {"GH", "Ghana", 1},
+	{"AD", "Andorra", 1}, {"PA", "Panama", 1}, {"CR", "Costa Rica", 1},
+	{"CN", "China", 0}, // VP placement in CN is driven by the province table
+}
+
+// CNProvince is one mainland-China province with its provincial ISP AS.
+type CNProvince struct {
+	Name   string
+	ASN    int
+	ASName string
+}
+
+// CNProvinces covers 30 of 31 mainland provinces (Table 1). Provinces that
+// appear in the paper's observer tables keep their real-world AS numbers
+// (AS58563 Hubei, AS137697/AS23650 Jiangsu, AS4808 Beijing Unicom, AS4812
+// Shanghai); the rest receive synthetic provincial ASNs.
+var CNProvinces = []CNProvince{
+	{"Beijing", 4808, "China Unicom Beijing Province Network"},
+	{"Shanghai", 4812, "China Telecom (Group)"},
+	{"Jiangsu", 137697, "CHINATELECOM JiangSu"},
+	{"Hubei", 58563, "CHINANET Hubei province network"},
+	{"Guangdong", 58466, "CHINANET Guangdong province network"},
+	{"Zhejiang", 58461, "CHINANET Zhejiang province network"},
+	{"Shandong", 58542, "CHINANET Shandong province network"},
+	{"Sichuan", 38283, "CHINANET Sichuan province network"},
+	{"Fujian", 133774, "CHINANET Fujian province network"},
+	{"Hunan", 63838, "CHINANET Hunan province network"},
+	{"Henan", 63835, "CHINANET Henan province network"},
+	{"Hebei", 63839, "CHINANET Hebei province network"},
+	{"Anhui", 63840, "CHINANET Anhui province network"},
+	{"Liaoning", 63841, "CHINANET Liaoning province network"},
+	{"Shaanxi", 63842, "CHINANET Shaanxi province network"},
+	{"Chongqing", 63843, "CHINANET Chongqing province network"},
+	{"Tianjin", 63844, "CHINANET Tianjin province network"},
+	{"Yunnan", 63845, "CHINANET Yunnan province network"},
+	{"Guangxi", 63846, "CHINANET Guangxi province network"},
+	{"Jiangxi", 63847, "CHINANET Jiangxi province network"},
+	{"Shanxi", 63848, "CHINANET Shanxi province network"},
+	{"Heilongjiang", 63849, "CHINANET Heilongjiang province network"},
+	{"Jilin", 63850, "CHINANET Jilin province network"},
+	{"Guizhou", 63851, "CHINANET Guizhou province network"},
+	{"Gansu", 63852, "CHINANET Gansu province network"},
+	{"Inner Mongolia", 63853, "CHINANET Inner Mongolia network"},
+	{"Xinjiang", 63854, "CHINANET Xinjiang province network"},
+	{"Hainan", 63855, "CHINANET Hainan province network"},
+	{"Ningxia", 63856, "CHINANET Ningxia province network"},
+	{"Qinghai", 63857, "CHINANET Qinghai province network"},
+}
+
+// Backbone and transit AS identities.
+const (
+	ASNChinanetBackbone = 4134   // CHINANET-BACKBONE
+	ASNJiangsuBackbone  = 23650  // CHINANET jiangsu backbone
+	ASNGoogle           = 15169  // Google (origin of many unsolicited DNS queries)
+	ASNHostRoyale       = 203020 // HostRoyale Technologies Pvt Ltd
+	ASNZenlayer         = 21859  // Zenlayer Inc
+	ASNConstantContact  = 40444  // Constant Contact (US observer AS, §5.2)
+	ASNRogers           = 29988  // Rogers Communications (CA observer AS, §5.2)
+)
+
+// transitAS describes one tier-1 style global transit network.
+type transitAS struct {
+	ASN     int
+	Name    string
+	Country string
+}
+
+// GlobalTransit is the tier-1 pool global paths are drawn from.
+var GlobalTransit = []transitAS{
+	{3356, "Level 3 Parent, LLC", "US"},
+	{174, "Cogent Communications", "US"},
+	{2914, "NTT America", "US"},
+	{1299, "Arelion (Telia Carrier)", "SE"},
+	{3257, "GTT Communications", "US"},
+	{6939, "Hurricane Electric", "US"},
+	{6453, "TATA Communications", "IN"},
+	{3491, "PCCW Global", "HK"},
+	{5511, "Orange International Carriers", "FR"},
+	{6762, "Telecom Italia Sparkle", "IT"},
+	{ASNZenlayer, "Zenlayer Inc", "US"},
+	{ASNHostRoyale, "HostRoyale Technologies Pvt Ltd", "IN"},
+	{ASNConstantContact, "Constant Contact", "US"},
+	{ASNRogers, "Rogers Communications", "CA"},
+}

@@ -1,0 +1,316 @@
+package topology
+
+import (
+	"testing"
+
+	"shadowmeter/internal/netsim"
+	"shadowmeter/internal/wire"
+)
+
+func build(t *testing.T) *Topology {
+	t.Helper()
+	return Build(Config{Seed: 42})
+}
+
+func TestWorldShape(t *testing.T) {
+	topo := build(t)
+	countries := topo.Countries()
+	if len(countries) != 82 {
+		t.Errorf("countries = %d, want 82", len(countries))
+	}
+	if topo.AS(ASNChinanetBackbone) == nil {
+		t.Fatal("missing CHINANET backbone")
+	}
+	if topo.AS(ASNGoogle) == nil {
+		t.Fatal("missing Google AS")
+	}
+	if got := topo.ProvincialAS("Jiangsu"); got == nil || got.ASN != 137697 {
+		t.Errorf("Jiangsu provincial = %v", got)
+	}
+	if n := topo.NumASes(); n < 150 {
+		t.Errorf("NumASes = %d, want >= 150", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Build(Config{Seed: 7})
+	b := Build(Config{Seed: 7})
+	asA, asB := a.HostingASes("DE"), b.HostingASes("DE")
+	if len(asA) == 0 || len(asA) != len(asB) {
+		t.Fatalf("hosting ASes: %d vs %d", len(asA), len(asB))
+	}
+	for i := range asA {
+		if asA[i].ASN != asB[i].ASN || asA[i].prefix != asB[i].prefix {
+			t.Errorf("AS %d differs across builds", i)
+		}
+	}
+	// Paths must be identical too.
+	srcA := a.AllocHostAddr(asA[0])
+	srcB := b.AllocHostAddr(asB[0])
+	if srcA != srcB {
+		t.Fatalf("allocation differs: %v vs %v", srcA, srcB)
+	}
+	dstA := a.AllocHostAddr(a.AS(ASNGoogle))
+	dstB := b.AllocHostAddr(b.AS(ASNGoogle))
+	pA, pB := a.Path(srcA, dstA), b.Path(srcB, dstB)
+	if len(pA) != len(pB) {
+		t.Fatalf("path lengths differ: %d vs %d", len(pA), len(pB))
+	}
+	for i := range pA {
+		if pA[i].Addr != pB[i].Addr {
+			t.Errorf("hop %d differs: %v vs %v", i, pA[i].Addr, pB[i].Addr)
+		}
+	}
+}
+
+func TestAllocHostAddrUniqueAndInPrefix(t *testing.T) {
+	topo := build(t)
+	as := topo.HostingASes("US")[0]
+	seen := make(map[wire.Addr]bool)
+	for i := 0; i < 1000; i++ {
+		a := topo.AllocHostAddr(as)
+		if seen[a] {
+			t.Fatalf("duplicate address %v", a)
+		}
+		seen[a] = true
+		if a[0] != as.prefix[0] || a[1] != as.prefix[1] {
+			t.Fatalf("address %v outside prefix %v/16", a, as.prefix)
+		}
+		if info, ok := topo.Geo.Lookup(a); !ok || info.ASN != as.ASN {
+			t.Fatalf("geo lookup of %v = %+v", a, info)
+		}
+	}
+}
+
+func TestServiceAS(t *testing.T) {
+	topo := build(t)
+	yandex := wire.MustParseAddr("77.88.8.8")
+	as := topo.AddServiceAS(13238, "Yandex", "RU", yandex, true)
+	if as == nil || len(as.Routers) == 0 {
+		t.Fatal("service AS not created")
+	}
+	info, ok := topo.Geo.Lookup(yandex)
+	if !ok || info.ASN != 13238 || info.Country != "RU" {
+		t.Errorf("lookup = %+v, %v", info, ok)
+	}
+	// Second registration of another prefix for the same operator (anycast).
+	us := wire.MustParseAddr("77.88.110.1")
+	as2 := topo.AddServiceAS(13238, "Yandex", "RU", us, true)
+	if as2 != as {
+		t.Error("same ASN should return the same AS")
+	}
+	// Host allocation must not hand out the service address.
+	for i := 0; i < 100; i++ {
+		if topo.AllocHostAddr(as) == yandex {
+			t.Fatal("service address allocated as host")
+		}
+	}
+}
+
+func TestPathProperties(t *testing.T) {
+	topo := build(t)
+	de := topo.HostingASes("DE")[0]
+	us := topo.HostingASes("US")[0]
+	src := topo.AllocHostAddr(de)
+	dst := topo.AllocHostAddr(us)
+	p := topo.Path(src, dst)
+	if len(p) < 4 || len(p) > 16 {
+		t.Fatalf("path length = %d", len(p))
+	}
+	// First hop in source AS, last in destination AS.
+	if got := topo.ASOf(p[0].Addr); got != de {
+		t.Errorf("first hop in %v", got)
+	}
+	if got := topo.ASOf(p[len(p)-1].Addr); got != us {
+		t.Errorf("last hop in %v", got)
+	}
+	// No repeated routers.
+	seen := make(map[*netsim.Router]bool)
+	for _, r := range p {
+		if seen[r] {
+			t.Errorf("router %s repeated", r.Name)
+		}
+		seen[r] = true
+	}
+	// Cached result is identical.
+	p2 := topo.Path(src, dst)
+	if len(p2) != len(p) {
+		t.Error("cache returned different path")
+	}
+}
+
+func TestCNPathsTraverseBackbone(t *testing.T) {
+	topo := build(t)
+	cnAS := topo.HostingASes("CN")
+	if len(cnAS) == 0 {
+		t.Fatal("no CN hosting ASes")
+	}
+	src := topo.AllocHostAddr(cnAS[0])
+	usAS := topo.HostingASes("US")[0]
+	dst := topo.AllocHostAddr(usAS)
+	p := topo.Path(src, dst)
+	foundBackbone := false
+	for _, r := range p {
+		if as := topo.ASOf(r.Addr); as != nil && as.ASN == ASNChinanetBackbone {
+			foundBackbone = true
+		}
+	}
+	if !foundBackbone {
+		t.Error("CN->US path does not traverse CHINANET backbone")
+	}
+}
+
+func TestForeignToCNTraversesGateway(t *testing.T) {
+	topo := build(t)
+	src := topo.AllocHostAddr(topo.HostingASes("DE")[0])
+	dst114 := wire.MustParseAddr("114.114.114.114")
+	topo.AddServiceAS(174000, "114DNS", "CN", dst114, true)
+	p := topo.Path(src, dst114)
+	if p == nil {
+		t.Fatal("no path to 114DNS")
+	}
+	backbone := false
+	for _, r := range p {
+		if as := topo.ASOf(r.Addr); as != nil && as.ASN == ASNChinanetBackbone {
+			backbone = true
+		}
+	}
+	if !backbone {
+		t.Error("DE->CN path misses the backbone")
+	}
+}
+
+func TestIntraASPath(t *testing.T) {
+	topo := build(t)
+	as := topo.HostingASes("FR")[0]
+	a := topo.AllocHostAddr(as)
+	b := topo.AllocHostAddr(as)
+	p := topo.Path(a, b)
+	if len(p) != 1 {
+		t.Errorf("intra-AS path length = %d, want 1", len(p))
+	}
+}
+
+func TestPathUnknownAddr(t *testing.T) {
+	topo := build(t)
+	if p := topo.Path(wire.MustParseAddr("250.1.2.3"), wire.MustParseAddr("250.4.5.6")); p != nil {
+		t.Error("unknown addresses should have no path")
+	}
+}
+
+func TestCountryCountScaling(t *testing.T) {
+	topo := Build(Config{Seed: 1, CountryCount: 10})
+	countries := topo.Countries()
+	found := false
+	for _, c := range countries {
+		if c == "CN" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("CN must always be present")
+	}
+	// 10 requested + CN + countries contributed by the fixed transit pool.
+	if len(countries) > 10+1+len(GlobalTransit) {
+		t.Errorf("countries = %d, want <= %d", len(countries), 11+len(GlobalTransit))
+	}
+	if len(topo.HostingASes("US")) == 0 || len(topo.HostingASes("DE")) == 0 {
+		t.Error("first-10 countries should have hosting ASes")
+	}
+}
+
+func TestSomeRoutersICMPSilent(t *testing.T) {
+	topo := Build(Config{Seed: 3, ICMPSilentFraction: 0.5})
+	silent, total := 0, 0
+	for _, c := range topo.Countries() {
+		for _, as := range topo.CountryASes(c) {
+			for _, r := range as.Routers {
+				total++
+				if r.ICMPSilent {
+					silent++
+				}
+			}
+		}
+	}
+	if silent == 0 || silent == total {
+		t.Errorf("silent = %d/%d, want a mix", silent, total)
+	}
+}
+
+func BenchmarkPathCached(b *testing.B) {
+	topo := Build(Config{Seed: 42})
+	src := topo.AllocHostAddr(topo.HostingASes("DE")[0])
+	dst := topo.AllocHostAddr(topo.HostingASes("US")[0])
+	topo.Path(src, dst)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo.Path(src, dst)
+	}
+}
+
+func BenchmarkBuildWorld(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Build(Config{Seed: int64(i)})
+	}
+}
+
+func TestPathInvariantsProperty(t *testing.T) {
+	topo := Build(Config{Seed: 99})
+	countries := []string{"US", "DE", "GB", "FR", "JP", "CN", "BR", "SG"}
+	// Collect one host per country.
+	hosts := make(map[string]wire.Addr)
+	for _, c := range countries {
+		if as := topo.HostingASes(c); len(as) > 0 {
+			hosts[c] = topo.AllocHostAddr(as[0])
+		}
+	}
+	for _, src := range countries {
+		for _, dst := range countries {
+			a, okA := hosts[src]
+			b, okB := hosts[dst]
+			if !okA || !okB || a == b {
+				continue
+			}
+			p := topo.Path(a, b)
+			if p == nil {
+				t.Fatalf("no path %s->%s", src, dst)
+			}
+			// Invariant: bounded length.
+			if len(p) < 1 || len(p) > 16 {
+				t.Errorf("%s->%s length %d", src, dst, len(p))
+			}
+			// Invariant: loop-free.
+			seen := make(map[*netsim.Router]bool)
+			for _, r := range p {
+				if seen[r] {
+					t.Errorf("%s->%s revisits %s", src, dst, r.Name)
+				}
+				seen[r] = true
+			}
+			// Invariant: every hop belongs to a registered AS.
+			for _, r := range p {
+				if topo.ASOf(r.Addr) == nil {
+					t.Errorf("%s->%s hop %v in no AS", src, dst, r.Addr)
+				}
+			}
+			// Invariant: stable across repeated queries.
+			p2 := topo.Path(a, b)
+			if len(p2) != len(p) {
+				t.Errorf("%s->%s path unstable", src, dst)
+			}
+			// Invariant: cross-border CN paths traverse the backbone.
+			crossCN := (src == "CN") != (dst == "CN")
+			if crossCN {
+				found := false
+				for _, r := range p {
+					if as := topo.ASOf(r.Addr); as != nil && as.ASN == ASNChinanetBackbone {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s->%s misses the CN backbone", src, dst)
+				}
+			}
+		}
+	}
+}

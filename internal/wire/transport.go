@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the fixed UDP header length.
+const UDPHeaderLen = 8
+
+// UDP is a decoded UDP header (RFC 768).
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+
+	payload []byte
+}
+
+// SerializeTo writes header+payload into buf with a computed checksum over
+// the IPv4 pseudo-header (src/dst needed for that). It returns bytes written.
+func (u *UDP) SerializeTo(buf []byte, src, dst Addr, payload []byte) (int, error) {
+	n := UDPHeaderLen + len(payload)
+	if len(buf) < n {
+		return 0, fmt.Errorf("wire: buffer too small for UDP datagram: %d < %d", len(buf), n)
+	}
+	if n > 0xFFFF {
+		return 0, fmt.Errorf("wire: UDP datagram too large: %d", n)
+	}
+	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(n))
+	buf[6], buf[7] = 0, 0
+	copy(buf[UDPHeaderLen:], payload)
+	cs := transportChecksum(src, dst, ProtoUDP, buf[:n])
+	if cs == 0 {
+		cs = 0xFFFF // RFC 768: transmitted all-ones when computed zero
+	}
+	binary.BigEndian.PutUint16(buf[6:8], cs)
+	return n, nil
+}
+
+// Serialize allocates and returns the wire bytes.
+func (u *UDP) Serialize(src, dst Addr, payload []byte) ([]byte, error) {
+	buf := make([]byte, UDPHeaderLen+len(payload))
+	n, err := u.SerializeTo(buf, src, dst, payload)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// DecodeFromBytes parses a UDP datagram into u. If src/dst are non-zero the
+// checksum is verified against the pseudo-header.
+func (u *UDP) DecodeFromBytes(data []byte, src, dst Addr) error {
+	if len(data) < UDPHeaderLen {
+		return ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if int(u.Length) < UDPHeaderLen || int(u.Length) > len(data) {
+		return ErrBadHeader
+	}
+	if !src.IsZero() && u.Checksum != 0 {
+		if transportChecksum(src, dst, ProtoUDP, data[:u.Length]) != 0 {
+			return ErrBadChecksum
+		}
+	}
+	u.payload = data[UDPHeaderLen:u.Length]
+	return nil
+}
+
+// Payload returns the datagram payload.
+func (u *UDP) Payload() []byte { return u.payload }
+
+// TCPHeaderLen is the TCP header length without options; the simulator
+// emits no options.
+const TCPHeaderLen = 20
+
+// TCP flag bits.
+const (
+	TCPFin = 0x01
+	TCPSyn = 0x02
+	TCPRst = 0x04
+	TCPPsh = 0x08
+	TCPAck = 0x10
+)
+
+// TCP is a decoded TCP header (RFC 9293, options ignored).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+
+	payload []byte
+}
+
+// SerializeTo writes header+payload into buf with a computed checksum.
+func (t *TCP) SerializeTo(buf []byte, src, dst Addr, payload []byte) (int, error) {
+	n := TCPHeaderLen + len(payload)
+	if len(buf) < n {
+		return 0, fmt.Errorf("wire: buffer too small for TCP segment: %d < %d", len(buf), n)
+	}
+	binary.BigEndian.PutUint16(buf[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(buf[4:8], t.Seq)
+	binary.BigEndian.PutUint32(buf[8:12], t.Ack)
+	buf[12] = 5 << 4 // data offset: 5 words
+	buf[13] = t.Flags
+	binary.BigEndian.PutUint16(buf[14:16], t.Window)
+	buf[16], buf[17] = 0, 0
+	buf[18], buf[19] = 0, 0 // urgent pointer unused
+	copy(buf[TCPHeaderLen:], payload)
+	cs := transportChecksum(src, dst, ProtoTCP, buf[:n])
+	binary.BigEndian.PutUint16(buf[16:18], cs)
+	return n, nil
+}
+
+// Serialize allocates and returns the wire bytes.
+func (t *TCP) Serialize(src, dst Addr, payload []byte) ([]byte, error) {
+	buf := make([]byte, TCPHeaderLen+len(payload))
+	n, err := t.SerializeTo(buf, src, dst, payload)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// DecodeFromBytes parses a TCP segment into t, verifying the checksum when
+// src is non-zero.
+func (t *TCP) DecodeFromBytes(data []byte, src, dst Addr) error {
+	if len(data) < TCPHeaderLen {
+		return ErrTruncated
+	}
+	off := int(data[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(data) {
+		return ErrBadHeader
+	}
+	if !src.IsZero() {
+		if transportChecksum(src, dst, ProtoTCP, data) != 0 {
+			return ErrBadChecksum
+		}
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.payload = data[off:]
+	return nil
+}
+
+// Payload returns the segment payload.
+func (t *TCP) Payload() []byte { return t.payload }
+
+// FlagString renders TCP flags as e.g. "SYN|ACK".
+func (t *TCP) FlagString() string {
+	var s string
+	add := func(name string) {
+		if s != "" {
+			s += "|"
+		}
+		s += name
+	}
+	if t.Flags&TCPSyn != 0 {
+		add("SYN")
+	}
+	if t.Flags&TCPAck != 0 {
+		add("ACK")
+	}
+	if t.Flags&TCPFin != 0 {
+		add("FIN")
+	}
+	if t.Flags&TCPRst != 0 {
+		add("RST")
+	}
+	if t.Flags&TCPPsh != 0 {
+		add("PSH")
+	}
+	if s == "" {
+		s = "none"
+	}
+	return s
+}

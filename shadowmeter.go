@@ -1,0 +1,104 @@
+// Package shadowmeter is a simulation-backed reproduction of "Yesterday
+// Once More: Global Measurement of Internet Traffic Shadowing Behaviors"
+// (IMC 2024): a complete measurement pipeline for detecting on-path
+// parties that silently record domains from user traffic (DNS query names,
+// HTTP Host headers, TLS SNI) and later replay them as unsolicited
+// requests.
+//
+// The public API wraps the experiment orchestrator:
+//
+//	report := shadowmeter.Run(shadowmeter.Config{Seed: 42})
+//	fmt.Println(report.Render())
+//
+// runs the full two-phase experiment — decoy generation, a screened
+// VPN-based vantage platform, honeypot capture, hop-by-hop observer
+// location — against a deterministic simulated Internet, and returns a
+// Report able to regenerate every table and figure of the paper. See
+// DESIGN.md for the architecture and EXPERIMENTS.md for paper-vs-measured
+// results.
+//
+// Lower-level building blocks (the wire codecs, the identifier scheme, the
+// network simulator) live under internal/ and are exercised through this
+// façade, the cmd/ tools, and the runnable examples/.
+package shadowmeter
+
+import (
+	"shadowmeter/internal/core"
+)
+
+// Config parameterizes an experiment. The zero value runs the
+// laptop-friendly small-scale geometry with seed 0.
+type Config = core.Config
+
+// Scale selects the experiment geometry.
+type Scale = core.Scale
+
+// Experiment scales.
+const (
+	// ScaleSmall is a CI-friendly world: ~100 vantage points, ~120 web
+	// destinations. Runs in seconds.
+	ScaleSmall = core.ScaleSmall
+	// ScaleMedium grows the fleet to ~400 VPs / 300 destinations.
+	ScaleMedium = core.ScaleMedium
+	// ScaleFull reproduces the paper's geometry (4,364 VPs, 2,325 web
+	// front-ends). Expect minutes of wall clock.
+	ScaleFull = core.ScaleFull
+)
+
+// Report is the compiled outcome: one field group per paper table/figure,
+// plus Render() for the full plain-text report.
+type Report = core.Report
+
+// Experiment exposes stepwise control (screening, Phase I, Phase II,
+// Compile) for callers that want to interleave their own analysis.
+type Experiment = core.Experiment
+
+// Zone is the experiment domain embedded in every decoy.
+const Zone = core.Zone
+
+// Run executes the complete experiment: world construction, platform
+// screening (Appendix C/E), Phase I landscape measurement, Phase II
+// hop-by-hop observer location, and behavioral analysis.
+func Run(cfg Config) *Report {
+	return core.Run(cfg)
+}
+
+// MitigationMode selects a mitigation-study decoy encoding.
+type MitigationMode = core.MitigationMode
+
+// Mitigation modes for MitigationStudy.
+const (
+	MitigationNone = core.MitigationNone
+	MitigationECH  = core.MitigationECH
+	MitigationDoH  = core.MitigationDoH
+	MitigationODoH = core.MitigationODoH
+)
+
+// MitigationResult is one mode's outcome in the mitigation study.
+type MitigationResult = core.MitigationResult
+
+// MitigationStudy quantifies the paper's Discussion-section mitigations:
+// it runs baseline, TLS+ECH, DNS-over-HTTPS, and Oblivious-DoH campaigns
+// in identical worlds and reports how much the wire observed, how much
+// shadowing persisted at destinations, and how origin visibility changes.
+// Render the result with RenderMitigationStudy.
+func MitigationStudy(seed int64) []MitigationResult {
+	return core.MitigationStudy(seed)
+}
+
+// RenderMitigationStudy formats a mitigation study as a table with
+// commentary.
+func RenderMitigationStudy(results []MitigationResult) string {
+	return core.RenderMitigationStudy(results)
+}
+
+// NewExperiment builds the world and returns the experiment ready to step:
+//
+//	e := shadowmeter.NewExperiment(cfg)
+//	e.ScreenPairResolvers()
+//	e.RunPhaseI()
+//	e.RunPhaseII()
+//	report := e.Compile()
+func NewExperiment(cfg Config) *Experiment {
+	return core.NewExperiment(cfg)
+}

@@ -1,0 +1,55 @@
+package shadowmeter_test
+
+import (
+	"strings"
+	"testing"
+
+	"shadowmeter"
+)
+
+// TestPublicAPI exercises the façade exactly as the README shows it.
+func TestPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	report := shadowmeter.Run(shadowmeter.Config{
+		Seed:                 3,
+		VPsPerGlobalProvider: 4,
+		VPsPerCNProvider:     2,
+		WebSites:             60,
+		DNSRounds:            2,
+		MaxSweepsPerProtocol: 120,
+	})
+	out := report.Render()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Figure 7") {
+		t.Fatalf("incomplete report:\n%.400s", out)
+	}
+	if report.DestRatios["Yandex"] == 0 {
+		t.Error("no Yandex shadowing recovered through the public API")
+	}
+}
+
+// TestStepwiseAPI drives the phases individually.
+func TestStepwiseAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	e := shadowmeter.NewExperiment(shadowmeter.Config{
+		Seed:                 4,
+		VPsPerGlobalProvider: 3,
+		VPsPerCNProvider:     2,
+		WebSites:             40,
+		DNSRounds:            1,
+		MaxSweepsPerProtocol: 60,
+	})
+	e.ScreenPairResolvers()
+	e.RunPhaseI()
+	if len(e.EventsPhaseI) == 0 {
+		t.Fatal("phase I produced no unsolicited events")
+	}
+	e.RunPhaseII()
+	report := e.Compile()
+	if report.Figure4.N() == 0 {
+		t.Error("no temporal data compiled")
+	}
+}

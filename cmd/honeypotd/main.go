@@ -48,6 +48,7 @@ func main() {
 	}
 
 	hp := honeypot.NewRealNet(*zone, *location, addrs)
+	hp.Clock = time.Now
 	boundDNS, boundHTTP, err := hp.Start(*dnsAddr, *httpAddr)
 	if err != nil {
 		log.Fatal(err)

@@ -21,6 +21,7 @@ import (
 
 func main() {
 	hp := honeypot.NewRealNet("experiment.domain", "LOOPBACK", []wire.Addr{wire.MustParseAddr("127.0.0.1")})
+	hp.Clock = time.Now
 	dnsAddr, httpAddr, err := hp.Start("127.0.0.1:0", "127.0.0.1:0")
 	if err != nil {
 		panic(err)

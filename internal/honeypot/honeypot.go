@@ -162,7 +162,10 @@ func (d *Deployment) handleDNS(n *netsim.Network, s *Site, from wire.Endpoint, p
 	name := q.QName()
 	if !dnswire.IsSubdomain(name, d.Zone) {
 		resp := dnswire.NewResponse(q, dnswire.RcodeRefused)
-		raw, _ := resp.Encode()
+		raw, err := resp.Encode()
+		if err != nil {
+			return nil
+		}
 		return raw
 	}
 	d.Log.Append(Capture{

@@ -28,6 +28,10 @@ type RealNet struct {
 	// RecordTTL is the wildcard record TTL (default 3600).
 	RecordTTL uint32
 	Location  string
+	// Clock stamps captures and connection deadlines. Callers running on
+	// the real network thread time.Now in (cmd/honeypotd, the realnet
+	// example); tests may inject a fixed clock for reproducible logs.
+	Clock func() time.Time
 
 	mu      sync.Mutex
 	udp     *net.UDPConn
@@ -47,6 +51,23 @@ func NewRealNet(zone, location string, webAddrs []wire.Addr) *RealNet {
 		RecordTTL: 3600,
 		Location:  location,
 	}
+}
+
+// now returns the capture timestamp source. The fallback is the one
+// deliberate wall-clock read in internal/: a real-socket honeypot runs
+// on real time by definition, and a zero Clock must not stamp captures
+// with the zero time.
+func (r *RealNet) now() time.Time {
+	if r.Clock != nil {
+		return r.Clock()
+	}
+	return time.Now() //shadowlint:ignore simclock real-socket honeypot fallback; simulation code threads Clock instead
+}
+
+// closeQuietly releases a socket during teardown or an error unwind; by
+// then the capture log is already safe, so close errors carry no signal.
+func closeQuietly(c io.Closer) {
+	_ = c.Close() //shadowlint:ignore droppederr teardown close errors carry no signal
 }
 
 // Start binds the DNS server to dnsAddr (e.g. "127.0.0.1:5353") and the
@@ -77,7 +98,7 @@ func (r *RealNet) Start(dnsAddr, httpAddr string) (boundDNS, boundHTTP string, e
 		ln, err := net.Listen("tcp", httpAddr)
 		if err != nil {
 			if r.udp != nil {
-				r.udp.Close()
+				closeQuietly(r.udp)
 			}
 			return "", "", fmt.Errorf("honeypot: listen tcp: %w", err)
 		}
@@ -124,14 +145,16 @@ func (r *RealNet) serveTLS(ln net.Listener) {
 		go func() {
 			defer r.wg.Done()
 			defer conn.Close()
-			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			if err := conn.SetDeadline(r.now().Add(10 * time.Second)); err != nil {
+				return
+			}
 			buf := make([]byte, 16<<10)
 			n, err := conn.Read(buf)
 			if err != nil || n == 0 {
 				return
 			}
 			if resp := r.HandleClientHello(buf[:n], remoteAddr(conn)); resp != nil {
-				conn.Write(resp)
+				_, _ = conn.Write(resp) //shadowlint:ignore droppederr best-effort reply; the capture is already logged
 			}
 		}()
 	}
@@ -149,7 +172,7 @@ func (r *RealNet) HandleClientHello(raw []byte, src wire.Endpoint) []byte {
 	}
 	name = dnswire.Canonical(name)
 	r.Log.Append(Capture{
-		Time: time.Now(), Location: r.Location, Protocol: decoy.TLS,
+		Time: r.now(), Location: r.Location, Protocol: decoy.TLS,
 		Source: src, Domain: name, Label: firstIdentifierLabel(name),
 		Payload: "CLIENTHELLO sni=" + name,
 	})
@@ -163,13 +186,13 @@ func (r *RealNet) Close() {
 	r.mu.Lock()
 	r.closed = true
 	if r.udp != nil {
-		r.udp.Close()
+		closeQuietly(r.udp)
 	}
 	if r.tcp != nil {
-		r.tcp.Close()
+		closeQuietly(r.tcp)
 	}
 	if r.tls != nil {
-		r.tls.Close()
+		closeQuietly(r.tls)
 	}
 	r.mu.Unlock()
 	r.wg.Wait()
@@ -194,7 +217,7 @@ func (r *RealNet) serveDNS(conn *net.UDPConn) {
 		}
 		resp := r.HandleDNSQuery(buf[:n], addrOf(from.IP), uint16(from.Port))
 		if resp != nil {
-			conn.WriteToUDP(resp, from)
+			_, _ = conn.WriteToUDP(resp, from) //shadowlint:ignore droppederr best-effort reply; the capture is already logged
 		}
 	}
 }
@@ -209,11 +232,14 @@ func (r *RealNet) HandleDNSQuery(payload []byte, src wire.Addr, srcPort uint16) 
 	name := q.QName()
 	if !dnswire.IsSubdomain(name, r.Zone) {
 		resp := dnswire.NewResponse(q, dnswire.RcodeRefused)
-		raw, _ := resp.Encode()
+		raw, err := resp.Encode()
+		if err != nil {
+			return nil
+		}
 		return raw
 	}
 	r.Log.Append(Capture{
-		Time: time.Now(), Location: r.Location, Protocol: decoy.DNS,
+		Time: r.now(), Location: r.Location, Protocol: decoy.DNS,
 		Source: wire.Endpoint{Addr: src, Port: srcPort},
 		Domain: name, Label: firstIdentifierLabel(name), DNSType: q.QType(),
 	})
@@ -253,13 +279,15 @@ func (r *RealNet) serveHTTP(ln net.Listener) {
 }
 
 func (r *RealNet) handleHTTPConn(conn net.Conn) {
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := conn.SetDeadline(r.now().Add(10 * time.Second)); err != nil {
+		return
+	}
 	head, err := readHTTPHead(conn)
 	if err != nil {
 		return
 	}
 	resp := r.HandleHTTPRequest(head, remoteAddr(conn))
-	conn.Write(resp)
+	_, _ = conn.Write(resp) //shadowlint:ignore droppederr best-effort reply; the capture is already logged
 }
 
 // HandleHTTPRequest implements the honey-website logic over raw request
@@ -271,7 +299,7 @@ func (r *RealNet) HandleHTTPRequest(raw []byte, src wire.Endpoint) []byte {
 	}
 	host := dnswire.Canonical(req.Host())
 	r.Log.Append(Capture{
-		Time: time.Now(), Location: r.Location, Protocol: decoy.HTTP,
+		Time: r.now(), Location: r.Location, Protocol: decoy.HTTP,
 		Source: src, Domain: host, Label: firstIdentifierLabel(host),
 		HTTPPath: req.Path, Payload: requestHead(req),
 	})

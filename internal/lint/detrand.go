@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// detrandAllowed are the math/rand package-level names that do NOT draw
+// from the shared global source: constructors used to build injected,
+// seeded generators.
+var detrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Detrand forbids the global math/rand functions (rand.Intn,
+// rand.Float64, rand.Shuffle, …) in internal/* packages. The global
+// source is shared mutable state: any stray draw perturbs every
+// subsequent one, so identical seeds stop reproducing identical worlds.
+// Construct a seeded *rand.Rand and inject it instead.
+var Detrand = &Analyzer{
+	Name:    "detrand",
+	Doc:     "forbid global math/rand functions in internal packages; require an injected seeded *rand.Rand",
+	Applies: inInternal,
+	Run:     runDetrand,
+}
+
+func runDetrand(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, pkgPath := range []string{"math/rand", "math/rand/v2"} {
+				if fn := pkgLevelFunc(p, sel, pkgPath); fn != nil && !detrandAllowed[fn.Name()] {
+					out = append(out, diag(p, sel.Pos(), "detrand",
+						"rand.%s draws from the global source; inject a seeded *rand.Rand so identical seeds replay identical worlds", fn.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

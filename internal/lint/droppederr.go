@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// droppedErrAllowed lists callees whose error results are
+// conventionally ignored: Fprintf-style writers where the destination
+// is an in-memory buffer or best-effort stderr logging, and the
+// never-failing builder/buffer writers.
+var droppedErrAllowed = map[string]bool{
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	// Documented to always return len(p), nil.
+	"(*math/rand.Rand).Read": true,
+}
+
+// droppedErrAllowedPrefixes allowlists whole receivers whose Write*
+// methods are documented to always return a nil error.
+var droppedErrAllowedPrefixes = []string{
+	"(*bytes.Buffer).",
+	"(*strings.Builder).",
+}
+
+// DroppedErr flags error results in internal/* that are discarded with
+// a blank identifier or never assigned at all. Silently swallowed
+// decode and I/O errors are how a measurement pipeline drifts without
+// anyone noticing; handle the error or suppress the finding with a
+// written reason.
+var DroppedErr = &Analyzer{
+	Name:    "droppederr",
+	Doc:     "forbid _ =-discarded or unassigned error returns in internal packages",
+	Applies: inInternal,
+	Run:     runDroppedErr,
+}
+
+func runDroppedErr(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// defer conn.Close() and fire-and-forget goroutine heads
+				// are idiomatic; their direct call is exempt, but their
+				// bodies (function literals) are still walked.
+				var fun ast.Expr
+				if d, ok := n.(*ast.DeferStmt); ok {
+					fun = d.Call.Fun
+				} else {
+					fun = n.(*ast.GoStmt).Call.Fun
+				}
+				if lit, ok := unparen(fun).(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(m ast.Node) bool {
+						out = append(out, droppedErrStmt(p, m)...)
+						return true
+					})
+				}
+				return false
+			default:
+				out = append(out, droppedErrStmt(p, n)...)
+				return true
+			}
+		})
+	}
+	return out
+}
+
+// droppedErrStmt checks one statement node for dropped errors.
+func droppedErrStmt(p *Package, n ast.Node) []Diagnostic {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		call, ok := unparen(n.X).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tv, ok := p.Info.Types[call]
+		if !ok || !hasErrorResult(tv.Type) || allowedDrop(p, call) {
+			return nil
+		}
+		return []Diagnostic{diag(p, call.Pos(), "droppederr",
+			"error result of %s is not checked", calleeName(p, call))}
+	case *ast.AssignStmt:
+		return droppedErrAssign(p, n)
+	}
+	return nil
+}
+
+func droppedErrAssign(p *Package, n *ast.AssignStmt) []Diagnostic {
+	var out []Diagnostic
+	// v, _ := f() — one call, multiple results.
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		call, ok := unparen(n.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tuple, ok := p.Info.Types[call].Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(n.Lhs) || allowedDrop(p, call) {
+			return nil
+		}
+		for i, lhs := range n.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				out = append(out, diag(p, lhs.Pos(), "droppederr",
+					"error result of %s discarded with _", calleeName(p, call)))
+			}
+		}
+		return out
+	}
+	// pairwise assignment: _ = err, _ = f().
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		rhs := unparen(n.Rhs[i])
+		tv, ok := p.Info.Types[rhs]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && allowedDrop(p, call) {
+			continue
+		}
+		out = append(out, diag(p, lhs.Pos(), "droppederr", "error value discarded with _"))
+	}
+	return out
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// hasErrorResult reports whether a call result type contains an error
+// in any position.
+func hasErrorResult(t types.Type) bool {
+	if isErrorType(t) {
+		return true
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callee resolves the called function object, or nil for indirect or
+// built-in calls.
+func callee(p *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func calleeName(p *Package, call *ast.CallExpr) string {
+	if fn := callee(p, call); fn != nil {
+		return fn.FullName()
+	}
+	return "call"
+}
+
+func allowedDrop(p *Package, call *ast.CallExpr) bool {
+	fn := callee(p, call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	if droppedErrAllowed[full] {
+		return true
+	}
+	for _, prefix := range droppedErrAllowedPrefixes {
+		if strings.HasPrefix(full, prefix) {
+			return true
+		}
+	}
+	return false
+}

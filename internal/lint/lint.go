@@ -1,0 +1,210 @@
+// Package lint implements shadowlint, the repo-specific static-analysis
+// pass that keeps the simulation deterministic. It is built only on the
+// standard library's go/parser, go/ast, go/types, and go/token — the
+// module is deliberately dependency-free.
+//
+// Four analyzers ship today:
+//
+//   - simclock: no wall-clock calls (time.Now, time.Since, time.Sleep, …)
+//     inside internal/* simulation packages; the world clock from
+//     internal/core must be threaded instead.
+//   - detrand: no global math/rand functions inside internal/*; inject a
+//     seeded *rand.Rand so identical seeds replay identical worlds.
+//   - droppederr: no error results discarded with `_ =` or left
+//     unassigned in internal/*, with an allowlist for fmt.Fprintf-style
+//     writers whose errors are conventionally ignored.
+//   - sliceretain: wire decoders (internal/wire, internal/dnswire,
+//     internal/httpwire, internal/tlswire) must not retain sub-slices of
+//     the input buffer in returned structs without copying.
+//
+// A finding can be suppressed with a trailing or preceding comment:
+//
+//	//shadowlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at a concrete file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical
+// "path:line:col: analyzer: message" format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies filters by module-relative package path ("internal/wire").
+	// A nil Applies means the analyzer runs on every package.
+	Applies func(relPath string) bool
+	Run     func(p *Package) []Diagnostic
+}
+
+// All returns the full analyzer set in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Simclock, Detrand, DroppedErr, SliceRetain}
+}
+
+// inInternal reports whether relPath is under the module's internal/
+// tree — the simulation packages the determinism analyzers police.
+// cmd/* and examples/* are exempt: they run on the real network.
+func inInternal(relPath string) bool {
+	return relPath == "internal" || strings.HasPrefix(relPath, "internal/")
+}
+
+// Run loads each import path and applies the analyzers, dropping
+// findings covered by //shadowlint:ignore directives. Diagnostics come
+// back sorted by file, line, column, analyzer.
+func Run(l *Loader, importPaths []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, path := range importPaths {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		sup, malformed := collectSuppressions(p, known)
+		diags = append(diags, malformed...)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(p.RelPath) {
+				continue
+			}
+			for _, d := range a.Run(p) {
+				if sup.covers(a.Name, d.Pos) {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+const ignorePrefix = "shadowlint:ignore"
+
+// suppressions maps file → line → analyzer names suppressed on that
+// line. A directive covers its own line and the following one, so both
+// trailing comments and a comment line directly above the offending
+// statement work.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) covers(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line]["all"]
+}
+
+func (s suppressions) add(file string, line int, analyzer string) {
+	if s[file] == nil {
+		s[file] = make(map[int]map[string]bool)
+	}
+	for _, l := range []int{line, line + 1} {
+		if s[file][l] == nil {
+			s[file][l] = make(map[string]bool)
+		}
+		s[file][l][analyzer] = true
+	}
+}
+
+// collectSuppressions scans a package's comments for
+// //shadowlint:ignore directives. Malformed directives — no analyzer,
+// an unknown analyzer name, or a missing reason — are returned as
+// diagnostics of the pseudo-analyzer "shadowlint" so they cannot
+// silently disable anything.
+func collectSuppressions(p *Package, known map[string]bool) (suppressions, []Diagnostic) {
+	sup := make(suppressions)
+	var malformed []Diagnostic
+	bad := func(pos token.Pos, msg string) {
+		malformed = append(malformed, Diagnostic{
+			Pos: p.Fset.Position(pos), Analyzer: "shadowlint", Message: msg,
+		})
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad(c.Pos(), "malformed suppression: want //shadowlint:ignore <analyzer> <reason>")
+					continue
+				}
+				if len(fields) < 2 {
+					bad(c.Pos(), fmt.Sprintf("suppression for %q is missing a reason", fields[0]))
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				ok := true
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "all" && !known[name] {
+						bad(c.Pos(), fmt.Sprintf("suppression names unknown analyzer %q", name))
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					sup.add(pos.Filename, pos.Line, name)
+				}
+			}
+		}
+	}
+	return sup, malformed
+}
+
+// diag is a small helper used by the analyzers.
+func diag(p *Package, pos token.Pos, analyzer, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

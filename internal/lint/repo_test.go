@@ -1,0 +1,32 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean runs every analyzer over the whole module, so a
+// plain `go test ./...` catches determinism regressions without anyone
+// remembering to invoke cmd/shadowlint. The tree must stay at zero
+// findings; deliberate exceptions carry //shadowlint:ignore directives
+// with written reasons.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module; skipped in -short mode")
+	}
+	l, err := Open("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(l, paths, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Log("fix the findings or add a //shadowlint:ignore <analyzer> <reason> with a written justification")
+	}
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClock lists the package-level time functions that read or depend
+// on the machine's real clock. Pure constructors and conversions
+// (time.Date, time.Unix, time.Parse, time.Duration arithmetic) stay
+// legal: they are deterministic.
+var wallClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Simclock forbids wall-clock reads in internal/* simulation packages.
+// Experiment-domain labels encode (time, VP, destination, TTL), and
+// correlation replays identical worlds — so the simulated clock owned
+// by the netsim event loop must be threaded through instead.
+var Simclock = &Analyzer{
+	Name:    "simclock",
+	Doc:     "forbid time.Now/time.Since/time.Sleep (and friends) in internal simulation packages",
+	Applies: inInternal,
+	Run:     runSimclock,
+}
+
+func runSimclock(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fn := pkgLevelFunc(p, sel, "time"); fn != nil && wallClock[fn.Name()] {
+				out = append(out, diag(p, sel.Pos(), "simclock",
+					"time.%s reads the wall clock; thread the simulated clock (netsim virtual time) instead", fn.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// pkgLevelFunc resolves sel to a package-level function of pkgPath, or
+// nil if it is anything else (method, type, var, other package).
+func pkgLevelFunc(p *Package, sel *ast.SelectorExpr, pkgPath string) *types.Func {
+	obj := p.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// SliceRetain checks wire decoders: a function taking a []byte input
+// must not store sub-slices of that buffer into struct fields, map
+// entries, or composite literals without copying. Decoders hand their
+// results to long-lived capture logs while callers recycle receive
+// buffers — a retained view silently mutates history. Copy with
+// bytes.Clone or append([]byte(nil), s...).
+var SliceRetain = &Analyzer{
+	Name:    "sliceretain",
+	Doc:     "forbid wire decoders from retaining sub-slices of their input buffer without copying",
+	Applies: isWirePackage,
+	Run:     runSliceRetain,
+}
+
+// isWirePackage matches the wire-format packages: internal/wire,
+// internal/dnswire, internal/httpwire, internal/tlswire (and any future
+// internal/*wire sibling).
+func isWirePackage(relPath string) bool {
+	return inInternal(relPath) && strings.HasSuffix(path.Base(relPath), "wire")
+}
+
+func runSliceRetain(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, sliceRetainFunc(p, fd)...)
+		}
+	}
+	return out
+}
+
+func sliceRetainFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	// Taint starts at every []byte parameter.
+	taint := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			if obj != nil && isByteSlice(obj.Type()) {
+				taint[obj] = true
+			}
+		}
+	}
+	if len(taint) == 0 {
+		return nil
+	}
+
+	tainted := func(e ast.Expr) bool { return taintedExpr(p, taint, e) }
+
+	// Propagate taint through local aliases (x := raw[a:b]) to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" || !tainted(as.Rhs[i]) {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj != nil && !taint[obj] {
+					taint[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Diagnostic
+	retained := func(pos ast.Expr, where string) Diagnostic {
+		return diag(p, pos.Pos(), "sliceretain",
+			"%s retains a sub-slice of the decoder input buffer; copy it first (bytes.Clone or append([]byte(nil), s...))", where)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				switch l := unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					if !exportedStructType(p.Info.Types[l.X].Type) {
+						continue
+					}
+					if tainted(n.Rhs[i]) && isByteSlice(p.Info.Types[n.Rhs[i]].Type) {
+						out = append(out, retained(n.Rhs[i], "field assignment"))
+					}
+				case *ast.IndexExpr:
+					if tainted(n.Rhs[i]) && isByteSlice(p.Info.Types[n.Rhs[i]].Type) {
+						out = append(out, retained(n.Rhs[i], "index assignment"))
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := p.Info.Types[n]
+			if !ok || !exportedStructType(tv.Type) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if tainted(v) && isByteSlice(p.Info.Types[v].Type) {
+					out = append(out, retained(v, "composite literal field"))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exportedStructType reports whether t (after pointer dereference) is a
+// named, exported struct type — the decoder result shapes that escape
+// to callers. Unexported cursor structs (internal readers) are
+// transient by construction and exempt.
+func exportedStructType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !named.Obj().Exported() {
+		return false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return isStruct
+}
+
+// taintedExpr reports whether e is a view of a tainted buffer. Calls
+// other than append act as sanitizers (bytes.Clone, []byte(string(x)),
+// helper copies); append propagates taint through its first argument
+// (the result may alias its backing array) and through appended
+// []byte elements, but an ellipsis spread of bytes copies and is clean.
+func taintedExpr(p *Package, taint map[types.Object]bool, e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return taint[p.Info.Uses[e]]
+	case *ast.SliceExpr:
+		return taintedExpr(p, taint, e.X)
+	case *ast.CallExpr:
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+				if taintedExpr(p, taint, e.Args[0]) {
+					return true
+				}
+				if e.Ellipsis == 0 {
+					for _, arg := range e.Args[1:] {
+						if taintedExpr(p, taint, arg) && isByteSlice(p.Info.Types[arg].Type) {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

@@ -1,0 +1,18 @@
+// Package clockok sits outside internal/: the determinism analyzers do
+// not apply, so its wall-clock read and global rand draw are legal.
+package clockok
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp runs on the real network and may read the real clock.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Roll may use the global source outside the simulation tree.
+func Roll() int {
+	return rand.Intn(6)
+}

@@ -1,0 +1,25 @@
+// Package badsup seeds malformed suppression directives. None of them
+// may be honored, and each is itself reported by the "shadowlint"
+// pseudo-analyzer. The repo test hardcodes exact positions for this
+// file, so keep the line numbers stable.
+package badsup
+
+import "time"
+
+// MissingReason has a directive with no reason: reported, not honored.
+func MissingReason() time.Time {
+	//shadowlint:ignore simclock
+	return time.Now()
+}
+
+// UnknownAnalyzer names an analyzer that does not exist.
+func UnknownAnalyzer() time.Time {
+	//shadowlint:ignore nosuchanalyzer still gives a reason
+	return time.Now()
+}
+
+// Naked has no analyzer at all.
+func Naked() time.Time {
+	//shadowlint:ignore
+	return time.Now()
+}

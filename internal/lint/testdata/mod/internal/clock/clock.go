@@ -1,0 +1,31 @@
+// Package clock seeds simclock violations and suppressions for the
+// analyzer tests. The // want markers encode the expected diagnostics.
+package clock
+
+import "time"
+
+// NowFunc proves that taking the function as a value is also flagged.
+var NowFunc = time.Now // want simclock "time.Now reads the wall clock"
+
+// Bad reads the wall clock three ways.
+func Bad() time.Duration {
+	t := time.Now()              // want simclock "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want simclock "time.Sleep reads the wall clock"
+	return time.Since(t)         // want simclock "time.Since reads the wall clock"
+}
+
+// Deterministic uses only pure time constructors: no findings.
+func Deterministic() time.Time {
+	return time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC).Add(time.Hour)
+}
+
+// SuppressedTrailing documents a legitimate wall-clock read inline.
+func SuppressedTrailing() time.Time {
+	return time.Now() //shadowlint:ignore simclock fixture exercises the trailing suppression form
+}
+
+// SuppressedAbove uses the preceding-line suppression form.
+func SuppressedAbove() time.Time {
+	//shadowlint:ignore simclock fixture exercises the preceding-line suppression form
+	return time.Now()
+}

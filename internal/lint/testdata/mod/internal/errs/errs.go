@@ -1,0 +1,65 @@
+// Package errs seeds droppederr violations for the analyzer tests.
+package errs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Bad drops errors every way the analyzer knows.
+func Bad() int {
+	fail()             // want droppederr "error result of fixture/internal/errs.fail is not checked"
+	_ = fail()         // want droppederr "error value discarded with _"
+	strconv.Atoi("17") // want droppederr "error result of strconv.Atoi is not checked"
+	v, _ := pair()     // want droppederr "error result of fixture/internal/errs.pair discarded with _"
+	return v
+}
+
+// Allowed exercises the fmt.Fprintf-style and never-failing-writer
+// allowlists: no findings.
+func Allowed() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "x=%d", 1)
+	buf.WriteString("ok")
+	var sb strings.Builder
+	sb.WriteString(buf.String())
+	return sb.String()
+}
+
+// Deferred closes are idiomatic and exempt.
+func Deferred(c io.Closer) {
+	defer c.Close()
+}
+
+// DeferredLiteral still checks the body of a deferred function literal.
+func DeferredLiteral() {
+	defer func() {
+		fail() // want droppederr "error result of fixture/internal/errs.fail is not checked"
+	}()
+}
+
+// Handled checks its errors: no findings.
+func Handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// Suppressed documents one deliberate best-effort call.
+func Suppressed() {
+	fail() //shadowlint:ignore droppederr fixture exercises a suppressed best-effort call
+}

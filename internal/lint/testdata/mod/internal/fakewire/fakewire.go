@@ -1,0 +1,50 @@
+// Package fakewire seeds sliceretain violations for the analyzer
+// tests: it plays the role of a wire-format decoder (the package name
+// ends in "wire", so the analyzer is in scope).
+package fakewire
+
+import "bytes"
+
+// Frame is an exported decoder result: retained views matter here.
+type Frame struct {
+	Header []byte
+	Body   []byte
+	Tail   []byte
+}
+
+// cursor is an unexported transient reader: exempt by design.
+type cursor struct {
+	buf []byte
+}
+
+// Decode retains two views of data and copies a third; the unexported
+// cursor holding the raw buffer is a transient reader and exempt.
+func Decode(data []byte) *Frame {
+	f := &Frame{
+		Header: data[:4], // want sliceretain "composite literal field retains a sub-slice"
+	}
+	f.Body = data[4:8] // want sliceretain "field assignment retains a sub-slice"
+	c := cursor{buf: data}
+	f.Tail = bytes.Clone(c.buf[8:])
+	return f
+}
+
+// DecodeAlias propagates taint through a local alias and shows the
+// append-copy idiom staying clean.
+func DecodeAlias(data []byte) Frame {
+	view := data[2:]
+	var f Frame
+	f.Header = view[:2] // want sliceretain "field assignment retains a sub-slice"
+	f.Body = append([]byte(nil), view...)
+	return f
+}
+
+// Index retains a view in a caller-visible map.
+func Index(data []byte, m map[string][]byte) {
+	m["k"] = data[1:] // want sliceretain "index assignment retains a sub-slice"
+}
+
+// ZeroCopy declares its aliasing contract with a suppression.
+func ZeroCopy(data []byte) Frame {
+	return Frame{Header: data} //shadowlint:ignore sliceretain fixture declares an explicit zero-copy contract
+}

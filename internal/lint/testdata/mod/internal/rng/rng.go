@@ -1,0 +1,22 @@
+// Package rng seeds detrand violations for the analyzer tests.
+package rng
+
+import "math/rand"
+
+// Bad draws from the shared global source.
+func Bad(xs []int) int {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want detrand "rand.Shuffle draws from the global source"
+	return rand.Intn(6)                                                   // want detrand "rand.Intn draws from the global source"
+}
+
+// Good builds an injected, seeded generator: the constructors are
+// allowed and methods on the instance are deterministic per seed.
+func Good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Suppressed keeps one documented global draw.
+func Suppressed() float64 {
+	return rand.Float64() //shadowlint:ignore detrand fixture exercises a suppressed global draw
+}

@@ -142,7 +142,7 @@ func (h *Host) SendUDPRequest(n *Network, dst wire.Endpoint, payload []byte, opt
 	src := wire.Endpoint{Addr: h.Addr, Port: sport}
 	raw, err := wire.BuildUDP(src, dst, ttl, h.ipID(opts.IPID), payload)
 	if err == nil {
-		n.SendPacket(raw)
+		n.Inject(raw)
 	}
 	n.Schedule(timeout, func() {
 		waiters, ok := h.udpWaiters[dst]
@@ -177,14 +177,14 @@ func (h *Host) sendUDPFrom(n *Network, src, dst wire.Endpoint, ttl uint8, ipID u
 	}
 	raw, err := wire.BuildUDP(src, dst, ttl, h.ipID(ipID), payload)
 	if err == nil {
-		n.SendPacket(raw)
+		n.Inject(raw)
 	}
 }
 
 func (h *Host) sendUDPRaw(n *Network, src, dst wire.Endpoint, ttl uint8, payload []byte) {
 	raw, err := wire.BuildUDP(src, dst, ttl, h.ipID(0), payload)
 	if err == nil {
-		n.SendPacket(raw)
+		n.Inject(raw)
 	}
 }
 
@@ -249,7 +249,7 @@ func (h *Host) SendTCPRequest(n *Network, dst wire.Endpoint, payload []byte, opt
 	src := wire.Endpoint{Addr: h.Addr, Port: sport}
 	raw, err := wire.BuildTCP(src, dst, ttl, h.ipID(opts.IPID), wire.TCPSyn, fl.isn, 0, nil)
 	if err == nil {
-		n.SendPacket(raw)
+		n.Inject(raw)
 	}
 	n.Schedule(timeout, func() {
 		if cur, ok := h.tcpFlows[key]; ok && cur == fl && fl.state != flowClosed {
@@ -270,7 +270,7 @@ func (h *Host) SendRawTCPPayload(n *Network, dst wire.Endpoint, ttl uint8, ipID 
 	src := wire.Endpoint{Addr: h.Addr, Port: h.allocPort()}
 	raw, err := wire.BuildTCP(src, dst, ttl, h.ipID(ipID), wire.TCPPsh|wire.TCPAck, 1, 1, payload)
 	if err == nil {
-		n.SendPacket(raw)
+		n.Inject(raw)
 	}
 }
 
@@ -297,11 +297,11 @@ func (h *Host) handleTCP(n *Network, pkt *wire.Packet) bool {
 		// Final handshake ACK, then the request payload.
 		ack, err := wire.BuildTCP(local, from, fl.ttl, h.ipID(fl.ipID), wire.TCPAck, fl.isn+1, t.Seq+1, nil)
 		if err == nil {
-			n.SendPacket(ack)
+			n.Inject(ack)
 		}
 		data, err := wire.BuildTCP(local, from, fl.ttl, h.ipID(fl.ipID), wire.TCPPsh|wire.TCPAck, fl.isn+1, t.Seq+1, fl.payload)
 		if err == nil {
-			n.SendPacket(data)
+			n.Inject(data)
 		}
 		return true
 	case fl.state == flowSynSent && t.Flags&wire.TCPRst != 0:
@@ -333,7 +333,7 @@ func (h *Host) serveTCP(n *Network, app TCPApp, from wire.Endpoint, t *wire.TCP)
 		sisn := uint32(t.SrcPort)<<16 | 0x5678
 		raw, err := wire.BuildTCP(local, from, 64, h.ipID(0), wire.TCPSyn|wire.TCPAck, sisn, t.Seq+1, nil)
 		if err == nil {
-			n.SendPacket(raw)
+			n.Inject(raw)
 		}
 	case len(t.Payload()) > 0:
 		payload := append([]byte(nil), t.Payload()...)
@@ -343,7 +343,7 @@ func (h *Host) serveTCP(n *Network, app TCPApp, from wire.Endpoint, t *wire.TCP)
 		}
 		raw, err := wire.BuildTCP(local, from, 64, h.ipID(0), wire.TCPPsh|wire.TCPAck|wire.TCPFin, t.Ack, t.Seq+uint32(len(t.Payload())), resp)
 		if err == nil {
-			n.SendPacket(raw)
+			n.Inject(raw)
 		}
 	}
 }

@@ -205,6 +205,16 @@ func (n *Network) SendPacket(raw []byte) error {
 	return nil
 }
 
+// Inject sends a packet that was just produced by a successful
+// Serialize/BuildUDP call. SendPacket's only error is an unparseable
+// buffer, which at an Inject call site is a construction bug — panic
+// loudly instead of dropping the packet silently.
+func (n *Network) Inject(raw []byte) {
+	if err := n.SendPacket(raw); err != nil {
+		panic(err)
+	}
+}
+
 // forward schedules arrival of pkt at hop index i of path (or at the
 // destination when i == len(path)).
 func (n *Network) forward(pkt []byte, origin wire.Addr, path []*Router, i int) {

@@ -99,5 +99,5 @@ func (p *ObliviousProxy) pushToClient(n *netsim.Network, client wire.Endpoint, b
 	if err != nil {
 		return
 	}
-	n.SendPacket(pkt)
+	n.Inject(pkt)
 }

@@ -204,7 +204,10 @@ func (s *Service) handleDoHQuery(n *netsim.Network, from wire.Endpoint, payload 
 	inst := s.instanceFor(from.Addr)
 	if inst == nil {
 		resp := dnswire.NewResponse(q, dnswire.RcodeServFail)
-		raw, _ := resp.Encode()
+		raw, err := resp.Encode()
+		if err != nil {
+			return nil
+		}
 		return raw
 	}
 	if inst.Exhibitor != nil {
@@ -221,7 +224,10 @@ func (s *Service) handleDoHQuery(n *netsim.Network, from wire.Endpoint, payload 
 		s.mu.Unlock()
 		resp := dnswire.NewResponse(q, entry.rcode)
 		resp.Answers = append(resp.Answers, entry.answers...)
-		raw, _ := resp.Encode()
+		raw, err := resp.Encode()
+		if err != nil {
+			return nil
+		}
 		return raw
 	}
 	s.recurseDoH(n, inst, q, from)
@@ -292,7 +298,7 @@ func (s *Service) pushDoH(n *netsim.Network, client wire.Endpoint, q *dnswire.Me
 	if err != nil {
 		return
 	}
-	n.SendPacket(pkt)
+	n.Inject(pkt)
 }
 
 // dohResponse wraps a DNS message in the RFC 8484 HTTP envelope.
@@ -357,7 +363,10 @@ func (s *Service) handleQuery(n *netsim.Network, from wire.Endpoint, payload []b
 	inst := s.instanceFor(from.Addr)
 	if inst == nil {
 		resp := dnswire.NewResponse(q, dnswire.RcodeServFail)
-		raw, _ := resp.Encode()
+		raw, err := resp.Encode()
+		if err != nil {
+			return nil
+		}
 		return raw
 	}
 
@@ -378,7 +387,10 @@ func (s *Service) handleQuery(n *netsim.Network, from wire.Endpoint, payload []b
 		s.mu.Unlock()
 		resp := dnswire.NewResponse(q, entry.rcode)
 		resp.Answers = append(resp.Answers, entry.answers...)
-		raw, _ := resp.Encode()
+		raw, err := resp.Encode()
+		if err != nil {
+			return nil
+		}
 		return raw
 	}
 
@@ -484,7 +496,7 @@ func (s *Service) replyToClient(n *netsim.Network, client wire.Endpoint, q *dnsw
 	if err != nil {
 		return
 	}
-	n.SendPacket(pkt)
+	n.Inject(pkt)
 }
 
 // ReferralServer is a root or TLD authoritative server: it answers every

@@ -224,9 +224,12 @@ func (t *Topology) AddServiceAS(asn int, name, country string, addr wire.Addr, h
 		}
 	} else {
 		// Same operator, additional prefix (e.g. anycast instances).
-		t.Geo.Register(addr.Slash24(), 24, geodb.Info{
+		err := t.Geo.Register(addr.Slash24(), 24, geodb.Info{
 			Country: country, ASN: asn, ASName: name, Hosting: hosting,
 		})
+		if err != nil {
+			panic(fmt.Sprintf("topology: register %s/24: %v", addr, err))
+		}
 	}
 	as.used[addr] = true
 	t.taken16[addr.Slash24().Uint32()>>16] = true
@@ -242,9 +245,14 @@ func (t *Topology) register(as *AS) {
 func (t *Topology) registerLocked(as *AS) {
 	t.ases[as.ASN] = as
 	t.byCountry[as.Country] = append(t.byCountry[as.Country], as)
-	t.Geo.Register(as.prefix, as.prefixLen, geodb.Info{
+	err := t.Geo.Register(as.prefix, as.prefixLen, geodb.Info{
 		Country: as.Country, ASN: as.ASN, ASName: as.Name, Hosting: as.Hosting,
 	})
+	if err != nil {
+		// Prefixes are allocated by the topology builder itself; a bad one
+		// is a construction bug, not a runtime condition.
+		panic(fmt.Sprintf("topology: register %v/%d: %v", as.prefix, as.prefixLen, err))
+	}
 }
 
 // addRouter appends a router to as, placed in a reserved corner of the

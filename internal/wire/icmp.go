@@ -67,7 +67,7 @@ func (m *ICMP) DecodeFromBytes(data []byte) error {
 	m.Code = data[1]
 	m.Checksum = binary.BigEndian.Uint16(data[2:4])
 	m.Rest = binary.BigEndian.Uint32(data[4:8])
-	m.payload = data[ICMPHeaderLen:]
+	m.payload = data[ICMPHeaderLen:] //shadowlint:ignore sliceretain documented zero-copy decoder: payload aliases the caller buffer
 	return nil
 }
 

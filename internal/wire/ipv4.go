@@ -133,7 +133,7 @@ func (h *IPv4) DecodeFromBytes(data []byte) error {
 	h.Checksum = binary.BigEndian.Uint16(data[10:12])
 	copy(h.Src[:], data[12:16])
 	copy(h.Dst[:], data[16:20])
-	h.payload = data[ihl:h.TotalLen]
+	h.payload = data[ihl:h.TotalLen] //shadowlint:ignore sliceretain documented zero-copy decoder: payload aliases the caller buffer
 	return nil
 }
 

@@ -28,7 +28,7 @@ type Parser struct {
 // owned by the Parser and overwritten by the next Decode call.
 func (p *Parser) Decode(data []byte, pkt *Packet) error {
 	pkt.UDP, pkt.TCP, pkt.ICMP = nil, nil, nil
-	pkt.raw = data
+	pkt.raw = data //shadowlint:ignore sliceretain documented zero-copy parser: pkt aliases data until the next Decode
 	if err := pkt.IP.DecodeFromBytes(data); err != nil {
 		return err
 	}
@@ -63,7 +63,7 @@ func Decode(data []byte) (*Packet, error) {
 		return nil, err
 	}
 	// Detach the layer storage from the throwaway parser.
-	out := &Packet{IP: pkt.IP, raw: data}
+	out := &Packet{IP: pkt.IP, raw: data} //shadowlint:ignore sliceretain documented one-shot decode: Packet aliases data by contract
 	switch {
 	case pkt.UDP != nil:
 		u := *pkt.UDP

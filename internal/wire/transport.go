@@ -68,7 +68,7 @@ func (u *UDP) DecodeFromBytes(data []byte, src, dst Addr) error {
 			return ErrBadChecksum
 		}
 	}
-	u.payload = data[UDPHeaderLen:u.Length]
+	u.payload = data[UDPHeaderLen:u.Length] //shadowlint:ignore sliceretain documented zero-copy decoder: payload aliases the caller buffer
 	return nil
 }
 
@@ -152,7 +152,7 @@ func (t *TCP) DecodeFromBytes(data []byte, src, dst Addr) error {
 	t.Flags = data[13]
 	t.Window = binary.BigEndian.Uint16(data[14:16])
 	t.Checksum = binary.BigEndian.Uint16(data[16:18])
-	t.payload = data[off:]
+	t.payload = data[off:] //shadowlint:ignore sliceretain documented zero-copy decoder: payload aliases the caller buffer
 	return nil
 }
 

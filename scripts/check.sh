@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, vet, shadowlint, build, and race-enabled tests.
+#
+#   scripts/check.sh            # fast gate (~1 min): races everything but internal/core
+#   CHECK_FULL=1 scripts/check.sh  # adds go test -race ./internal/core (~3 min)
+#
+# Run it from anywhere inside the repo; it cds to the module root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== shadowlint"
+go run ./cmd/shadowlint ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race (fast packages)"
+# internal/core is the full end-to-end world and takes minutes under the
+# race detector; every other internal package races in seconds. The
+# lint repo test inside this set re-runs shadowlint, so regressions are
+# caught twice over.
+mapfile -t fast < <(go list ./internal/... | grep -v '/internal/core$')
+go test -race "${fast[@]}"
+
+if [ "${CHECK_FULL:-0}" = "1" ]; then
+    echo "== go test -race ./internal/core (full)"
+    go test -race ./internal/core
+fi
+
+echo "check.sh: all gates passed"

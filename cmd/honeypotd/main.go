@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +36,7 @@ func main() {
 		tlsAddr  = flag.String("tls", "", "TLS ClientHello listen address (empty to disable)")
 		webAddrs = flag.String("web", "127.0.0.1", "comma-separated A-record targets for the wildcard")
 		location = flag.String("location", "LAB", "location tag recorded in captures")
+		metrics  = flag.String("metrics", "", "serve Prometheus text metrics at http://ADDR/metrics (empty to disable)")
 	)
 	flag.Parse()
 
@@ -62,6 +64,22 @@ func main() {
 		}
 	}
 	log.Printf("honeypot up: zone=%s dns=%s http=%s tls=%s", *zone, boundDNS, boundHTTP, boundTLS)
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			hp.Telemetry.WritePrometheus(w)
+		})
+		srv := &http.Server{Addr: *metrics, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+		defer srv.Close()
+		log.Printf("metrics on http://%s/metrics", *metrics)
+	}
 
 	// Stream captures.
 	stop := make(chan os.Signal, 1)

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	shadowmeter [-seed N] [-scale small|medium|full] [-intercepted N]
-//	            [-phase1-only] [-json-stats]
+//	            [-phase1-only] [-json-stats] [-metrics] [-metrics-json]
+//	            [-progress N]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"shadowmeter/internal/core"
+	"shadowmeter/internal/telemetry"
 )
 
 func main() {
@@ -26,6 +28,9 @@ func main() {
 		phase1Only  = flag.Bool("phase1-only", false, "stop after the Phase I landscape (skip tracerouting)")
 		jsonStats   = flag.Bool("json-stats", false, "append machine-readable summary statistics as JSON")
 		mitigations = flag.Bool("mitigations", false, "run the encryption mitigation study (ECH, DoH) instead of the main experiment")
+		metrics     = flag.Bool("metrics", false, "append the telemetry summary table to stderr after the report")
+		metricsJSON = flag.Bool("metrics-json", false, "print ONLY the telemetry export as JSON on stdout (byte-identical for identical seeds)")
+		progressN   = flag.Int64("progress", 0, "report progress to stderr every N simulation events (0 disables)")
 	)
 	flag.Parse()
 
@@ -52,6 +57,17 @@ func main() {
 	fmt.Fprintf(os.Stderr, "world built: %d VPs after screening, %d DNS destinations, %d web sites (%.1fs)\n",
 		len(e.World.Platform.VPs), len(e.World.DNSDests), len(e.World.Web.Sites), time.Since(started).Seconds())
 
+	if *progressN > 0 {
+		// Progress is event-count paced (deterministic points); only this
+		// sink reads the wall clock, and only onto stderr.
+		prog := e.Telemetry().Progress
+		prog.Every = *progressN
+		prog.Sink = func(u telemetry.Update) {
+			fmt.Fprintf(os.Stderr, "progress: phase=%-8s events=%-12d pending=%-8d virtual=%s wall=%.1fs\n",
+				u.Phase, u.Events, u.Pending, u.Virtual.Format(time.RFC3339), time.Since(started).Seconds())
+		}
+	}
+
 	e.ScreenPairResolvers()
 	fmt.Fprintf(os.Stderr, "pair-resolver screening: %d tested, %d removed\n",
 		e.PairReport.Tested, e.PairReport.Removed)
@@ -69,6 +85,13 @@ func main() {
 	}
 
 	report := e.Compile()
+	if *metricsJSON {
+		// Stdout carries ONLY the telemetry export: piping two same-seed
+		// runs through diff is the documented determinism check.
+		os.Stdout.Write(e.Telemetry().ExportJSON())
+		fmt.Fprintf(os.Stderr, "total wall time: %.1fs\n", time.Since(started).Seconds())
+		return
+	}
 	if *jsonStats {
 		// Machine-readable reproduction artifact.
 		out, err := report.JSON()
@@ -77,8 +100,14 @@ func main() {
 		}
 		os.Stdout.Write(out)
 		fmt.Println()
+		if *metrics {
+			e.Telemetry().WriteText(os.Stderr)
+		}
 		fmt.Fprintf(os.Stderr, "total wall time: %.1fs\n", time.Since(started).Seconds())
 		return
 	}
 	fmt.Println(report.Render())
+	if *metrics {
+		e.Telemetry().WriteText(os.Stderr)
+	}
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -12,6 +14,7 @@ import (
 	"shadowmeter/internal/pairresolver"
 	"shadowmeter/internal/probe"
 	"shadowmeter/internal/stats"
+	"shadowmeter/internal/telemetry"
 	"shadowmeter/internal/traceroute"
 	"shadowmeter/internal/vantage"
 	"shadowmeter/internal/wire"
@@ -42,6 +45,7 @@ type Experiment struct {
 	processedCaptures int
 	sentCounts        map[decoy.Protocol]int64
 	vpByAddr          map[wire.Addr]*vantage.VP
+	decoysSent        map[decoy.Protocol]*telemetry.Counter
 }
 
 // NewExperiment prepares an experiment over a freshly built world.
@@ -59,21 +63,48 @@ func NewExperiment(cfg Config) *Experiment {
 		vpByAddr:        make(map[wire.Addr]*vantage.VP),
 	}
 	e.engine.MaxTTL = w.Cfg.TracerouteMaxTTL
+	e.engine.Telemetry = w.Telemetry
+	e.Correlator.Bind(w.Telemetry)
+	sentVec := w.Telemetry.Registry.CounterVec("core_decoys_sent_total", "decoys recorded in the send log, by protocol", "protocol")
+	e.decoysSent = map[decoy.Protocol]*telemetry.Counter{
+		decoy.DNS:  sentVec.With("dns"),
+		decoy.HTTP: sentVec.With("http"),
+		decoy.TLS:  sentVec.With("tls"),
+	}
 	for _, vp := range w.Platform.VPs {
 		e.vpByAddr[vp.Addr] = vp
 	}
 	return e
 }
 
+// Telemetry exposes the experiment's shared metrics/tracing set.
+func (e *Experiment) Telemetry() *telemetry.Set { return e.World.Telemetry }
+
+// phase brackets one pipeline stage: it labels the goroutine for CPU
+// profiles (`go tool pprof` groups samples by phase), opens a tracer
+// span stamped with virtual time, and tags progress updates.
+func (e *Experiment) phase(name string, fn func()) {
+	tele := e.World.Telemetry
+	tele.Progress.SetPhase(name)
+	span := tele.Tracer.Start("phase:" + name)
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) {
+		fn()
+	})
+	span.End()
+	tele.Progress.SetPhase("")
+}
+
 // ScreenPairResolvers runs the Appendix E pair-resolver screening,
 // removing interception-affected VPs before any decoys are sent.
 func (e *Experiment) ScreenPairResolvers() {
-	e.PairReport = pairresolver.Screen(e.World.Net, e.World.Platform, e.World.ResolverAddrs, 0)
-	// Refresh the VP index after removals.
-	e.vpByAddr = make(map[wire.Addr]*vantage.VP)
-	for _, vp := range e.World.Platform.VPs {
-		e.vpByAddr[vp.Addr] = vp
-	}
+	e.phase("screen", func() {
+		e.PairReport = pairresolver.Screen(e.World.Net, e.World.Platform, e.World.ResolverAddrs, 0)
+		// Refresh the VP index after removals.
+		e.vpByAddr = make(map[wire.Addr]*vantage.VP)
+		for _, vp := range e.World.Platform.VPs {
+			e.vpByAddr[vp.Addr] = vp
+		}
+	})
 }
 
 // vpCountry resolves a VP's country for Figure 3 grouping.
@@ -90,6 +121,10 @@ func (e *Experiment) vpCountry(vp *vantage.VP) string {
 // per-target rate limit. It then drains the network (retention delays run
 // for virtual days) and classifies the honeypot log.
 func (e *Experiment) RunPhaseI() {
+	e.phase("phase1", e.runPhaseI)
+}
+
+func (e *Experiment) runPhaseI() {
 	w := e.World
 	cfg := w.Cfg
 	pacer := decoy.NewPacer(2)
@@ -176,6 +211,7 @@ func (e *Experiment) sendWebDecoy(vp *vantage.VP, addr wire.Addr, siteName strin
 
 func (e *Experiment) recordSent(d *decoy.Decoy, dstName string, phase correlate.Phase) {
 	e.sentCounts[d.Protocol]++
+	e.decoysSent[d.Protocol].Inc()
 	e.Correlator.AddSent(&correlate.Sent{
 		Label: d.Label, Domain: d.Domain, Protocol: d.Protocol,
 		VP: d.VP, Dst: d.Dst, DstName: dstName,
@@ -187,6 +223,7 @@ func (e *Experiment) recordSent(d *decoy.Decoy, dstName string, phase correlate.
 // authoritative recursion is expected (rule iii's solicited exception).
 func (e *Experiment) recordSentRecursive(d *decoy.Decoy, dstName string, recursive bool) {
 	e.sentCounts[d.Protocol]++
+	e.decoysSent[d.Protocol].Inc()
 	e.Correlator.AddSent(&correlate.Sent{
 		Label: d.Label, Domain: d.Domain, Protocol: d.Protocol,
 		VP: d.VP, Dst: d.Dst, DstName: dstName,
@@ -207,6 +244,10 @@ func (e *Experiment) classifyNew() []correlate.Unsolicited {
 // per protocol), drains the network, classifies the new captures, and
 // locates observers by joining sweep probes with leak evidence.
 func (e *Experiment) RunPhaseII() {
+	e.phase("phase2", e.runPhaseII)
+}
+
+func (e *Experiment) runPhaseII() {
 	w := e.World
 	paths := correlate.PathsWithUnsolicited(e.EventsPhaseI)
 
@@ -298,6 +339,7 @@ func (e *Experiment) RunPhaseII() {
 		e.sweeps = append(e.sweeps, ref.sweep)
 		for _, p := range ref.sweep.Probes {
 			e.sentCounts[ref.sweep.Proto]++
+			e.decoysSent[ref.sweep.Proto].Inc()
 			e.Correlator.AddSent(&correlate.Sent{
 				Label: p.Label, Domain: p.Domain, Protocol: ref.sweep.Proto,
 				VP: ref.sweep.VP.Addr, Dst: ref.sweep.Dst, DstName: ref.name,
@@ -315,7 +357,7 @@ func (e *Experiment) RunPhaseII() {
 		if ref.sweep == nil {
 			continue
 		}
-		res := traceroute.Analyze(ref.sweep, leaked)
+		res := e.engine.Analyze(ref.sweep, leaked)
 		e.SweepResults = append(e.SweepResults, res)
 		e.resultsByPath[ref.key] = res
 	}
@@ -340,6 +382,12 @@ func (e *Experiment) AllEvents() []correlate.Unsolicited {
 
 // Compile runs the full behavioral analysis over collected evidence.
 func (e *Experiment) Compile() *Report {
+	var r *Report
+	e.phase("compile", func() { r = e.compile() })
+	return r
+}
+
+func (e *Experiment) compile() *Report {
 	w := e.World
 	an := &analysis.Analyzer{Geo: w.Topo.Geo, Blocklist: w.Blocklist, Signatures: w.Signatures}
 	events := e.EventsPhaseI // landscape analysis uses Phase I evidence
@@ -386,11 +434,13 @@ func (e *Experiment) Compile() *Report {
 	r.Behaviours = an.ObserverBehaviourByAS(webEvents, e.resultsByPath)
 	r.Top5Coverage = analysis.TopNCoverage(r.Behaviours, 5)
 
-	// Port-scan every distinct on-wire observer address (§5.2).
+	// Port-scan every distinct on-wire observer address (§5.2). Iterate
+	// protocols in fixed order — ranging over the map would reorder the
+	// scan schedule run to run.
 	var targets []wire.Addr
 	seen := make(map[wire.Addr]bool)
-	for _, addrs := range r.ObserverAddrs {
-		for _, a := range addrs {
+	for _, proto := range []decoy.Protocol{decoy.DNS, decoy.HTTP, decoy.TLS} {
+		for _, a := range r.ObserverAddrs[proto] {
 			if !seen[a] {
 				seen[a] = true
 				targets = append(targets, a)

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+// runExport executes the full pipeline and returns the telemetry export.
+func runExport(cfg Config) []byte {
+	e := NewExperiment(cfg)
+	e.ScreenPairResolvers()
+	e.RunPhaseI()
+	e.RunPhaseII()
+	e.Compile()
+	return e.Telemetry().ExportJSON()
+}
+
+func TestTelemetryExportDeterministic(t *testing.T) {
+	a := runExport(tinyConfig(11))
+	b := runExport(tinyConfig(11))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed telemetry exports differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// exportKeys parses an export and returns its sorted top-level metric
+// names plus span names — the schema, independent of counted values.
+func exportKeys(t *testing.T, raw []byte) []string {
+	t.Helper()
+	var doc struct {
+		Metrics map[string]json.RawMessage `json:"metrics"`
+		Spans   map[string]json.RawMessage `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, raw)
+	}
+	var keys []string
+	for k := range doc.Metrics {
+		keys = append(keys, "metric:"+k)
+	}
+	for k := range doc.Spans {
+		keys = append(keys, "span:"+k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestTelemetryExportSchemaStableAcrossSeeds(t *testing.T) {
+	a := exportKeys(t, runExport(tinyConfig(11)))
+	b := exportKeys(t, runExport(tinyConfig(12)))
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("different seeds produced different schemas:\nseed 11: %v\nseed 12: %v", a, b)
+	}
+	// The schema must cover every instrumented subsystem.
+	want := map[string]bool{
+		"metric:netsim_events_dispatched_total": false,
+		"metric:netsim_tap_observes_total":      false,
+		"metric:honeypot_captures_total":        false,
+		"metric:traceroute_probes_sent_total":   false,
+		"metric:correlate_unsolicited_total":    false,
+		"metric:correlate_delay_seconds":        false,
+		"metric:core_decoys_sent_total":         false,
+		"span:phase:screen":                     false,
+		"span:phase:phase1":                     false,
+		"span:phase:phase2":                     false,
+		"span:phase:compile":                    false,
+	}
+	for _, k := range a {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("export schema missing %s (keys: %v)", k, a)
+		}
+	}
+}
+
+func TestPhaseSpansCarryVirtualTime(t *testing.T) {
+	e := NewExperiment(tinyConfig(11))
+	e.ScreenPairResolvers()
+	e.RunPhaseI()
+	var phase1 bool
+	for _, sp := range e.Telemetry().Tracer.Summary() {
+		if sp.Name == "phase:phase1" {
+			phase1 = true
+			// Phase I spans the virtual campaign (days), not wall time
+			// (milliseconds at this geometry): total must be virtual.
+			if sp.Total < 24*time.Hour {
+				t.Errorf("phase1 span total = %v, want ≥ 24h of virtual time", sp.Total)
+			}
+		}
+	}
+	if !phase1 {
+		t.Fatal("no phase:phase1 span recorded")
+	}
+}

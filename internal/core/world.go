@@ -15,6 +15,7 @@ import (
 	"shadowmeter/internal/pairresolver"
 	"shadowmeter/internal/probe"
 	"shadowmeter/internal/resolversim"
+	"shadowmeter/internal/telemetry"
 	"shadowmeter/internal/topology"
 	"shadowmeter/internal/vantage"
 	"shadowmeter/internal/websim"
@@ -34,6 +35,9 @@ type World struct {
 	Cfg  Config
 	Net  *netsim.Network
 	Topo *topology.Topology
+	// Telemetry is the one metrics/tracing set shared by every component
+	// of the pipeline (netsim, honeypots, traceroute, correlation, core).
+	Telemetry *telemetry.Set
 
 	Registry  *resolversim.Registry
 	Honeypots *honeypot.Deployment
@@ -73,6 +77,7 @@ func BuildWorld(cfg Config) *World {
 	cfg = cfg.withDefaults()
 	w := &World{
 		Cfg:        cfg,
+		Telemetry:  telemetry.NewSet(),
 		Topo:       topology.Build(topology.Config{Seed: cfg.Seed}),
 		Registry:   resolversim.NewRegistry(),
 		Blocklist:  intel.NewBlocklist(),
@@ -85,6 +90,7 @@ func BuildWorld(cfg Config) *World {
 	w.Net = netsim.New(netsim.Config{
 		Start: cfg.Start, Path: w.Topo.PathFunc(),
 		LossRate: cfg.LossRate, LossSeed: cfg.Seed ^ 0x10553,
+		Telemetry: w.Telemetry,
 	})
 
 	w.deployHoneypots()
@@ -110,7 +116,7 @@ func (w *World) deployHoneypots() {
 			WebAddr:  w.Topo.AllocHostAddr(as),
 		})
 	}
-	w.Honeypots = honeypot.Deploy(w.Net, honeypot.Config{Zone: Zone, RecordTTL: 3600, Codec: w.Codec}, sites, w.Registry)
+	w.Honeypots = honeypot.Deploy(w.Net, honeypot.Config{Zone: Zone, RecordTTL: 3600, Codec: w.Codec, Telemetry: w.Telemetry}, sites, w.Registry)
 
 	usAS := w.Topo.HostingASes("US")[0]
 	echoAddr := w.Topo.AllocHostAddr(usAS)

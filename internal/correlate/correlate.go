@@ -24,6 +24,7 @@ import (
 	"shadowmeter/internal/decoy"
 	"shadowmeter/internal/honeypot"
 	"shadowmeter/internal/identifier"
+	"shadowmeter/internal/telemetry"
 	"shadowmeter/internal/wire"
 )
 
@@ -82,6 +83,39 @@ type Correlator struct {
 	sent    map[string]*Sent // by label
 	dnsSeen map[string]int   // label -> count of DNS captures seen so far
 	stats   Stats
+	m       correlatorMetrics
+}
+
+type correlatorMetrics struct {
+	captures     *telemetry.Counter
+	solicited    *telemetry.Counter
+	unknownLabel *telemetry.Counter
+	crcRejected  *telemetry.Counter
+	unsolicited  *telemetry.CounterVec // by rule
+	rule1        *telemetry.Counter    // cached children of unsolicited
+	rule2        *telemetry.Counter
+	rule3        *telemetry.Counter
+	delay        *telemetry.Histogram
+}
+
+// delayBounds bucket the decoy-to-reuse interval in seconds: 1s, 10s,
+// 1m, 10m, 1h, 6h, 1d, 3d, 10d — the resolution behind the paper's
+// delay CDF (Figure 4), which spans seconds to days.
+var delayBounds = []float64{1, 10, 60, 600, 3600, 21600, 86400, 259200, 864000}
+
+func newCorrelatorMetrics(reg *telemetry.Registry) correlatorMetrics {
+	unsolicited := reg.CounterVec("correlate_unsolicited_total", "captures classified unsolicited, by rule", "rule")
+	return correlatorMetrics{
+		captures:     reg.Counter("correlate_captures_total", "honeypot captures processed by the correlator"),
+		solicited:    reg.Counter("correlate_solicited_total", "captures explained by expected recursion"),
+		unknownLabel: reg.Counter("correlate_unknown_label_total", "captures whose label matches no sent decoy"),
+		crcRejected:  reg.Counter("correlate_checksum_rejected_total", "identifier-shaped labels failing the CRC"),
+		unsolicited:  unsolicited,
+		rule1:        unsolicited.With("1"),
+		rule2:        unsolicited.With("2"),
+		rule3:        unsolicited.With("3"),
+		delay:        reg.Histogram("correlate_delay_seconds", "interval between decoy emission and unsolicited re-use", delayBounds),
+	}
 }
 
 // Stats summarizes correlation outcomes.
@@ -95,12 +129,23 @@ type Stats struct {
 }
 
 // New creates a correlator sharing the experiment's identifier codec.
+// Metrics land in a private telemetry set; call Bind to share one.
 func New(codec *identifier.Codec) *Correlator {
 	return &Correlator{
 		codec:   codec,
 		sent:    make(map[string]*Sent),
 		dnsSeen: make(map[string]int),
+		m:       newCorrelatorMetrics(telemetry.NewRegistry()),
 	}
+}
+
+// Bind re-homes the correlator's metrics in the given shared set.
+// Call before classification; counts recorded earlier stay in the
+// private registry.
+func (c *Correlator) Bind(set *telemetry.Set) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = newCorrelatorMetrics(set.Registry)
 }
 
 // AddSent records one decoy emission.
@@ -139,17 +184,21 @@ func (c *Correlator) Classify(captures []honeypot.Capture) []Unsolicited {
 	var out []Unsolicited
 	for _, cap := range ordered {
 		c.stats.Captures++
+		c.m.captures.Inc()
 		if cap.Label == "" {
 			c.stats.UnknownLabel++
+			c.m.unknownLabel.Inc()
 			continue
 		}
 		if _, err := c.codec.Decode(cap.Label); err != nil {
 			c.stats.ChecksumRejected++
+			c.m.crcRejected.Inc()
 			continue
 		}
 		sent, ok := c.sent[cap.Label]
 		if !ok {
 			c.stats.UnknownLabel++
+			c.m.unknownLabel.Inc()
 			continue
 		}
 
@@ -167,13 +216,24 @@ func (c *Correlator) Classify(captures []honeypot.Capture) []Unsolicited {
 		}
 		if rule == 0 {
 			c.stats.Solicited++
+			c.m.solicited.Inc()
 			continue
 		}
 		c.stats.Unsolicited++
+		switch rule {
+		case 1:
+			c.m.rule1.Inc()
+		case 2:
+			c.m.rule2.Inc()
+		case 3:
+			c.m.rule3.Inc()
+		}
+		delay := cap.Time.Sub(sent.Time)
+		c.m.delay.Observe(delay.Seconds())
 		out = append(out, Unsolicited{
 			Capture:     cap,
 			Sent:        sent,
-			Delay:       cap.Time.Sub(sent.Time),
+			Delay:       delay,
 			Combination: fmt.Sprintf("%s-%s", sent.Protocol, requestName(cap.Protocol, cap)),
 			Rule:        rule,
 		})

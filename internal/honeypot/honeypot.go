@@ -19,6 +19,7 @@ import (
 	"shadowmeter/internal/httpwire"
 	"shadowmeter/internal/identifier"
 	"shadowmeter/internal/netsim"
+	"shadowmeter/internal/telemetry"
 	"shadowmeter/internal/tlswire"
 	"shadowmeter/internal/wire"
 )
@@ -83,6 +84,9 @@ type Config struct {
 	RecordTTL uint32
 	// Codec decodes identifier labels for pre-filtering; optional.
 	Codec *identifier.Codec
+	// Telemetry receives capture counters. Nil creates a private set so
+	// the handlers never nil-check.
+	Telemetry *telemetry.Set
 }
 
 // Deployment is the set of honeypot sites plus their shared log.
@@ -98,6 +102,29 @@ type Deployment struct {
 	mu          sync.Mutex
 	homepage    int64 // visits to the documented experiment homepage
 	unparseable int64
+
+	m deploymentMetrics
+}
+
+type deploymentMetrics struct {
+	captures       *telemetry.CounterVec // by protocol
+	capturesDNS    *telemetry.Counter    // cached children of captures
+	capturesHTTP   *telemetry.Counter
+	capturesTLS    *telemetry.Counter
+	unparseable    *telemetry.Counter
+	homepageVisits *telemetry.Counter
+}
+
+func newDeploymentMetrics(reg *telemetry.Registry) deploymentMetrics {
+	captures := reg.CounterVec("honeypot_captures_total", "requests logged by honeypot sites", "protocol")
+	return deploymentMetrics{
+		captures:       captures,
+		capturesDNS:    captures.With("dns"),
+		capturesHTTP:   captures.With("http"),
+		capturesTLS:    captures.With("tls"),
+		unparseable:    reg.Counter("honeypot_unparseable_total", "malformed arrivals at honeypot sites"),
+		homepageVisits: reg.Counter("honeypot_homepage_visits_total", "fetches of the experiment homepage"),
+	}
 }
 
 // HomepageHTML is served at "/" — the paper documents the experiment and a
@@ -119,12 +146,17 @@ func Deploy(n *netsim.Network, cfg Config, sites []*Site, registry interface {
 	if ttl == 0 {
 		ttl = 3600
 	}
+	tele := cfg.Telemetry
+	if tele == nil {
+		tele = telemetry.NewSet()
+	}
 	d := &Deployment{
 		Zone:      dnswire.Canonical(cfg.Zone),
 		Sites:     sites,
 		Log:       NewLog(),
 		recordTTL: ttl,
 		codec:     cfg.Codec,
+		m:         newDeploymentMetrics(tele.Registry),
 	}
 	for _, s := range sites {
 		d.webAddrs = append(d.webAddrs, s.WebAddr)
@@ -173,6 +205,7 @@ func (d *Deployment) handleDNS(n *netsim.Network, s *Site, from wire.Endpoint, p
 		Source: from, Domain: name, Label: firstIdentifierLabel(name),
 		DNSType: q.QType(),
 	})
+	d.m.capturesDNS.Inc()
 	resp := dnswire.NewResponse(q, dnswire.RcodeNoError)
 	resp.Header.AA = true
 	if q.QType() == dnswire.TypeA || q.QType() == dnswire.TypeANY {
@@ -206,10 +239,12 @@ func (d *Deployment) handleHTTP(n *netsim.Network, s *Site, from wire.Endpoint, 
 		Source: from, Domain: host, Label: firstIdentifierLabel(host),
 		HTTPPath: req.Path, Payload: requestHead(req),
 	})
+	d.m.capturesHTTP.Inc()
 	if req.Path == "/" {
 		d.mu.Lock()
 		d.homepage++
 		d.mu.Unlock()
+		d.m.homepageVisits.Inc()
 		return httpwire.NewResponse(200, HomepageHTML).Encode()
 	}
 	return httpwire.NewResponse(404, "not found").Encode()
@@ -228,6 +263,7 @@ func (d *Deployment) handleTLS(n *netsim.Network, s *Site, from wire.Endpoint, p
 		Source: from, Domain: name, Label: firstIdentifierLabel(name),
 		Payload: "CLIENTHELLO sni=" + name,
 	})
+	d.m.capturesTLS.Inc()
 	sh := tlswire.ServerHello{Version: tlswire.VersionTLS12, CipherSuite: 0x1301}
 	copy(sh.Random[:], name) // deterministic, content-derived
 	return sh.Encode()
@@ -251,6 +287,7 @@ func (d *Deployment) countUnparseable() {
 	d.mu.Lock()
 	d.unparseable++
 	d.mu.Unlock()
+	d.m.unparseable.Inc()
 }
 
 // firstIdentifierLabel extracts the left-most label if it is shaped like an

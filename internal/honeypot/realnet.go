@@ -12,6 +12,7 @@ import (
 	"shadowmeter/internal/decoy"
 	"shadowmeter/internal/dnswire"
 	"shadowmeter/internal/httpwire"
+	"shadowmeter/internal/telemetry"
 	"shadowmeter/internal/tlswire"
 	"shadowmeter/internal/wire"
 )
@@ -32,7 +33,11 @@ type RealNet struct {
 	// the real network thread time.Now in (cmd/honeypotd, the realnet
 	// example); tests may inject a fixed clock for reproducible logs.
 	Clock func() time.Time
+	// Telemetry owns the real-network metrics. Captures arrive on
+	// concurrent goroutines, so all handles are AtomicCounters.
+	Telemetry *telemetry.Set
 
+	m       realNetMetrics
 	mu      sync.Mutex
 	udp     *net.UDPConn
 	tcp     net.Listener
@@ -42,14 +47,32 @@ type RealNet struct {
 	started bool
 }
 
+type realNetMetrics struct {
+	capturesDNS  *telemetry.AtomicCounter
+	capturesHTTP *telemetry.AtomicCounter
+	capturesTLS  *telemetry.AtomicCounter
+	unparseable  *telemetry.AtomicCounter
+	homepage     *telemetry.AtomicCounter
+}
+
 // NewRealNet builds a real-network honeypot for zone.
 func NewRealNet(zone, location string, webAddrs []wire.Addr) *RealNet {
+	tele := telemetry.NewSet()
+	reg := tele.Registry
 	return &RealNet{
 		Zone:      dnswire.Canonical(zone),
 		Log:       NewLog(),
 		WebAddrs:  webAddrs,
 		RecordTTL: 3600,
 		Location:  location,
+		Telemetry: tele,
+		m: realNetMetrics{
+			capturesDNS:  reg.AtomicCounter("honeypot_captures_dns_total", "DNS queries captured on real sockets"),
+			capturesHTTP: reg.AtomicCounter("honeypot_captures_http_total", "HTTP requests captured on real sockets"),
+			capturesTLS:  reg.AtomicCounter("honeypot_captures_tls_total", "TLS ClientHellos captured on real sockets"),
+			unparseable:  reg.AtomicCounter("honeypot_unparseable_total", "malformed arrivals on real sockets"),
+			homepage:     reg.AtomicCounter("honeypot_homepage_visits_total", "fetches of the experiment homepage"),
+		},
 	}
 }
 
@@ -164,6 +187,7 @@ func (r *RealNet) serveTLS(ln net.Listener) {
 func (r *RealNet) HandleClientHello(raw []byte, src wire.Endpoint) []byte {
 	ch, err := tlswire.ParseClientHello(raw)
 	if err != nil {
+		r.m.unparseable.Inc()
 		return nil
 	}
 	name := ch.ServerName
@@ -176,6 +200,7 @@ func (r *RealNet) HandleClientHello(raw []byte, src wire.Endpoint) []byte {
 		Source: src, Domain: name, Label: firstIdentifierLabel(name),
 		Payload: "CLIENTHELLO sni=" + name,
 	})
+	r.m.capturesTLS.Inc()
 	sh := tlswire.ServerHello{Version: tlswire.VersionTLS12, CipherSuite: 0x1301}
 	copy(sh.Random[:], name)
 	return sh.Encode()
@@ -227,6 +252,7 @@ func (r *RealNet) serveDNS(conn *net.UDPConn) {
 func (r *RealNet) HandleDNSQuery(payload []byte, src wire.Addr, srcPort uint16) []byte {
 	q, err := dnswire.Decode(payload)
 	if err != nil || q.Header.QR || len(q.Questions) == 0 {
+		r.m.unparseable.Inc()
 		return nil
 	}
 	name := q.QName()
@@ -243,6 +269,7 @@ func (r *RealNet) HandleDNSQuery(payload []byte, src wire.Addr, srcPort uint16) 
 		Source: wire.Endpoint{Addr: src, Port: srcPort},
 		Domain: name, Label: firstIdentifierLabel(name), DNSType: q.QType(),
 	})
+	r.m.capturesDNS.Inc()
 	resp := dnswire.NewResponse(q, dnswire.RcodeNoError)
 	resp.Header.AA = true
 	if q.QType() == dnswire.TypeA || q.QType() == dnswire.TypeANY {
@@ -295,6 +322,7 @@ func (r *RealNet) handleHTTPConn(conn net.Conn) {
 func (r *RealNet) HandleHTTPRequest(raw []byte, src wire.Endpoint) []byte {
 	req, err := httpwire.ParseRequest(raw)
 	if err != nil {
+		r.m.unparseable.Inc()
 		return httpwire.NewResponse(400, "bad request").Encode()
 	}
 	host := dnswire.Canonical(req.Host())
@@ -303,7 +331,9 @@ func (r *RealNet) HandleHTTPRequest(raw []byte, src wire.Endpoint) []byte {
 		Source: src, Domain: host, Label: firstIdentifierLabel(host),
 		HTTPPath: req.Path, Payload: requestHead(req),
 	})
+	r.m.capturesHTTP.Inc()
 	if req.Path == "/" {
+		r.m.homepage.Inc()
 		return httpwire.NewResponse(200, HomepageHTML).Encode()
 	}
 	return httpwire.NewResponse(404, "not found").Encode()

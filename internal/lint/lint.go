@@ -3,7 +3,7 @@
 // standard library's go/parser, go/ast, go/types, and go/token — the
 // module is deliberately dependency-free.
 //
-// Four analyzers ship today:
+// Five analyzers ship today:
 //
 //   - simclock: no wall-clock calls (time.Now, time.Since, time.Sleep, …)
 //     inside internal/* simulation packages; the world clock from
@@ -16,6 +16,9 @@
 //   - sliceretain: wire decoders (internal/wire, internal/dnswire,
 //     internal/httpwire, internal/tlswire) must not retain sub-slices of
 //     the input buffer in returned structs without copying.
+//   - rawprint: no fmt.Print*/log.Print* (or fmt.Fprint* to os.Stdout/
+//     os.Stderr) in internal/* — simulation libraries report through
+//     internal/telemetry, only cmd/* owns the process streams.
 //
 // A finding can be suppressed with a trailing or preceding comment:
 //
@@ -57,7 +60,7 @@ type Analyzer struct {
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Simclock, Detrand, DroppedErr, SliceRetain}
+	return []*Analyzer{Simclock, Detrand, DroppedErr, SliceRetain, RawPrint}
 }
 
 // inInternal reports whether relPath is under the module's internal/

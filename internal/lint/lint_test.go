@@ -69,6 +69,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{pkg: "internal/rng"},
 		{pkg: "internal/errs"},
 		{pkg: "internal/fakewire"},
+		{pkg: "internal/printy"},
 		{pkg: "clockok"}, // outside internal/: zero findings expected
 	}
 	l := openFixture(t)
@@ -115,6 +116,7 @@ func TestExactPositions(t *testing.T) {
 		"fixture/internal/rng",
 		"fixture/internal/errs",
 		"fixture/internal/fakewire",
+		"fixture/internal/printy",
 	}, All())
 	if err != nil {
 		t.Fatal(err)
@@ -138,6 +140,8 @@ func TestExactPositions(t *testing.T) {
 		"internal/errs/errs.go:19:2:droppederr",           // fail()
 		"internal/errs/errs.go:22:5:droppederr",           // v, _ := pair() (blank ident)
 		"internal/fakewire/fakewire.go:24:11:sliceretain", // Header: data[:4]
+		"internal/printy/printy.go:14:2:rawprint",         // fmt.Println("progress!")
+		"internal/printy/printy.go:18:2:rawprint",         // fmt.Fprintf(os.Stderr, ...)
 	} {
 		if !got[exact] {
 			t.Errorf("expected a diagnostic at exactly %s; got:\n%s", exact, keys(got))

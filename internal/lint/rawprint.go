@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// rawprintFmt are the fmt package-level functions that write straight to
+// the process's stdout.
+var rawprintFmt = map[string]bool{
+	"Print":   true,
+	"Printf":  true,
+	"Println": true,
+}
+
+// rawprintLog are the log package-level functions that write to the
+// shared default logger (stderr). Fatal*/Panic* additionally terminate
+// the process — even worse inside a library.
+var rawprintLog = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+	"Output": true,
+}
+
+// rawprintFprint are the fmt functions whose first argument selects the
+// writer; they are forbidden only when that writer is os.Stdout or
+// os.Stderr.
+var rawprintFprint = map[string]bool{
+	"Fprint":   true,
+	"Fprintf":  true,
+	"Fprintln": true,
+}
+
+// RawPrint forbids writing to the process's stdout/stderr from internal
+// simulation packages. Libraries must surface state through the
+// telemetry registry/tracer (or returned values) instead of printing:
+// stray prints interleave with exporter output, can't be asserted on,
+// and break the byte-identical -metrics-json contract when they land on
+// stdout. cmd/* and examples/* own the process streams and are exempt.
+var RawPrint = &Analyzer{
+	Name:    "rawprint",
+	Doc:     "forbid fmt.Printf/log.Printf-style writes to stdout/stderr in internal packages; record through internal/telemetry instead",
+	Applies: inInternal,
+	Run:     runRawPrint,
+}
+
+func runRawPrint(p *Package) []Diagnostic {
+	var out []Diagnostic
+	report := func(n ast.Node, pkg, fn string) {
+		out = append(out, diag(p, n.Pos(), "rawprint",
+			"%s.%s writes to the process streams; surface this through internal/telemetry (or return it) instead", pkg, fn))
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fn := pkgLevelFunc(p, sel, "fmt"); fn != nil {
+				switch {
+				case rawprintFmt[fn.Name()]:
+					report(sel, "fmt", fn.Name())
+				case rawprintFprint[fn.Name()] && len(call.Args) > 0 && isProcessStream(p, call.Args[0]):
+					report(sel, "fmt", fn.Name())
+				}
+			}
+			if fn := pkgLevelFunc(p, sel, "log"); fn != nil && rawprintLog[fn.Name()] {
+				report(sel, "log", fn.Name())
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isProcessStream reports whether expr denotes os.Stdout or os.Stderr.
+func isProcessStream(p *Package, expr ast.Expr) bool {
+	sel, ok := unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := p.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return strings.HasPrefix(v.Name(), "Std") && v.Name() != "Stdin"
+}

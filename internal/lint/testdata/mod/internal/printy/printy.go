@@ -1,0 +1,33 @@
+// Package printy seeds rawprint violations and suppressions for the
+// analyzer tests. The // want markers encode the expected diagnostics.
+package printy
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+)
+
+// Bad writes to the process streams five different ways.
+func Bad() {
+	fmt.Println("progress!")              // want rawprint "fmt.Println writes to the process streams"
+	fmt.Printf("events=%d\n", 7)          // want rawprint "fmt.Printf writes to the process streams"
+	log.Printf("events=%d", 7)            // want rawprint "log.Printf writes to the process streams"
+	log.Fatalln("giving up")              // want rawprint "log.Fatalln writes to the process streams"
+	fmt.Fprintf(os.Stderr, "oops %d", 13) // want rawprint "fmt.Fprintf writes to the process streams"
+	fmt.Fprintln(os.Stdout, "done")       // want rawprint "fmt.Fprintln writes to the process streams"
+}
+
+// Render writes into an in-memory buffer — the legitimate use of the
+// same fmt verbs, so no findings.
+func Render() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "events=%d\n", 7)
+	return b.String() + fmt.Sprintf("(%d)", 7)
+}
+
+// Suppressed documents a deliberate print with a written reason.
+func Suppressed() {
+	fmt.Println("banner") //shadowlint:ignore rawprint fixture exercises the rawprint suppression form
+}

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"time"
 
+	"shadowmeter/internal/telemetry"
 	"shadowmeter/internal/wire"
 )
 
@@ -40,8 +41,10 @@ type Router struct {
 // AttachTap registers an on-path device at this router.
 func (r *Router) AttachTap(t Tap) { r.taps = append(r.taps, t) }
 
-// Taps returns the attached taps (read-only use).
-func (r *Router) Taps() []Tap { return r.taps }
+// Taps returns a copy of the attached taps. Callers get their own slice:
+// appending to (or reordering) the result cannot mutate routing state
+// behind the simulator's back.
+func (r *Router) Taps() []Tap { return append([]Tap(nil), r.taps...) }
 
 // Tap is an on-path observer device: it inspects every packet arriving at
 // its router. Taps must not mutate the packet; they may call back into the
@@ -96,6 +99,9 @@ type Config struct {
 	LossRate float64
 	// LossSeed seeds the loss coin.
 	LossSeed int64
+	// Telemetry receives the simulator's metrics and progress ticks. Nil
+	// creates a private set, so the hot path never nil-checks.
+	Telemetry *telemetry.Set
 }
 
 // DefaultHopLatency approximates a wide-area per-hop delay.
@@ -116,7 +122,51 @@ type Network struct {
 	stats  Stats
 	parser wire.Parser
 
+	tele        *telemetry.Set
+	m           netMetrics
+	tapObserves map[*Router]*telemetry.Counter
+
 	maxEvents int64 // safety valve against runaway schedules; 0 = unlimited
+}
+
+// netMetrics holds the simulator's registered metric handles. They are
+// plain (lock-free) variants: the event loop is single-goroutine.
+type netMetrics struct {
+	eventsScheduled  *telemetry.Counter
+	eventsDispatched *telemetry.Counter
+	queuePeak        *telemetry.Gauge
+	queueDepth       *telemetry.Histogram
+	packetsSent      *telemetry.Counter
+	packetsForwarded *telemetry.Counter
+	packetsDelivered *telemetry.Counter
+	packetsLost      *telemetry.Counter
+	ttlExpired       *telemetry.Counter
+	icmpSent         *telemetry.Counter
+	noRoute          *telemetry.Counter
+	noHandler        *telemetry.Counter
+	taps             *telemetry.CounterVec
+}
+
+// queueDepthBounds buckets event-queue depth by powers of four: deep
+// enough to see full-scale campaigns, cheap enough to scan per event.
+var queueDepthBounds = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+func newNetMetrics(reg *telemetry.Registry) netMetrics {
+	return netMetrics{
+		eventsScheduled:  reg.Counter("netsim_events_scheduled_total", "events pushed onto the simulator heap"),
+		eventsDispatched: reg.Counter("netsim_events_dispatched_total", "events popped and executed by the event loop"),
+		queuePeak:        reg.Gauge("netsim_event_queue_peak", "high-water mark of the event-queue depth"),
+		queueDepth:       reg.Histogram("netsim_event_queue_depth", "event-queue depth observed at each dispatch", queueDepthBounds),
+		packetsSent:      reg.Counter("netsim_packets_sent_total", "packets injected at their source"),
+		packetsForwarded: reg.Counter("netsim_packets_forwarded_total", "per-hop packet arrivals at routers"),
+		packetsDelivered: reg.Counter("netsim_packets_delivered_total", "packets terminated at a registered handler"),
+		packetsLost:      reg.Counter("netsim_packets_lost_total", "packets dropped by injected per-hop loss"),
+		ttlExpired:       reg.Counter("netsim_ttl_expired_total", "packets whose TTL reached zero at a router"),
+		icmpSent:         reg.Counter("netsim_icmp_time_exceeded_total", "ICMP Time Exceeded messages generated"),
+		noRoute:          reg.Counter("netsim_no_route_total", "sends with no path to the destination"),
+		noHandler:        reg.Counter("netsim_no_handler_total", "deliveries to an unregistered address"),
+		taps:             reg.CounterVec("netsim_tap_observes_total", "packets shown to on-path taps, per router", "router"),
+	}
 }
 
 // New creates a network from cfg.
@@ -125,12 +175,22 @@ func New(cfg Config) *Network {
 	if hl == 0 {
 		hl = DefaultHopLatency
 	}
+	tele := cfg.Telemetry
+	if tele == nil {
+		tele = telemetry.NewSet()
+	}
 	n := &Network{
-		now:        cfg.Start,
-		hosts:      make(map[wire.Addr]Handler),
-		pathFn:     cfg.Path,
-		hopLatency: hl,
-		lossRate:   cfg.LossRate,
+		now:         cfg.Start,
+		hosts:       make(map[wire.Addr]Handler),
+		pathFn:      cfg.Path,
+		hopLatency:  hl,
+		lossRate:    cfg.LossRate,
+		tele:        tele,
+		m:           newNetMetrics(tele.Registry),
+		tapObserves: make(map[*Router]*telemetry.Counter),
+	}
+	if tele.Tracer.Clock == nil {
+		tele.Tracer.Clock = n.Now
 	}
 	if cfg.LossRate > 0 {
 		n.lossRNG = rand.New(rand.NewSource(cfg.LossSeed))
@@ -140,6 +200,10 @@ func New(cfg Config) *Network {
 
 // Now returns the current virtual time.
 func (n *Network) Now() time.Time { return n.now }
+
+// Telemetry returns the simulator's telemetry set (the one from Config,
+// or the private set created when none was supplied).
+func (n *Network) Telemetry() *telemetry.Set { return n.tele }
 
 // Stats returns a snapshot of simulator counters.
 func (n *Network) Stats() Stats { return n.stats }
@@ -172,6 +236,8 @@ func (n *Network) Schedule(delay time.Duration, fn func()) {
 	}
 	n.seq++
 	heap.Push(&n.events, &event{at: n.now.Add(delay), seq: n.seq, fn: fn})
+	n.m.eventsScheduled.Inc()
+	n.m.queuePeak.SetMax(int64(len(n.events)))
 }
 
 // SendPacket injects a serialized IPv4 packet at its source address. The
@@ -186,6 +252,7 @@ func (n *Network) SendPacket(raw []byte) error {
 		return fmt.Errorf("netsim: refusing to send unparseable packet: %w", err)
 	}
 	n.stats.PacketsSent++
+	n.m.packetsSent.Inc()
 	src, dst := probe.Src, probe.Dst
 
 	var path []*Router
@@ -195,6 +262,7 @@ func (n *Network) SendPacket(raw []byte) error {
 			// No route at all (distinct from the empty direct path).
 			if _, ok := n.hosts[dst]; !ok {
 				n.stats.NoRoute++
+				n.m.noRoute.Inc()
 				return nil
 			}
 		}
@@ -230,9 +298,11 @@ func (n *Network) forward(pkt []byte, origin wire.Addr, path []*Router, i int) {
 func (n *Network) arriveAtRouter(pkt []byte, origin wire.Addr, path []*Router, i int) {
 	if n.lossRNG != nil && n.lossRNG.Float64() < n.lossRate {
 		n.stats.PacketsLost++
+		n.m.packetsLost.Inc()
 		return
 	}
 	r := path[i]
+	n.m.packetsForwarded.Inc()
 	// DPI taps see the packet on arrival, before the TTL check: a device on
 	// the wire observes bytes regardless of whether the router then drops
 	// them. This is what makes Phase II's "first TTL that triggers
@@ -240,6 +310,7 @@ func (n *Network) arriveAtRouter(pkt []byte, origin wire.Addr, path []*Router, i
 	if len(r.taps) > 0 {
 		var decoded wire.Packet
 		if err := n.parser.Decode(pkt, &decoded); err == nil {
+			n.tapCounter(r).Add(int64(len(r.taps)))
 			for _, t := range r.taps {
 				t.Observe(n, r, &decoded)
 			}
@@ -251,12 +322,24 @@ func (n *Network) arriveAtRouter(pkt []byte, origin wire.Addr, path []*Router, i
 	}
 	if ttl == 0 {
 		n.stats.TTLExpired++
+		n.m.ttlExpired.Inc()
 		if !r.ICMPSilent {
 			n.sendTimeExceeded(r, origin, pkt)
 		}
 		return
 	}
 	n.forward(pkt, origin, path, i+1)
+}
+
+// tapCounter resolves (and caches) the per-router tap-observation
+// counter, labeled by router name.
+func (n *Network) tapCounter(r *Router) *telemetry.Counter {
+	if c, ok := n.tapObserves[r]; ok {
+		return c
+	}
+	c := n.m.taps.With(r.Name)
+	n.tapObserves[r] = c
+	return c
 }
 
 func (n *Network) sendTimeExceeded(r *Router, origin wire.Addr, expired []byte) {
@@ -266,6 +349,7 @@ func (n *Network) sendTimeExceeded(r *Router, origin wire.Addr, expired []byte) 
 		return
 	}
 	n.stats.ICMPSent++
+	n.m.icmpSent.Inc()
 	// The error message returns over the reverse path; the measurement only
 	// needs its eventual arrival at the origin, so model the return trip as
 	// a direct delayed delivery proportional to the forward distance.
@@ -280,9 +364,11 @@ func (n *Network) deliver(pkt []byte) {
 	h, ok := n.hosts[decoded.IP.Dst]
 	if !ok {
 		n.stats.NoHandler++
+		n.m.noHandler.Inc()
 		return
 	}
 	n.stats.PacketsDelivered++
+	n.m.packetsDelivered.Inc()
 	h.Handle(n, &decoded)
 }
 
@@ -299,9 +385,12 @@ func (n *Network) Run(deadline time.Time) int64 {
 		if next.at.After(n.now) {
 			n.now = next.at
 		}
+		n.m.queueDepth.Observe(float64(len(n.events) + 1))
 		next.fn()
 		processed++
 		n.stats.Events++
+		n.m.eventsDispatched.Inc()
+		n.tele.Progress.Tick(n.now, len(n.events))
 		if n.maxEvents > 0 && n.stats.Events >= n.maxEvents {
 			break
 		}
@@ -320,9 +409,12 @@ func (n *Network) RunUntilIdle() int64 {
 		if next.at.After(n.now) {
 			n.now = next.at
 		}
+		n.m.queueDepth.Observe(float64(len(n.events) + 1))
 		next.fn()
 		processed++
 		n.stats.Events++
+		n.m.eventsDispatched.Inc()
+		n.tele.Progress.Tick(n.now, len(n.events))
 		if n.maxEvents > 0 && n.stats.Events >= n.maxEvents {
 			break
 		}

@@ -1,0 +1,309 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count, updated lock-free on the
+// single-goroutine simulation path. Use AtomicCounter for code that runs
+// on real-network goroutines.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d (d must be non-negative for the export to stay meaningful).
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// AtomicCounter is the sync/atomic counter for the real-network honeypot
+// path, where captures arrive on concurrent goroutines.
+type AtomicCounter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *AtomicCounter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *AtomicCounter) Add(d int64) { c.v.Add(d) }
+
+// Value reads the current count.
+func (c *AtomicCounter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value (queue depth, fleet size).
+type Gauge struct{ v int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	if v > g.v {
+		g.v = v
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Histogram is a fixed-bucket distribution. Buckets are defined once at
+// registration by their upper bounds; Observe is a linear scan over a
+// small bounds slice and never allocates.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds (inclusive)
+	counts []int64   // len(bounds)+1; the last bucket is +Inf
+	sum    float64
+	n      int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// snapshot copies the histogram state.
+func (h *Histogram) snapshot() *HistogramSnapshot {
+	return &HistogramSnapshot{
+		Bounds: h.bounds, // bounds are immutable after registration
+		Counts: append([]int64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+}
+
+// HistogramSnapshot is an exported copy of a histogram's state. Counts
+// are per-bucket (not cumulative); Counts[len(Bounds)] is the +Inf
+// bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// CounterVec is a family of counters distinguished by one label value
+// (classification rule, router name). Child creation takes a lock; hot
+// paths should call With once and cache the returned *Counter.
+type CounterVec struct {
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the counter for a label value, creating it on first use.
+func (v *CounterVec) With(label string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[label]
+	if !ok {
+		c = &Counter{}
+		v.children[label] = c
+	}
+	return c
+}
+
+// labels returns the registered label values in sorted order.
+func (v *CounterVec) labels() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.children))
+	for l := range v.children {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kind distinguishes metric families in exports.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String renders the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// Registry holds metrics registered once and updated for the lifetime of
+// a run. Registration is idempotent: asking for an existing name with
+// the same kind returns the existing handle, so independently constructed
+// components can share one registry without coordination. A name re-used
+// with a different kind panics — that is a programming error.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	name, help, labelName string
+	kind                  Kind
+	counter               *Counter
+	atomicCounter         *AtomicCounter
+	gauge                 *Gauge
+	hist                  *Histogram
+	vec                   *CounterVec
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func (r *Registry) register(name, help string, kind Kind) (*entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, e.kind))
+		}
+		return e, false
+	}
+	e := &entry{name: name, help: help, kind: kind}
+	r.entries[name] = e
+	return e, true
+}
+
+// Counter registers (or returns) a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	e, fresh := r.register(name, help, KindCounter)
+	if fresh {
+		e.counter = &Counter{}
+	}
+	if e.counter == nil {
+		panic(fmt.Sprintf("telemetry: counter %q already registered with a different shape", name))
+	}
+	return e.counter
+}
+
+// AtomicCounter registers (or returns) an atomic counter.
+func (r *Registry) AtomicCounter(name, help string) *AtomicCounter {
+	e, fresh := r.register(name, help, KindCounter)
+	if fresh {
+		e.atomicCounter = &AtomicCounter{}
+	}
+	if e.atomicCounter == nil {
+		panic(fmt.Sprintf("telemetry: counter %q already registered with a different shape", name))
+	}
+	return e.atomicCounter
+}
+
+// Gauge registers (or returns) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e, fresh := r.register(name, help, KindGauge)
+	if fresh {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// Histogram registers (or returns) a fixed-bucket histogram. bounds must
+// be strictly increasing upper bounds; they are captured at first
+// registration and ignored on idempotent re-registration.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not strictly increasing", name))
+		}
+	}
+	e, fresh := r.register(name, help, KindHistogram)
+	if fresh {
+		e.hist = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1),
+		}
+	}
+	return e.hist
+}
+
+// CounterVec registers (or returns) a one-label counter family.
+// labelName is the label key used in exports ("rule", "router").
+func (r *Registry) CounterVec(name, help, labelName string) *CounterVec {
+	e, fresh := r.register(name, help, KindCounter)
+	if fresh {
+		e.labelName = labelName
+		e.vec = &CounterVec{children: make(map[string]*Counter)}
+	}
+	if e.vec == nil {
+		panic(fmt.Sprintf("telemetry: counter %q already registered with a different shape", name))
+	}
+	return e.vec
+}
+
+// Metric is one exported metric family: a scalar value, or — when
+// LabelName is non-empty — a set of labeled children, or a histogram.
+type Metric struct {
+	Name, Help string
+	Kind       Kind
+	LabelName  string
+	Value      int64 // scalar counter/gauge value
+	Children   []Child
+	Hist       *HistogramSnapshot
+}
+
+// Child is one labeled member of a counter family.
+type Child struct {
+	Label string
+	Value int64
+}
+
+// Snapshot copies every registered metric, sorted by name (children
+// sorted by label), so iteration order — and therefore every export —
+// is deterministic.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	out := make([]Metric, 0, len(entries))
+	for _, e := range entries {
+		m := Metric{Name: e.name, Help: e.help, Kind: e.kind, LabelName: e.labelName}
+		switch {
+		case e.counter != nil:
+			m.Value = e.counter.Value()
+		case e.atomicCounter != nil:
+			m.Value = e.atomicCounter.Value()
+		case e.gauge != nil:
+			m.Value = e.gauge.Value()
+		case e.hist != nil:
+			m.Hist = e.hist.snapshot()
+		case e.vec != nil:
+			for _, label := range e.vec.labels() {
+				m.Children = append(m.Children, Child{Label: label, Value: e.vec.With(label).Value()})
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// Package telemetry is the observability layer of the measurement
+// pipeline: a stdlib-only, allocation-light metrics registry (counters,
+// gauges, fixed-bucket histograms), an event tracer stamped with virtual
+// netsim time, and a progress reporter driven by simulation-event count.
+//
+// Determinism is a design constraint, not an afterthought. Metric updates
+// on the simulation path are plain integer increments (the event loop is
+// single-goroutine); the real-network honeypot path uses the sync/atomic
+// variants. The tracer never reads the wall clock — it takes a Clock
+// function, and only cmd/ binaries and internal/honeypot's RealNet supply
+// time.Now. Exports are emitted in sorted key order, so two runs with the
+// same seed produce byte-identical output: the telemetry export doubles as
+// a determinism regression test for the whole pipeline.
+//
+// Three exporters ship: a human-readable summary table (WriteText), a
+// single JSON object with stable key order (ExportJSON), and the
+// Prometheus text exposition format (WritePrometheus) served by
+// cmd/honeypotd.
+package telemetry
+
+import "time"
+
+// Clock supplies timestamps to the tracer and progress reporter. On the
+// simulation path this is netsim's virtual clock (Network.Now); only
+// real-network entry points (cmd/, internal/honeypot RealNet) thread
+// time.Now.
+type Clock func() time.Time
+
+// Set bundles the three observability objects threaded through one
+// pipeline run. A single Set is shared by the network simulator, the
+// traceroute engine, the honeypots, the correlator, and the experiment
+// driver, so one export covers the whole pipeline.
+type Set struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Progress *Progress
+}
+
+// NewSet creates an empty Set. The tracer's clock starts unset (spans
+// are stamped with the zero time); callers that own a clock — the world
+// builder with netsim virtual time, cmd/ tools with time.Now — assign
+// Tracer.Clock before starting spans.
+func NewSet() *Set {
+	return &Set{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(nil),
+		Progress: &Progress{},
+	}
+}

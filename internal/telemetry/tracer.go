@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records spans (named intervals) and events stamped with the
+// time supplied by its Clock. On the simulation path the clock is
+// netsim's virtual time, so a two-month campaign traces as two months of
+// virtual duration regardless of wall-clock speed — and traces are
+// byte-identical across runs with the same seed.
+type Tracer struct {
+	// Clock stamps span starts and ends. Nil stamps the zero time (spans
+	// still count; durations are zero).
+	Clock Clock
+
+	mu   sync.Mutex
+	agg  map[string]*SpanStats
+	recs []SpanRecord
+	// MaxRecords bounds the retained per-span records (aggregates are
+	// always kept). 0 means DefaultMaxRecords.
+	MaxRecords int
+}
+
+// DefaultMaxRecords bounds retained span records unless overridden.
+const DefaultMaxRecords = 4096
+
+// SpanStats aggregates all spans of one name.
+type SpanStats struct {
+	Name   string
+	Count  int64
+	Events int64
+	// Total is the summed span duration in the tracer's time domain
+	// (virtual time on the simulation path).
+	Total time.Duration
+}
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	Name       string
+	Start, End time.Time
+	Events     int64
+}
+
+// NewTracer creates a tracer over clock (nil is allowed; see Clock).
+func NewTracer(clock Clock) *Tracer {
+	return &Tracer{Clock: clock, agg: make(map[string]*SpanStats)}
+}
+
+func (t *Tracer) now() time.Time {
+	if t.Clock != nil {
+		return t.Clock()
+	}
+	return time.Time{}
+}
+
+// Start opens a span. The caller must End it; spans may nest freely
+// (they are independent intervals, not a stack).
+func (t *Tracer) Start(name string) *Span {
+	return &Span{tr: t, name: name, start: t.now()}
+}
+
+// Span is one open interval.
+type Span struct {
+	tr     *Tracer
+	name   string
+	start  time.Time
+	events int64
+	done   bool
+}
+
+// Event counts one notable occurrence inside the span.
+func (s *Span) Event() { s.events++ }
+
+// End closes the span, folds it into the per-name aggregate, and returns
+// its duration. Ending twice is a no-op.
+func (s *Span) End() time.Duration {
+	if s.done {
+		return 0
+	}
+	s.done = true
+	end := s.tr.now()
+	d := end.Sub(s.start)
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.agg[s.name]
+	if !ok {
+		st = &SpanStats{Name: s.name}
+		t.agg[s.name] = st
+	}
+	st.Count++
+	st.Events += s.events
+	st.Total += d
+	max := t.MaxRecords
+	if max == 0 {
+		max = DefaultMaxRecords
+	}
+	if len(t.recs) < max {
+		t.recs = append(t.recs, SpanRecord{Name: s.name, Start: s.start, End: end, Events: s.events})
+	}
+	return d
+}
+
+// Summary returns the per-name aggregates sorted by name.
+func (t *Tracer) Summary() []SpanStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanStats, 0, len(t.agg))
+	for _, st := range t.agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Records returns the retained finished spans in completion order.
+func (t *Tracer) Records() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.recs...)
+}

@@ -17,6 +17,7 @@ import (
 
 	"shadowmeter/internal/decoy"
 	"shadowmeter/internal/netsim"
+	"shadowmeter/internal/telemetry"
 	"shadowmeter/internal/vantage"
 	"shadowmeter/internal/wire"
 )
@@ -108,10 +109,45 @@ type Engine struct {
 	// ProbeSpacing is the virtual-time gap between consecutive TTL probes
 	// (rate limiting, Appendix A). 0 means 500ms.
 	ProbeSpacing time.Duration
+	// Telemetry receives sweep/probe counters. Nil disables instrumentation
+	// (the engine lazily creates handles under e.mu on first use).
+	Telemetry *telemetry.Set
 
 	mu       sync.Mutex
 	attached map[*vantage.VP]map[uint16]*Sweep // by VP, then by sweep serial
 	serials  map[*vantage.VP]uint16
+	m        *engineMetrics
+}
+
+type engineMetrics struct {
+	sweepsLaunched *telemetry.Counter
+	sweepsAnalyzed *telemetry.Counter
+	probesSent     *telemetry.Counter
+	icmpHops       *telemetry.Counter
+	destReplies    *telemetry.Counter
+	silentHops     *telemetry.Counter
+	observersFound *telemetry.Counter
+}
+
+// metrics returns the engine's counter handles, creating them on first
+// use. Callers must hold e.mu. Returns nil when no Set is attached.
+func (e *Engine) metrics() *engineMetrics {
+	if e.Telemetry == nil {
+		return nil
+	}
+	if e.m == nil {
+		reg := e.Telemetry.Registry
+		e.m = &engineMetrics{
+			sweepsLaunched: reg.Counter("traceroute_sweeps_launched_total", "TTL sweeps scheduled by the engine"),
+			sweepsAnalyzed: reg.Counter("traceroute_sweeps_analyzed_total", "sweeps joined with honeypot evidence"),
+			probesSent:     reg.Counter("traceroute_probes_sent_total", "TTL-limited decoy probes emitted"),
+			icmpHops:       reg.Counter("traceroute_icmp_hops_total", "hops revealed by ICMP Time Exceeded"),
+			destReplies:    reg.Counter("traceroute_dest_replies_total", "probes answered by the destination"),
+			silentHops:     reg.Counter("traceroute_silent_hops_total", "hops on analyzed paths that stayed ICMP-silent"),
+			observersFound: reg.Counter("traceroute_observers_located_total", "analyzed sweeps that located an observer hop"),
+		}
+	}
+	return e.m
 }
 
 // NewEngine builds an engine over the shared decoy generator.
@@ -161,6 +197,9 @@ func (e *Engine) Sweep(n *netsim.Network, vp *vantage.VP, dst wire.Endpoint, pro
 		})
 	}
 	sweeps[serial] = s
+	if m := e.metrics(); m != nil {
+		m.sweepsLaunched.Inc()
+	}
 	e.mu.Unlock()
 
 	for ttl := 1; ttl <= maxTTL; ttl++ {
@@ -182,6 +221,13 @@ func (e *Engine) sendProbe(n *netsim.Network, s *Sweep, ttl uint8) {
 	s.Probes[ttl] = &Probe{TTL: ttl, Label: d.Label, Domain: d.Domain, SentAt: n.Now()}
 	s.mu.Unlock()
 
+	e.mu.Lock()
+	m := e.metrics()
+	if m != nil {
+		m.probesSent.Inc()
+	}
+	e.mu.Unlock()
+
 	ipID := probeID(s.serial, ttl)
 	switch s.Proto {
 	case decoy.DNS:
@@ -193,6 +239,9 @@ func (e *Engine) sendProbe(n *netsim.Network, s *Sweep, ttl uint8) {
 				s.mu.Lock()
 				s.DestReplied[ttl] = true
 				s.mu.Unlock()
+				if m != nil {
+					m.destReplies.Inc()
+				}
 			},
 		})
 	case decoy.HTTP, decoy.TLS:
@@ -215,6 +264,7 @@ func (e *Engine) handleICMP(vp *vantage.VP, pkt *wire.Packet) {
 	serial, ttl := splitProbeID(quoted.ID)
 	e.mu.Lock()
 	s := e.attached[vp][serial]
+	m := e.metrics()
 	e.mu.Unlock()
 	if s == nil || s.Dst.Addr != quoted.Dst {
 		return
@@ -224,6 +274,9 @@ func (e *Engine) handleICMP(vp *vantage.VP, pkt *wire.Packet) {
 	// that hop's router.
 	if _, dup := s.HopAddrs[ttl]; !dup {
 		s.HopAddrs[ttl] = pkt.IP.Src
+		if m != nil {
+			m.icmpHops.Inc()
+		}
 	}
 	s.mu.Unlock()
 }
@@ -256,6 +309,9 @@ type Result struct {
 	NormalizedHop int
 	// DestDistance is the inferred hop distance to the destination.
 	DestDistance int
+	// SilentHops counts hops in [1, DestDistance-1] that returned no ICMP
+	// Time Exceeded — a path-quality signal (filled by Engine.Analyze).
+	SilentHops int
 }
 
 // Analyze joins a sweep with the set of leaked labels (labels of this
@@ -286,6 +342,41 @@ func Analyze(s *Sweep, leaked map[string]bool) Result {
 	res.ObserverAddr = s.HopAddr(minTTL)
 	res.NormalizedHop = NormalizeHop(minTTL, res.DestDistance)
 	return res
+}
+
+// Analyze joins the sweep with leaked labels via the package-level
+// Analyze, then fills SilentHops and folds the outcome into the engine's
+// telemetry counters.
+func (e *Engine) Analyze(s *Sweep, leaked map[string]bool) Result {
+	res := Analyze(s, leaked)
+	res.SilentHops = countSilentHops(s, res.DestDistance)
+	e.mu.Lock()
+	if m := e.metrics(); m != nil {
+		m.sweepsAnalyzed.Inc()
+		m.silentHops.Add(int64(res.SilentHops))
+		if res.ObserverHop > 0 {
+			m.observersFound.Inc()
+		}
+	}
+	e.mu.Unlock()
+	return res
+}
+
+// countSilentHops counts hops in [1, destDistance-1] that returned no
+// ICMP Time Exceeded. Zero when the destination distance is unknown.
+func countSilentHops(s *Sweep, destDistance int) int {
+	if destDistance <= 1 {
+		return 0
+	}
+	silent := 0
+	s.mu.Lock()
+	for hop := 1; hop < destDistance; hop++ {
+		if _, ok := s.HopAddrs[uint8(hop)]; !ok {
+			silent++
+		}
+	}
+	s.mu.Unlock()
+	return silent
 }
 
 // NormalizeHop maps hop (1-based) on a path of destDistance hops onto the

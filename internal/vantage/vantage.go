@@ -279,12 +279,20 @@ func (p *Platform) DiscoverAddresses(n *netsim.Network, echo wire.Endpoint, look
 // majority of a provider's discovered addresses lack the hosting label.
 // It returns the per-provider exclusion reasons.
 func (p *Platform) Screen(n *netsim.Network, ttlProbe func(vp *VP, ttl uint8) (arrivalTTL uint8, ok bool)) map[string]string {
+	// Group by provider but probe in first-seen VP order: ranging over a
+	// pointer-keyed map would reorder the probes (and the whole event
+	// schedule) run to run.
 	byProvider := make(map[*Provider][]*VP)
+	var order []*Provider
 	for _, vp := range p.VPs {
+		if _, ok := byProvider[vp.Provider]; !ok {
+			order = append(order, vp.Provider)
+		}
 		byProvider[vp.Provider] = append(byProvider[vp.Provider], vp)
 	}
 
-	for prov, vps := range byProvider {
+	for _, prov := range order {
+		vps := byProvider[prov]
 		// (a) TTL-reset detection on the provider's first VP.
 		vp := vps[0]
 		a1, ok1 := ttlProbe(vp, 19)

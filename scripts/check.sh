@@ -38,4 +38,24 @@ if [ "${CHECK_FULL:-0}" = "1" ]; then
     go test -race ./internal/core
 fi
 
+echo "== telemetry determinism smoke"
+# The -metrics-json contract: identical seed+scale must produce
+# byte-identical exports across separate processes. A diff here usually
+# means a map-iteration order leaked into the event schedule.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/shadowmeter" ./cmd/shadowmeter
+"$tmpdir/shadowmeter" -seed 7 -scale small -metrics-json >"$tmpdir/run1.json" 2>/dev/null
+"$tmpdir/shadowmeter" -seed 7 -scale small -metrics-json >"$tmpdir/run2.json" 2>/dev/null
+if ! cmp -s "$tmpdir/run1.json" "$tmpdir/run2.json"; then
+    echo "telemetry export is not deterministic for the same seed:" >&2
+    diff "$tmpdir/run1.json" "$tmpdir/run2.json" >&2 || true
+    exit 1
+fi
+
+echo "== benchmark smoke (netsim, wire)"
+# -benchtime=1x compiles and runs each benchmark once: catches bitrot in
+# the registry-backed events/sec reporting without measuring anything.
+go test -run '^$' -bench . -benchtime=1x ./internal/netsim ./internal/wire
+
 echo "check.sh: all gates passed"

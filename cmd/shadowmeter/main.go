@@ -5,8 +5,8 @@
 // Usage:
 //
 //	shadowmeter [-seed N] [-scale small|medium|full] [-intercepted N]
-//	            [-phase1-only] [-json-stats] [-metrics] [-metrics-json]
-//	            [-progress N]
+//	            [-trials N] [-workers W] [-phase1-only] [-json-stats]
+//	            [-metrics] [-metrics-json] [-progress N]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"shadowmeter/internal/core"
+	"shadowmeter/internal/runner"
 	"shadowmeter/internal/telemetry"
 )
 
@@ -25,6 +26,8 @@ func main() {
 		seed        = flag.Int64("seed", 42, "experiment seed (world, traffic and exhibitor schedules derive from it)")
 		scale       = flag.String("scale", "small", "experiment geometry: small, medium, or full (paper-sized: 4,364 VPs)")
 		intercepted = flag.Int("intercepted", 0, "install DNS-interception ground truth on N VP-hosting ASes (Appendix E demo)")
+		trials      = flag.Int("trials", 1, "independent trials to run (seed, seed+1, ...); >1 prints the aggregate batch JSON")
+		workers     = flag.Int("workers", 0, "concurrent trial worlds (0 = one per trial); affects wall time only, never output")
 		phase1Only  = flag.Bool("phase1-only", false, "stop after the Phase I landscape (skip tracerouting)")
 		jsonStats   = flag.Bool("json-stats", false, "append machine-readable summary statistics as JSON")
 		mitigations = flag.Bool("mitigations", false, "run the encryption mitigation study (ECH, DoH) instead of the main experiment")
@@ -50,6 +53,14 @@ func main() {
 		cfg.Scale = core.ScaleFull
 	default:
 		log.Fatalf("unknown scale %q (want small, medium or full)", *scale)
+	}
+
+	if *trials > 1 {
+		if *phase1Only {
+			log.Fatal("-phase1-only is incompatible with -trials > 1 (the batch runner always runs both phases)")
+		}
+		runBatch(*trials, *workers, *seed, cfg, *metricsJSON)
+		return
 	}
 
 	started := time.Now()
@@ -110,4 +121,26 @@ func main() {
 	if *metrics {
 		e.Telemetry().WriteText(os.Stderr)
 	}
+}
+
+// runBatch executes a multi-trial campaign and prints the aggregate
+// batch JSON (per-trial headlines + cross-trial mean/min/max). With
+// -metrics-json, stdout instead carries only the merged telemetry
+// export, diffable against other runs of the same seeds.
+func runBatch(trials, workers int, baseSeed int64, cfg core.Config, metricsJSON bool) {
+	started := time.Now()
+	fmt.Fprintf(os.Stderr, "running %d trials (seeds %d..%d)...\n", trials, baseSeed, baseSeed+int64(trials)-1)
+	res := runner.Run(runner.Config{Trials: trials, Workers: workers, BaseSeed: baseSeed, Core: cfg})
+	if metricsJSON {
+		os.Stdout.Write(res.MergedTelemetryJSON())
+		fmt.Fprintf(os.Stderr, "total wall time: %.1fs\n", time.Since(started).Seconds())
+		return
+	}
+	out, err := res.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(out)
+	fmt.Println()
+	fmt.Fprintf(os.Stderr, "total wall time: %.1fs\n", time.Since(started).Seconds())
 }

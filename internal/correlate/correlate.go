@@ -87,15 +87,16 @@ type Correlator struct {
 }
 
 type correlatorMetrics struct {
-	captures     *telemetry.Counter
-	solicited    *telemetry.Counter
-	unknownLabel *telemetry.Counter
-	crcRejected  *telemetry.Counter
-	unsolicited  *telemetry.CounterVec // by rule
-	rule1        *telemetry.Counter    // cached children of unsolicited
-	rule2        *telemetry.Counter
-	rule3        *telemetry.Counter
-	delay        *telemetry.Histogram
+	captures       *telemetry.Counter
+	solicited      *telemetry.Counter
+	unknownLabel   *telemetry.Counter
+	crcRejected    *telemetry.Counter
+	labelCollision *telemetry.Counter
+	unsolicited    *telemetry.CounterVec // by rule
+	rule1          *telemetry.Counter    // cached children of unsolicited
+	rule2          *telemetry.Counter
+	rule3          *telemetry.Counter
+	delay          *telemetry.Histogram
 }
 
 // delayBounds bucket the decoy-to-reuse interval in seconds: 1s, 10s,
@@ -106,15 +107,16 @@ var delayBounds = []float64{1, 10, 60, 600, 3600, 21600, 86400, 259200, 864000}
 func newCorrelatorMetrics(reg *telemetry.Registry) correlatorMetrics {
 	unsolicited := reg.CounterVec("correlate_unsolicited_total", "captures classified unsolicited, by rule", "rule")
 	return correlatorMetrics{
-		captures:     reg.Counter("correlate_captures_total", "honeypot captures processed by the correlator"),
-		solicited:    reg.Counter("correlate_solicited_total", "captures explained by expected recursion"),
-		unknownLabel: reg.Counter("correlate_unknown_label_total", "captures whose label matches no sent decoy"),
-		crcRejected:  reg.Counter("correlate_checksum_rejected_total", "identifier-shaped labels failing the CRC"),
-		unsolicited:  unsolicited,
-		rule1:        unsolicited.With("1"),
-		rule2:        unsolicited.With("2"),
-		rule3:        unsolicited.With("3"),
-		delay:        reg.Histogram("correlate_delay_seconds", "interval between decoy emission and unsolicited re-use", delayBounds),
+		captures:       reg.Counter("correlate_captures_total", "honeypot captures processed by the correlator"),
+		solicited:      reg.Counter("correlate_solicited_total", "captures explained by expected recursion"),
+		unknownLabel:   reg.Counter("correlate_unknown_label_total", "captures whose label matches no sent decoy"),
+		crcRejected:    reg.Counter("correlate_checksum_rejected_total", "identifier-shaped labels failing the CRC"),
+		labelCollision: reg.Counter("correlate_label_collisions_total", "send-log records dropped because their label was already live"),
+		unsolicited:    unsolicited,
+		rule1:          unsolicited.With("1"),
+		rule2:          unsolicited.With("2"),
+		rule3:          unsolicited.With("3"),
+		delay:          reg.Histogram("correlate_delay_seconds", "interval between decoy emission and unsolicited re-use", delayBounds),
 	}
 }
 
@@ -126,6 +128,7 @@ type Stats struct {
 	Solicited        int64 // first DNS appearance of a DNS decoy
 	Unsolicited      int64
 	ChecksumRejected int64 // identifier-shaped labels failing the CRC
+	LabelCollisions  int64 // send records dropped because the label was already live
 }
 
 // New creates a correlator sharing the experiment's identifier codec.
@@ -148,10 +151,18 @@ func (c *Correlator) Bind(set *telemetry.Set) {
 	c.m = newCorrelatorMetrics(set.Registry)
 }
 
-// AddSent records one decoy emission.
+// AddSent records one decoy emission. The identifier nonce is a uint16,
+// so at campaign scale two live decoys can share a label; the first
+// record wins — replacing it would misattribute every later capture of
+// the older decoy to the newer emission.
 func (c *Correlator) AddSent(s *Sent) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, dup := c.sent[s.Label]; dup {
+		c.stats.LabelCollisions++
+		c.m.labelCollision.Inc()
+		return
+	}
 	c.sent[s.Label] = s
 	c.stats.SentDecoys++
 }

@@ -7,6 +7,7 @@ import (
 	"shadowmeter/internal/decoy"
 	"shadowmeter/internal/honeypot"
 	"shadowmeter/internal/identifier"
+	"shadowmeter/internal/telemetry"
 	"shadowmeter/internal/wire"
 )
 
@@ -225,6 +226,42 @@ func TestLeakedLabelsAndPerDecoyCounts(t *testing.T) {
 	if all[s.Label] != 4 {
 		t.Errorf("counts(all) = %d, want 4", all[s.Label])
 	}
+}
+
+func TestLabelCollisionKeepsFirstRecord(t *testing.T) {
+	// The identifier nonce is a uint16, so two live decoys can share a
+	// label at campaign scale. The first record must win: replacing it
+	// would misattribute every later capture of the older decoy.
+	c := New(codec)
+	set := telemetry.NewSet()
+	c.Bind(set)
+	first := mkSent(t, decoy.DNS, 12)
+	dup := mkSent(t, decoy.DNS, 12) // same nonce -> same label
+	dup.DstName = "impostor"
+	dup.Time = epoch.Add(time.Hour)
+	c.AddSent(first)
+	c.AddSent(dup)
+
+	st := c.Stats()
+	if st.SentDecoys != 1 {
+		t.Errorf("SentDecoys = %d, want 1 (dup must not count)", st.SentDecoys)
+	}
+	if st.LabelCollisions != 1 {
+		t.Errorf("LabelCollisions = %d, want 1", st.LabelCollisions)
+	}
+	got, ok := c.SentByLabel(first.Label)
+	if !ok || got.DstName != first.DstName || !got.Time.Equal(first.Time) {
+		t.Fatalf("SentByLabel = %+v, want the first record kept", got)
+	}
+	for _, m := range set.Registry.Snapshot() {
+		if m.Name == "correlate_label_collisions_total" {
+			if m.Value != 1 {
+				t.Errorf("collision counter = %d, want 1", m.Value)
+			}
+			return
+		}
+	}
+	t.Error("correlate_label_collisions_total not registered in bound set")
 }
 
 func BenchmarkClassify(b *testing.B) {

@@ -121,10 +121,21 @@ type Network struct {
 
 	stats  Stats
 	parser wire.Parser
+	// scratch is the single decode target for tap observation and
+	// delivery. Taps and handlers receive &scratch and must not retain it
+	// past their callback: the next dispatched packet overwrites it (the
+	// same contract the shared parser's transport storage already set).
+	scratch wire.Packet
 
 	tele        *telemetry.Set
 	m           netMetrics
 	tapObserves map[*Router]*telemetry.Counter
+
+	// freeEvents and freeFlights recycle the event-loop's two per-hop
+	// objects. The worker-pool campaign runner hammers this path with one
+	// world per goroutine; pooling keeps the steady state allocation-free.
+	freeEvents  []*event
+	freeFlights []*flight
 
 	maxEvents int64 // safety valve against runaway schedules; 0 = unlimited
 }
@@ -231,13 +242,59 @@ func (n *Network) HasHost(addr wire.Addr) bool {
 // Schedule runs fn after delay of virtual time. A negative delay runs at
 // the current instant (still via the queue, preserving causal order).
 func (n *Network) Schedule(delay time.Duration, fn func()) {
+	e := n.newEvent()
+	e.fn = fn
+	n.scheduleEvent(delay, e)
+}
+
+// scheduleEvent pushes a prepared event onto the queue.
+func (n *Network) scheduleEvent(delay time.Duration, e *event) {
 	if delay < 0 {
 		delay = 0
 	}
 	n.seq++
-	heap.Push(&n.events, &event{at: n.now.Add(delay), seq: n.seq, fn: fn})
+	e.at = n.now.Add(delay)
+	e.seq = n.seq
+	heap.Push(&n.events, e)
 	n.m.eventsScheduled.Inc()
 	n.m.queuePeak.SetMax(int64(len(n.events)))
+}
+
+// newEvent takes an event from the pool (or allocates the pool's next).
+func (n *Network) newEvent() *event {
+	if k := len(n.freeEvents); k > 0 {
+		e := n.freeEvents[k-1]
+		n.freeEvents = n.freeEvents[:k-1]
+		return e
+	}
+	return &event{}
+}
+
+// releaseEvent clears an event's references and returns it to the pool.
+func (n *Network) releaseEvent(e *event) {
+	e.fn, e.flight = nil, nil
+	n.freeEvents = append(n.freeEvents, e)
+}
+
+// newFlight takes a packet-flight from the pool and arms it at hop 0.
+func (n *Network) newFlight(pkt []byte, origin wire.Addr, path []*Router) *flight {
+	var f *flight
+	if k := len(n.freeFlights); k > 0 {
+		f = n.freeFlights[k-1]
+		n.freeFlights = n.freeFlights[:k-1]
+	} else {
+		f = &flight{}
+	}
+	f.pkt, f.origin, f.path, f.hop = pkt, origin, path, 0
+	return f
+}
+
+// releaseFlight drops a flight's buffer references and pools the struct.
+// The packet buffer itself is never reused: honeypot captures and decoded
+// payloads may alias it for the rest of the run.
+func (n *Network) releaseFlight(f *flight) {
+	f.pkt, f.path = nil, nil
+	n.freeFlights = append(n.freeFlights, f)
 }
 
 // SendPacket injects a serialized IPv4 packet at its source address. The
@@ -259,17 +316,17 @@ func (n *Network) SendPacket(raw []byte) error {
 	if n.pathFn != nil {
 		path = n.pathFn(src, dst)
 		if path == nil && src != dst {
-			// No route at all (distinct from the empty direct path).
-			if _, ok := n.hosts[dst]; !ok {
-				n.stats.NoRoute++
-				n.m.noRoute.Inc()
-				return nil
-			}
+			// No route at all (distinct from the empty direct path). This
+			// holds even when dst is a registered host: delivering hop-free
+			// would bypass every tap and the topology's own verdict.
+			n.stats.NoRoute++
+			n.m.noRoute.Inc()
+			return nil
 		}
 	}
 	// Copy: the caller may reuse its buffer, and routers mutate TTL.
 	pkt := append([]byte(nil), raw...)
-	n.forward(pkt, src, path, 0)
+	n.forward(n.newFlight(pkt, src, path))
 	return nil
 }
 
@@ -283,52 +340,74 @@ func (n *Network) Inject(raw []byte) {
 	}
 }
 
-// forward schedules arrival of pkt at hop index i of path (or at the
-// destination when i == len(path)).
-func (n *Network) forward(pkt []byte, origin wire.Addr, path []*Router, i int) {
-	n.Schedule(n.hopLatency, func() {
-		if i < len(path) {
-			n.arriveAtRouter(pkt, origin, path, i)
-			return
-		}
-		n.deliver(pkt)
-	})
+// flight is one packet in transit: the serialized bytes, the origin
+// address (ICMP errors return there), the router path, and the next hop
+// index. Flights replace the per-hop closure chain of the original event
+// loop: one pooled struct rides the whole path, so forwarding a packet
+// over k hops schedules k+1 events without allocating any of them in the
+// steady state.
+type flight struct {
+	pkt    []byte
+	origin wire.Addr
+	path   []*Router
+	hop    int // next hop index; len(path) means delivery
 }
 
-func (n *Network) arriveAtRouter(pkt []byte, origin wire.Addr, path []*Router, i int) {
+// forward schedules the flight's next arrival: hop f.hop of its path, or
+// the destination when the path is exhausted.
+func (n *Network) forward(f *flight) {
+	e := n.newEvent()
+	e.flight = f
+	n.scheduleEvent(n.hopLatency, e)
+}
+
+// stepFlight dispatches one flight event.
+func (n *Network) stepFlight(f *flight) {
+	if f.hop < len(f.path) {
+		n.arriveAtRouter(f)
+		return
+	}
+	n.deliver(f.pkt)
+	n.releaseFlight(f)
+}
+
+func (n *Network) arriveAtRouter(f *flight) {
 	if n.lossRNG != nil && n.lossRNG.Float64() < n.lossRate {
 		n.stats.PacketsLost++
 		n.m.packetsLost.Inc()
+		n.releaseFlight(f)
 		return
 	}
-	r := path[i]
+	r := f.path[f.hop]
 	n.m.packetsForwarded.Inc()
 	// DPI taps see the packet on arrival, before the TTL check: a device on
 	// the wire observes bytes regardless of whether the router then drops
 	// them. This is what makes Phase II's "first TTL that triggers
 	// shadowing = observer hop" inference sound.
 	if len(r.taps) > 0 {
-		var decoded wire.Packet
-		if err := n.parser.Decode(pkt, &decoded); err == nil {
+		if err := n.parser.Decode(f.pkt, &n.scratch); err == nil {
 			n.tapCounter(r).Add(int64(len(r.taps)))
 			for _, t := range r.taps {
-				t.Observe(n, r, &decoded)
+				t.Observe(n, r, &n.scratch)
 			}
 		}
 	}
-	ttl, err := wire.DecrementTTL(pkt)
+	ttl, err := wire.DecrementTTL(f.pkt)
 	if err != nil {
+		n.releaseFlight(f)
 		return // malformed in flight; drop silently
 	}
 	if ttl == 0 {
 		n.stats.TTLExpired++
 		n.m.ttlExpired.Inc()
 		if !r.ICMPSilent {
-			n.sendTimeExceeded(r, origin, pkt)
+			n.sendTimeExceeded(r, f.origin, f.pkt, f.hop)
 		}
+		n.releaseFlight(f)
 		return
 	}
-	n.forward(pkt, origin, path, i+1)
+	f.hop++
+	n.forward(f)
 }
 
 // tapCounter resolves (and caches) the per-router tap-observation
@@ -342,7 +421,9 @@ func (n *Network) tapCounter(r *Router) *telemetry.Counter {
 	return c
 }
 
-func (n *Network) sendTimeExceeded(r *Router, origin wire.Addr, expired []byte) {
+// sendTimeExceeded generates the ICMP error for a probe that expired at
+// hop index hop of its path.
+func (n *Network) sendTimeExceeded(r *Router, origin wire.Addr, expired []byte, hop int) {
 	te := wire.NewTimeExceeded(expired)
 	raw, err := wire.BuildICMP(r.Addr, origin, 64, 0, te, te.Payload())
 	if err != nil {
@@ -352,16 +433,21 @@ func (n *Network) sendTimeExceeded(r *Router, origin wire.Addr, expired []byte) 
 	n.m.icmpSent.Inc()
 	// The error message returns over the reverse path; the measurement only
 	// needs its eventual arrival at the origin, so model the return trip as
-	// a direct delayed delivery proportional to the forward distance.
-	n.Schedule(n.hopLatency, func() { n.deliver(raw) })
+	// a direct delayed delivery proportional to the forward distance: the
+	// probe crossed hop+1 links to reach this router, and the error crosses
+	// as many on the way back. Per-TTL traceroute RTTs therefore increase
+	// with hop distance, as they do on the real Internet.
+	f := n.newFlight(raw, r.Addr, nil)
+	e := n.newEvent()
+	e.flight = f
+	n.scheduleEvent(time.Duration(hop+1)*n.hopLatency, e)
 }
 
 func (n *Network) deliver(pkt []byte) {
-	var decoded wire.Packet
-	if err := n.parser.Decode(pkt, &decoded); err != nil {
+	if err := n.parser.Decode(pkt, &n.scratch); err != nil {
 		return
 	}
-	h, ok := n.hosts[decoded.IP.Dst]
+	h, ok := n.hosts[n.scratch.IP.Dst]
 	if !ok {
 		n.stats.NoHandler++
 		n.m.noHandler.Inc()
@@ -369,13 +455,27 @@ func (n *Network) deliver(pkt []byte) {
 	}
 	n.stats.PacketsDelivered++
 	n.m.packetsDelivered.Inc()
-	h.Handle(n, &decoded)
+	h.Handle(n, &n.scratch)
+}
+
+// dispatch executes one popped event and recycles it. The event's payload
+// is captured before release so a handler scheduling new work can reuse
+// the pooled object immediately.
+func (n *Network) dispatch(e *event) {
+	f, fn := e.flight, e.fn
+	n.releaseEvent(e)
+	if f != nil {
+		n.stepFlight(f)
+		return
+	}
+	fn()
 }
 
 // Run processes events until the queue is empty or the virtual clock would
 // pass deadline. It returns the number of events processed.
 func (n *Network) Run(deadline time.Time) int64 {
 	var processed int64
+	truncated := false
 	for n.events.Len() > 0 {
 		next := n.events[0]
 		if next.at.After(deadline) {
@@ -386,16 +486,21 @@ func (n *Network) Run(deadline time.Time) int64 {
 			n.now = next.at
 		}
 		n.m.queueDepth.Observe(float64(len(n.events) + 1))
-		next.fn()
+		n.dispatch(next)
 		processed++
 		n.stats.Events++
 		n.m.eventsDispatched.Inc()
 		n.tele.Progress.Tick(n.now, len(n.events))
 		if n.maxEvents > 0 && n.stats.Events >= n.maxEvents {
+			truncated = true
 			break
 		}
 	}
-	if deadline.After(n.now) {
+	// Fast-forward to the deadline only when the queue genuinely drained to
+	// it. A maxEvents break leaves unprocessed events behind; jumping the
+	// clock past them would make a later run dispatch them with timestamps
+	// in the past.
+	if !truncated && deadline.After(n.now) {
 		n.now = deadline
 	}
 	return processed
@@ -410,7 +515,7 @@ func (n *Network) RunUntilIdle() int64 {
 			n.now = next.at
 		}
 		n.m.queueDepth.Observe(float64(len(n.events) + 1))
-		next.fn()
+		n.dispatch(next)
 		processed++
 		n.stats.Events++
 		n.m.eventsDispatched.Inc()
@@ -425,10 +530,15 @@ func (n *Network) RunUntilIdle() int64 {
 // Pending reports the number of queued events.
 func (n *Network) Pending() int { return n.events.Len() }
 
+// event is one queued occurrence: either a generic callback (fn) or a
+// packet-flight step (flight). Exactly one of the two is set. Events are
+// pooled by the Network; they live only between scheduleEvent and
+// dispatch.
 type event struct {
-	at  time.Time
-	seq int64 // FIFO tiebreak for simultaneous events
-	fn  func()
+	at     time.Time
+	seq    int64 // FIFO tiebreak for simultaneous events
+	fn     func()
+	flight *flight
 }
 
 type eventHeap []*event

@@ -248,6 +248,134 @@ func TestMaxEventsBound(t *testing.T) {
 	}
 }
 
+func TestRunClockStopsAtMaxEvents(t *testing.T) {
+	// When the maxEvents safety valve breaks the loop, the clock must stay
+	// at the last dispatched event: fast-forwarding to the deadline would
+	// leave the survivors stamped in the past for the next run.
+	n := New(Config{Start: t0})
+	n.SetMaxEvents(1)
+	n.Schedule(time.Second, func() {})
+	n.Schedule(2*time.Second, func() {})
+	deadline := t0.Add(time.Hour)
+	if got := n.Run(deadline); got != 1 {
+		t.Fatalf("processed = %d, want 1", got)
+	}
+	if !n.Now().Equal(t0.Add(time.Second)) {
+		t.Fatalf("Now = %v, want %v (not the deadline)", n.Now(), t0.Add(time.Second))
+	}
+
+	// The surviving event still dispatches at its own timestamp.
+	n.SetMaxEvents(0)
+	var at time.Time
+	n.Schedule(5*time.Second, func() { at = n.Now() })
+	n.RunUntilIdle()
+	if want := t0.Add(time.Second + 5*time.Second); !at.Equal(want) {
+		t.Errorf("late event ran at %v, want %v", at, want)
+	}
+
+	// A clean drain to the deadline still fast-forwards.
+	n2 := New(Config{Start: t0})
+	n2.SetMaxEvents(10)
+	n2.Schedule(time.Second, func() {})
+	n2.Run(deadline)
+	if !n2.Now().Equal(deadline) {
+		t.Errorf("drained run: Now = %v, want deadline %v", n2.Now(), deadline)
+	}
+}
+
+func TestICMPReturnLatencyProportional(t *testing.T) {
+	// Phase II infers observer distance from per-TTL RTTs, so the ICMP
+	// return trip must scale with how far the probe got: arrival at
+	// send + 2*TTL*hopLatency, strictly increasing across the sweep.
+	routers := []*Router{
+		{Addr: wire.AddrFrom(10, 0, 0, 1)},
+		{Addr: wire.AddrFrom(10, 0, 0, 2)},
+		{Addr: wire.AddrFrom(10, 0, 0, 3)},
+		{Addr: wire.AddrFrom(10, 0, 0, 4)},
+	}
+	const hop = 10 * time.Millisecond
+	var prev time.Duration
+	for ttl := uint8(1); ttl <= 4; ttl++ {
+		n := New(Config{Start: t0, Path: linearPath(routers...), HopLatency: hop})
+		src := wire.AddrFrom(100, 0, 0, 1)
+		var rtt time.Duration
+		n.AddHost(src, HandlerFunc(func(n *Network, pkt *wire.Packet) {
+			if pkt.ICMP != nil && pkt.ICMP.Type == wire.ICMPTimeExceeded {
+				rtt = n.Now().Sub(t0)
+			}
+		}))
+		raw, _ := wire.BuildUDP(wire.Endpoint{Addr: src, Port: 1},
+			wire.Endpoint{Addr: wire.AddrFrom(192, 0, 2, 1), Port: 2}, ttl, 1, nil)
+		n.SendPacket(raw)
+		n.RunUntilIdle()
+		want := 2 * time.Duration(ttl) * hop
+		if rtt != want {
+			t.Errorf("TTL=%d: RTT = %v, want %v", ttl, rtt, want)
+		}
+		if rtt <= prev {
+			t.Errorf("TTL=%d: RTT %v not greater than previous %v", ttl, rtt, prev)
+		}
+		prev = rtt
+	}
+}
+
+func TestNoRouteNotDeliveredHopFree(t *testing.T) {
+	// A nil path from the topology means "no route" even when the
+	// destination is a registered host: delivering hop-free would bypass
+	// every tap and the topology's own verdict.
+	tap := &recordingTap{}
+	r := &Router{Addr: wire.AddrFrom(10, 0, 0, 1)}
+	r.AttachTap(tap)
+	n := New(Config{Start: t0, Path: func(src, dst wire.Addr) []*Router { return nil }})
+	dst := wire.AddrFrom(192, 0, 2, 1)
+	delivered := false
+	n.AddHost(dst, HandlerFunc(func(*Network, *wire.Packet) { delivered = true }))
+	raw, _ := wire.BuildUDP(wire.Endpoint{Addr: wire.AddrFrom(100, 0, 0, 1), Port: 1},
+		wire.Endpoint{Addr: dst, Port: 2}, 64, 1, nil)
+	if err := n.SendPacket(raw); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntilIdle()
+	if delivered {
+		t.Error("unroutable packet was delivered hop-free to a registered host")
+	}
+	if len(tap.seen) != 0 {
+		t.Errorf("tap saw %v for an unroutable packet", tap.seen)
+	}
+	s := n.Stats()
+	if s.NoRoute != 1 || s.PacketsDelivered != 0 {
+		t.Errorf("stats = %+v, want NoRoute=1 Delivered=0", s)
+	}
+}
+
+func TestForwardPathAllocationFree(t *testing.T) {
+	// The event and flight pools keep the steady-state forward path nearly
+	// allocation-free: one alloc for the packet copy in SendPacket plus
+	// heap-slice noise, nothing per hop.
+	routers := []*Router{
+		{Name: "r1", Addr: wire.AddrFrom(10, 0, 0, 1)},
+		{Name: "r2", Addr: wire.AddrFrom(10, 0, 0, 2)},
+		{Name: "r3", Addr: wire.AddrFrom(10, 0, 0, 3)},
+	}
+	n := New(Config{Start: t0, Path: linearPath(routers...)})
+	dst := wire.AddrFrom(192, 0, 2, 1)
+	n.AddHost(dst, HandlerFunc(func(*Network, *wire.Packet) {}))
+	raw, _ := wire.BuildUDP(wire.Endpoint{Addr: wire.AddrFrom(100, 0, 0, 1), Port: 1},
+		wire.Endpoint{Addr: dst, Port: 2}, 64, 1, []byte("payload"))
+	// Warm the pools and the per-router tap-counter cache.
+	for i := 0; i < 10; i++ {
+		n.Inject(raw)
+		n.RunUntilIdle()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		n.Inject(raw)
+		n.RunUntilIdle()
+	})
+	if avg > 4 {
+		t.Errorf("forward path allocates %.1f allocs/send, want <= 4", avg)
+	}
+}
+
 func TestPacketLossInjection(t *testing.T) {
 	routers := []*Router{
 		{Addr: wire.AddrFrom(10, 0, 0, 1)},

@@ -1,0 +1,200 @@
+// Package runner executes many independent experiment trials in
+// parallel and merges their results deterministically.
+//
+// Measurement studies in this space need repeated independent
+// measurements to separate shadowing signal from routing noise, so the
+// reproduction's real unit of work is a batch of trials, not one run.
+// Each trial is a complete core experiment world with its own seed,
+// telemetry set, and virtual clock, executed on a single goroutine
+// exactly as a solo run would be — per-seed determinism is untouched.
+// Parallelism exists only *between* worlds: a bounded worker pool picks
+// trials off a queue, and results land in a slice indexed by trial
+// number, so the merged output is byte-identical for any worker count.
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"shadowmeter/internal/core"
+	"shadowmeter/internal/telemetry"
+)
+
+// Config parameterizes a multi-trial batch.
+type Config struct {
+	// Trials is the number of independent worlds. Zero or negative means 1.
+	Trials int
+	// Workers bounds concurrent worlds. Zero or negative means one worker
+	// per trial. The choice affects wall-clock time only, never output.
+	Workers int
+	// BaseSeed seeds trial t with BaseSeed + t.
+	BaseSeed int64
+	// Core is the per-trial experiment template; its Seed field is
+	// overwritten per trial.
+	Core core.Config
+}
+
+// Trial is the outcome of one world.
+type Trial struct {
+	Trial int   `json:"trial"`
+	Seed  int64 `json:"seed"`
+	// Headline flattens the report's aggregation-worthy artifacts into
+	// named scalars: Figure 3 ratios keyed "figure3_ratio/<country>/<proto>",
+	// Table 2/3 counts keyed "table2_located/<proto>" and
+	// "table3_observers/<proto>", and campaign totals.
+	Headline map[string]float64 `json:"headline"`
+
+	// Full per-trial artifacts, retained for callers but kept out of the
+	// batch JSON (a Report does not round-trip compactly).
+	Report  *core.Report          `json:"-"`
+	Metrics []telemetry.Metric    `json:"-"`
+	Spans   []telemetry.SpanStats `json:"-"`
+}
+
+// Stat is the cross-trial aggregate of one headline scalar.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Result is a completed batch.
+type Result struct {
+	Trials []Trial `json:"trials"`
+	// Aggregate maps each headline key (union across trials; trials
+	// missing a key contribute 0) to its mean/min/max.
+	Aggregate map[string]Stat `json:"aggregate"`
+}
+
+// Run executes the batch and blocks until every trial completes.
+func Run(cfg Config) *Result {
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 || workers > trials {
+		workers = trials
+	}
+
+	results := make([]Trial, trials)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				results[t] = runTrial(cfg, t)
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+
+	return &Result{Trials: results, Aggregate: aggregate(results)}
+}
+
+// runTrial executes one world start to finish on the calling goroutine.
+func runTrial(cfg Config, t int) Trial {
+	coreCfg := cfg.Core
+	coreCfg.Seed = cfg.BaseSeed + int64(t)
+	e := core.NewExperiment(coreCfg)
+	e.ScreenPairResolvers()
+	e.RunPhaseI()
+	e.RunPhaseII()
+	report := e.Compile()
+	tele := e.Telemetry()
+	return Trial{
+		Trial:    t,
+		Seed:     coreCfg.Seed,
+		Headline: headlineFrom(report),
+		Report:   report,
+		Metrics:  tele.Registry.Snapshot(),
+		Spans:    tele.Tracer.Summary(),
+	}
+}
+
+// headlineFrom flattens one report into the named scalars the batch
+// aggregates: campaign totals, the Figure 3 problematic-path ratios, and
+// the Table 2/3 observer counts.
+func headlineFrom(r *core.Report) map[string]float64 {
+	h := map[string]float64{
+		"sent_decoys":       float64(r.CorrelatorStats.SentDecoys),
+		"captures":          float64(r.CorrelatorStats.Captures),
+		"unsolicited":       float64(r.CorrelatorStats.Unsolicited),
+		"label_collisions":  float64(r.CorrelatorStats.LabelCollisions),
+		"packets_sent":      float64(r.NetStats.PacketsSent),
+		"observer_addrs":    float64(r.TotalObserverAddrs()),
+		"cn_observer_share": r.CNObserverFraction(),
+		"top5_coverage":     r.Top5Coverage,
+	}
+	for _, row := range r.Figure3 {
+		h[fmt.Sprintf("figure3_ratio/%s/%s", row.Country, row.Protocol)] = row.Ratio
+	}
+	for dst, ratio := range r.DestRatios {
+		h["dest_ratio/"+dst] = ratio
+	}
+	for _, row := range r.Table2 {
+		h["table2_located/"+row.Protocol.String()] = float64(row.Count)
+	}
+	for proto, addrs := range r.ObserverAddrs {
+		h["table3_observers/"+proto.String()] = float64(len(addrs))
+	}
+	return h
+}
+
+// aggregate folds per-trial headlines into mean/min/max per key. The
+// mean sums in trial order, so the result is bit-identical across runs
+// and worker counts.
+func aggregate(trials []Trial) map[string]Stat {
+	keys := make(map[string]bool)
+	for _, t := range trials {
+		for k := range t.Headline {
+			keys[k] = true
+		}
+	}
+	out := make(map[string]Stat, len(keys))
+	for k := range keys {
+		var sum float64
+		st := Stat{}
+		for i, t := range trials {
+			v := t.Headline[k] // missing key contributes 0
+			sum += v
+			if i == 0 || v < st.Min {
+				st.Min = v
+			}
+			if i == 0 || v > st.Max {
+				st.Max = v
+			}
+		}
+		st.Mean = sum / float64(len(trials))
+		out[k] = st
+	}
+	return out
+}
+
+// JSON renders the batch — per-trial headlines plus the cross-trial
+// aggregate — with deterministic key order (encoding/json sorts map
+// keys), so identical seeds produce byte-identical output at any worker
+// count.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// MergedTelemetryJSON folds every trial's telemetry into one export in
+// the shape of telemetry.Set.ExportJSON: counters and histogram buckets
+// sum across worlds, gauges keep their high-water mark, spans sum.
+func (r *Result) MergedTelemetryJSON() []byte {
+	snaps := make([][]telemetry.Metric, 0, len(r.Trials))
+	spans := make([][]telemetry.SpanStats, 0, len(r.Trials))
+	for _, t := range r.Trials {
+		snaps = append(snaps, t.Metrics)
+		spans = append(spans, t.Spans)
+	}
+	return telemetry.ExportMergedJSON(telemetry.MergeSnapshots(snaps...), telemetry.MergeSpans(spans...))
+}

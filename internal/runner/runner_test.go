@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"bytes"
+	"testing"
+
+	"shadowmeter/internal/core"
+)
+
+// tinyCore keeps trials fast while exercising the full pipeline.
+func tinyCore() core.Config {
+	return core.Config{
+		VPsPerGlobalProvider: 2,
+		VPsPerCNProvider:     1,
+		WebSites:             30,
+		WebASes:              8,
+		DNSRounds:            1,
+		MaxSweepsPerProtocol: 40,
+	}
+}
+
+// TestRunnerDeterminism is the batch-level determinism contract: the
+// same seeds must produce byte-identical merged output at any worker
+// count. Worker scheduling decides only who runs a trial, never what it
+// computes or where its result lands.
+func TestRunnerDeterminism(t *testing.T) {
+	run := func(workers int) (*Result, []byte, []byte) {
+		res := Run(Config{Trials: 4, Workers: workers, BaseSeed: 11, Core: tinyCore()})
+		js, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, js, res.MergedTelemetryJSON()
+	}
+	serial, serialJSON, serialTele := run(1)
+	parallel, parallelJSON, parallelTele := run(4)
+
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		t.Errorf("batch JSON differs between workers=1 and workers=4:\n--- 1\n%s\n--- 4\n%s", serialJSON, parallelJSON)
+	}
+	if !bytes.Equal(serialTele, parallelTele) {
+		t.Error("merged telemetry differs between workers=1 and workers=4")
+	}
+	if len(serial.Trials) != 4 || len(parallel.Trials) != 4 {
+		t.Fatalf("trial counts = %d/%d, want 4", len(serial.Trials), len(parallel.Trials))
+	}
+	for i, tr := range parallel.Trials {
+		if tr.Trial != i || tr.Seed != 11+int64(i) {
+			t.Errorf("trial %d: got trial=%d seed=%d", i, tr.Trial, tr.Seed)
+		}
+		if tr.Report == nil || len(tr.Metrics) == 0 {
+			t.Errorf("trial %d missing report or metrics", i)
+		}
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	trials := []Trial{
+		{Headline: map[string]float64{"a": 1, "b": 4}},
+		{Headline: map[string]float64{"a": 3}}, // "b" missing -> 0
+	}
+	agg := aggregate(trials)
+	if a := agg["a"]; a.Mean != 2 || a.Min != 1 || a.Max != 3 {
+		t.Errorf("a = %+v", a)
+	}
+	if b := agg["b"]; b.Mean != 2 || b.Min != 0 || b.Max != 4 {
+		t.Errorf("b = %+v", b)
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	// Distinct seeds must build distinct worlds: if every trial reported
+	// identical packet counts the batch would be re-measuring one world.
+	res := Run(Config{Trials: 3, Workers: 3, BaseSeed: 5, Core: tinyCore()})
+	first := res.Trials[0].Headline["packets_sent"]
+	diverged := false
+	for _, tr := range res.Trials[1:] {
+		if tr.Headline["packets_sent"] != first {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("all trials produced identical packet counts; seeds not applied")
+	}
+}
+
+// BenchmarkTrials is the repo's recorded multi-trial throughput
+// baseline: complete worlds per second through the worker pool.
+func BenchmarkTrials(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Run(Config{Trials: 4, Workers: workers, BaseSeed: int64(i * 4), Core: tinyCore()})
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func trialSnapshot(counter, peak int64, rule1 int64, obs float64) []Metric {
+	reg := NewRegistry()
+	reg.Counter("events_total", "h").Add(counter)
+	reg.Gauge("queue_peak", "h").SetMax(peak)
+	reg.CounterVec("unsolicited_total", "h", "rule").With("1").Add(rule1)
+	reg.Histogram("delay_seconds", "h", []float64{1, 10}).Observe(obs)
+	return reg.Snapshot()
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := trialSnapshot(5, 100, 2, 0.5)
+	b := trialSnapshot(7, 40, 3, 30)
+
+	merged := MergeSnapshots(a, b)
+	byName := map[string]Metric{}
+	for _, m := range merged {
+		byName[m.Name] = m
+	}
+	if got := byName["events_total"].Value; got != 12 {
+		t.Errorf("counter sum = %d, want 12", got)
+	}
+	if got := byName["queue_peak"].Value; got != 100 {
+		t.Errorf("gauge max = %d, want 100", got)
+	}
+	ch := byName["unsolicited_total"].Children
+	if len(ch) != 1 || ch[0].Label != "1" || ch[0].Value != 5 {
+		t.Errorf("children = %+v, want rule 1 = 5", ch)
+	}
+	h := byName["delay_seconds"].Hist
+	if h == nil || h.Count != 2 || h.Sum != 30.5 {
+		t.Fatalf("hist = %+v, want count 2 sum 30.5", h)
+	}
+	// 0.5 lands in the first bucket (<=1), 30 in the +Inf bucket.
+	if h.Counts[0] != 1 || h.Counts[2] != 1 {
+		t.Errorf("bucket counts = %v", h.Counts)
+	}
+
+	// Sorted by name, like Registry.Snapshot.
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1].Name >= merged[i].Name {
+			t.Fatalf("merged snapshot not sorted: %q >= %q", merged[i-1].Name, merged[i].Name)
+		}
+	}
+}
+
+func TestMergeSnapshotsDisjointChildren(t *testing.T) {
+	mk := func(label string, v int64) []Metric {
+		reg := NewRegistry()
+		reg.CounterVec("taps_total", "h", "router").With(label).Add(v)
+		return reg.Snapshot()
+	}
+	merged := MergeSnapshots(mk("r2", 4), mk("r1", 3))
+	if len(merged) != 1 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	ch := merged[0].Children
+	if len(ch) != 2 || ch[0].Label != "r1" || ch[0].Value != 3 || ch[1].Label != "r2" || ch[1].Value != 4 {
+		t.Errorf("children = %+v, want sorted r1=3, r2=4", ch)
+	}
+}
+
+func TestMergeSpans(t *testing.T) {
+	a := []SpanStats{{Name: "phase1", Count: 1, Events: 10, Total: time.Second}}
+	b := []SpanStats{
+		{Name: "phase1", Count: 1, Events: 5, Total: 2 * time.Second},
+		{Name: "phase2", Count: 2, Events: 1, Total: time.Minute},
+	}
+	merged := MergeSpans(a, b)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if merged[0].Name != "phase1" || merged[0].Count != 2 || merged[0].Events != 15 || merged[0].Total != 3*time.Second {
+		t.Errorf("phase1 = %+v", merged[0])
+	}
+	if merged[1].Name != "phase2" || merged[1].Count != 2 {
+		t.Errorf("phase2 = %+v", merged[1])
+	}
+}
+
+func TestExportMergedJSONMatchesSetShape(t *testing.T) {
+	// Merging a single trial must reproduce that trial's own export
+	// byte-for-byte: the merged format is the same format.
+	set := NewSet()
+	set.Registry.Counter("events_total", "h").Add(3)
+	set.Registry.Histogram("delay_seconds", "h", []float64{1}).Observe(0.25)
+	single := set.ExportJSON()
+	merged := ExportMergedJSON(MergeSnapshots(set.Registry.Snapshot()), MergeSpans(set.Tracer.Summary()))
+	if !bytes.Equal(single, merged) {
+		t.Errorf("merged export diverges from Set.ExportJSON:\n--- set\n%s\n--- merged\n%s", single, merged)
+	}
+}

@@ -53,9 +53,33 @@ if ! cmp -s "$tmpdir/run1.json" "$tmpdir/run2.json"; then
     exit 1
 fi
 
+echo "== multi-trial determinism smoke"
+# The batch runner contract: the same seeds must produce byte-identical
+# merged output at any worker count. A diff here means worker scheduling
+# leaked into a trial's world or into the merge order.
+"$tmpdir/shadowmeter" -seed 7 -trials 2 -workers 1 >"$tmpdir/batch1.json" 2>/dev/null
+"$tmpdir/shadowmeter" -seed 7 -trials 2 -workers 2 >"$tmpdir/batch2.json" 2>/dev/null
+if ! cmp -s "$tmpdir/batch1.json" "$tmpdir/batch2.json"; then
+    echo "batch output depends on worker count:" >&2
+    diff "$tmpdir/batch1.json" "$tmpdir/batch2.json" >&2 || true
+    exit 1
+fi
+
 echo "== benchmark smoke (netsim, wire)"
 # -benchtime=1x compiles and runs each benchmark once: catches bitrot in
 # the registry-backed events/sec reporting without measuring anything.
 go test -run '^$' -bench . -benchtime=1x ./internal/netsim ./internal/wire
+
+echo "== netsim allocation gate"
+# The forward path is pooled (events + flights, one scratch decode): it
+# must stay at single-digit allocs per delivered packet or multi-trial
+# throughput regresses. Baseline after the zero-alloc pass: 1 alloc/op.
+allocs=$(go test -run '^$' -bench BenchmarkPacketForwarding -benchmem ./internal/netsim |
+    awk '/BenchmarkPacketForwarding/ {print $(NF-1)}')
+echo "BenchmarkPacketForwarding: $allocs allocs/op"
+if [ -z "$allocs" ] || [ "$allocs" -gt 7 ]; then
+    echo "forward-path allocations regressed: $allocs allocs/op (gate: 7)" >&2
+    exit 1
+fi
 
 echo "check.sh: all gates passed"

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	shadowmeter [-seed N] [-scale small|medium|full] [-intercepted N]
-//	            [-trials N] [-workers W] [-phase1-only] [-json-stats]
+//	            [-trials N] [-workers W] [-out DIR] [-resume]
+//	            [-phase1-only] [-json-stats]
 //	            [-metrics] [-metrics-json] [-progress N]
 package main
 
@@ -18,8 +19,56 @@ import (
 
 	"shadowmeter/internal/core"
 	"shadowmeter/internal/runner"
+	"shadowmeter/internal/runstore"
 	"shadowmeter/internal/telemetry"
 )
+
+// options are the parsed command-line settings that interact; kept in a
+// struct so flag-combination rules are testable.
+type options struct {
+	trials      int
+	out         string
+	resume      bool
+	phase1Only  bool
+	jsonStats   bool
+	metrics     bool
+	metricsJSON bool
+	mitigations bool
+}
+
+// batch reports whether the run goes through the multi-trial campaign
+// runner. -out forces batch mode even for one trial: a persisted trial
+// is a campaign of size one, with batch (aggregate JSON) output.
+func (o options) batch() bool { return o.trials > 1 || o.out != "" }
+
+// validate enforces the flag-interaction contract. Batch stdout carries
+// exactly one document — the aggregate batch JSON, or with -metrics-json
+// the merged telemetry export — so flags that would smuggle a second
+// document (or silently do nothing) are rejected rather than defined
+// by accident.
+func (o options) validate() error {
+	if o.resume && o.out == "" {
+		return fmt.Errorf("-resume requires -out DIR: there is no campaign to resume without a store")
+	}
+	if o.out != "" && o.mitigations {
+		return fmt.Errorf("-out is incompatible with -mitigations: only main-experiment trials are persisted")
+	}
+	if o.mitigations {
+		return nil // remaining rules govern the main experiment
+	}
+	if o.batch() {
+		if o.phase1Only {
+			return fmt.Errorf("-phase1-only is incompatible with batch mode (-trials > 1 or -out): stored and aggregated trials always run both phases")
+		}
+		if o.jsonStats {
+			return fmt.Errorf("-json-stats is incompatible with batch mode (-trials > 1 or -out): batch stdout already carries the aggregate batch JSON; use -metrics-json for the merged telemetry export")
+		}
+		if o.metrics {
+			return fmt.Errorf("-metrics is incompatible with batch mode (-trials > 1 or -out): per-trial telemetry is merged; use -metrics-json for the merged export")
+		}
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -28,14 +77,26 @@ func main() {
 		intercepted = flag.Int("intercepted", 0, "install DNS-interception ground truth on N VP-hosting ASes (Appendix E demo)")
 		trials      = flag.Int("trials", 1, "independent trials to run (seed, seed+1, ...); >1 prints the aggregate batch JSON")
 		workers     = flag.Int("workers", 0, "concurrent trial worlds (0 = one per trial); affects wall time only, never output")
+		out         = flag.String("out", "", "campaign directory: durably persist each completed trial (implies batch output, even for -trials 1)")
+		resume      = flag.Bool("resume", false, "serve trials already stored in the -out campaign instead of re-running them (byte-identical output)")
 		phase1Only  = flag.Bool("phase1-only", false, "stop after the Phase I landscape (skip tracerouting)")
-		jsonStats   = flag.Bool("json-stats", false, "append machine-readable summary statistics as JSON")
+		jsonStats   = flag.Bool("json-stats", false, "append machine-readable summary statistics as JSON (single runs only)")
 		mitigations = flag.Bool("mitigations", false, "run the encryption mitigation study (ECH, DoH) instead of the main experiment")
-		metrics     = flag.Bool("metrics", false, "append the telemetry summary table to stderr after the report")
-		metricsJSON = flag.Bool("metrics-json", false, "print ONLY the telemetry export as JSON on stdout (byte-identical for identical seeds)")
+		metrics     = flag.Bool("metrics", false, "append the telemetry summary table to stderr after the report (single runs only)")
+		metricsJSON = flag.Bool("metrics-json", false, "print ONLY the telemetry export as JSON on stdout; in batch mode, the merged per-trial export (byte-identical for identical seeds)")
 		progressN   = flag.Int64("progress", 0, "report progress to stderr every N simulation events (0 disables)")
 	)
 	flag.Parse()
+
+	opts := options{
+		trials: *trials, out: *out, resume: *resume,
+		phase1Only: *phase1Only, jsonStats: *jsonStats,
+		metrics: *metrics, metricsJSON: *metricsJSON,
+		mitigations: *mitigations,
+	}
+	if err := opts.validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	if *mitigations {
 		fmt.Fprintln(os.Stderr, "running mitigation study (baseline / TLS+ECH / DNS-over-HTTPS)...")
@@ -55,11 +116,8 @@ func main() {
 		log.Fatalf("unknown scale %q (want small, medium or full)", *scale)
 	}
 
-	if *trials > 1 {
-		if *phase1Only {
-			log.Fatal("-phase1-only is incompatible with -trials > 1 (the batch runner always runs both phases)")
-		}
-		runBatch(*trials, *workers, *seed, cfg, *metricsJSON)
+	if opts.batch() {
+		runBatch(*trials, *workers, *seed, cfg, *scale, *metricsJSON, *out, *resume)
 		return
 	}
 
@@ -126,11 +184,52 @@ func main() {
 // runBatch executes a multi-trial campaign and prints the aggregate
 // batch JSON (per-trial headlines + cross-trial mean/min/max). With
 // -metrics-json, stdout instead carries only the merged telemetry
-// export, diffable against other runs of the same seeds.
-func runBatch(trials, workers int, baseSeed int64, cfg core.Config, metricsJSON bool) {
+// export, diffable against other runs of the same seeds. With -out,
+// every completed trial is durably persisted as it finishes; with
+// -resume, trials already stored are served from the campaign store —
+// per-seed determinism makes the two paths byte-identical on stdout.
+func runBatch(trials, workers int, baseSeed int64, cfg core.Config, scaleName string, metricsJSON bool, outDir string, resume bool) {
 	started := time.Now()
+	rcfg := runner.Config{Trials: trials, Workers: workers, BaseSeed: baseSeed, Core: cfg}
+
+	var st *runstore.Store
+	if outDir != "" {
+		man := runstore.Manifest{
+			Version:    runstore.StoreVersion,
+			ConfigHash: runner.CampaignHash(cfg),
+			BaseSeed:   baseSeed,
+			Trials:     trials,
+			Scale:      scaleName,
+		}
+		var err error
+		st, err = runstore.OpenOrCreate(outDir, man, telemetry.NewSet())
+		if err != nil {
+			log.Fatalf("opening campaign store: %v", err)
+		}
+		if !resume && st.Len() > 0 {
+			log.Fatalf("campaign %s already holds %d trial records; pass -resume to continue it or point -out at a fresh directory", outDir, st.Len())
+		}
+		if n := st.Stats().TornTailTruncations; n > 0 {
+			fmt.Fprintf(os.Stderr, "store %s: truncated %d torn tail record(s) left by an interrupted run\n", outDir, n)
+		}
+		rcfg.Store, rcfg.Resume = st, resume
+	}
+
 	fmt.Fprintf(os.Stderr, "running %d trials (seeds %d..%d)...\n", trials, baseSeed, baseSeed+int64(trials)-1)
-	res := runner.Run(runner.Config{Trials: trials, Workers: workers, BaseSeed: baseSeed, Core: cfg})
+	res := runner.Run(rcfg)
+
+	if st != nil {
+		if res.StoreErr != nil {
+			log.Fatalf("persisting trials: %v", res.StoreErr)
+		}
+		if err := st.Close(); err != nil {
+			log.Fatalf("closing campaign store: %v", err)
+		}
+		s := st.Stats()
+		fmt.Fprintf(os.Stderr, "store %s: records written %d, resume hits %d, torn-tail truncations %d\n",
+			outDir, s.RecordsWritten, s.ResumeHits, s.TornTailTruncations)
+	}
+
 	if metricsJSON {
 		os.Stdout.Write(res.MergedTelemetryJSON())
 		fmt.Fprintf(os.Stderr, "total wall time: %.1fs\n", time.Since(started).Seconds())

@@ -1,0 +1,319 @@
+// Command shadowstore inspects and compares durable campaign stores
+// written by shadowmeter -out: the longitudinal layer of the
+// reproduction, where the paper's days-later replay behaviors become
+// measurable across runs.
+//
+// Usage:
+//
+//	shadowstore list DIR...                     campaign summaries
+//	shadowstore show [-trial N] DIR             per-trial headlines, or one full record
+//	shadowstore diff [-all] DIR_A DIR_B         headline deltas (Figure 3 ratios, Table 2/3 counts)
+//	shadowstore retention [-min-delay D] DIR... cross-campaign multi-use/delay analysis
+//
+// All commands open campaigns read-only: inspecting a live campaign
+// never repairs (or otherwise touches) its log under the writer.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"shadowmeter/internal/analysis"
+	"shadowmeter/internal/correlate"
+	"shadowmeter/internal/decoy"
+	"shadowmeter/internal/honeypot"
+	"shadowmeter/internal/runstore"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `shadowstore — inspect durable shadowmeter campaign stores
+
+  shadowstore list DIR...                     campaign summaries
+  shadowstore show [-trial N] DIR             per-trial headlines, or one full record
+  shadowstore diff [-all] DIR_A DIR_B         headline deltas between two campaigns
+  shadowstore retention [-min-delay D] DIR... cross-campaign multi-use/delay analysis
+`)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shadowstore: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList(args)
+	case "show":
+		err = cmdShow(args)
+	case "diff":
+		err = cmdDiff(args)
+	case "retention":
+		err = cmdRetention(args)
+	case "help", "-h", "-help", "--help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// openCampaign opens one campaign directory read-only.
+func openCampaign(dir string) (*runstore.Store, error) {
+	return runstore.OpenReadOnly(dir, nil)
+}
+
+func cmdList(dirs []string) error {
+	if len(dirs) == 0 {
+		return fmt.Errorf("list: need at least one campaign directory")
+	}
+	for _, dir := range dirs {
+		st, err := openCampaign(dir)
+		if err != nil {
+			return err
+		}
+		man := st.Manifest()
+		torn := ""
+		if st.Stats().TornTailTruncations > 0 {
+			torn = "  [torn tail]"
+		}
+		fmt.Printf("%-30s v%d  scale=%-6s  seeds %d..%d  records %d/%d  config %.12s%s\n",
+			dir, man.Version, man.Scale, man.BaseSeed, man.BaseSeed+int64(man.Trials)-1,
+			st.Len(), man.Trials, man.ConfigHash, torn)
+		if err := st.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	trial := fs.Int("trial", -1, "dump the full JSON record of one trial instead of the summary table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("show: need exactly one campaign directory")
+	}
+	st, err := openCampaign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	if *trial >= 0 {
+		rec, ok := st.Get(*trial)
+		if !ok {
+			return fmt.Errorf("show: trial %d is not stored in %s", *trial, fs.Arg(0))
+		}
+		b, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+
+	man := st.Manifest()
+	fmt.Printf("campaign %s\n  store version %d, scale %s, config %s\n  seeds %d..%d, records %d/%d\n\n",
+		fs.Arg(0), man.Version, man.Scale, man.ConfigHash,
+		man.BaseSeed, man.BaseSeed+int64(man.Trials)-1, st.Len(), man.Trials)
+	fmt.Printf("%5s %8s %12s %10s %12s %10s %8s\n",
+		"trial", "seed", "sent_decoys", "captures", "unsolicited", "observers", "events")
+	for _, rec := range st.Records() {
+		fmt.Printf("%5d %8d %12.0f %10.0f %12.0f %10.0f %8d\n",
+			rec.Trial, rec.Seed,
+			rec.Headline["sent_decoys"], rec.Headline["captures"],
+			rec.Headline["unsolicited"], rec.Headline["observer_addrs"], len(rec.Events))
+	}
+	return nil
+}
+
+// means folds stored records into one value per headline key.
+func means(recs []runstore.TrialRecord) map[string]float64 {
+	sums := make(map[string]float64)
+	for _, rec := range recs {
+		for k, v := range rec.Headline {
+			sums[k] += v
+		}
+	}
+	// Keys missing from some trials contribute 0, exactly like the batch
+	// runner's aggregate.
+	for k := range sums {
+		sums[k] /= float64(len(recs))
+	}
+	return sums
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	all := fs.Bool("all", false, "print unchanged headline keys too")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: need exactly two campaign directories")
+	}
+	dirA, dirB := fs.Arg(0), fs.Arg(1)
+	stA, err := openCampaign(dirA)
+	if err != nil {
+		return err
+	}
+	defer stA.Close()
+	stB, err := openCampaign(dirB)
+	if err != nil {
+		return err
+	}
+	defer stB.Close()
+
+	manA, manB := stA.Manifest(), stB.Manifest()
+	fmt.Printf("A: %s  (seeds %d.., %d records, config %.12s)\n", dirA, manA.BaseSeed, stA.Len(), manA.ConfigHash)
+	fmt.Printf("B: %s  (seeds %d.., %d records, config %.12s)\n", dirB, manB.BaseSeed, stB.Len(), manB.ConfigHash)
+	if manA.ConfigHash != manB.ConfigHash {
+		fmt.Println("note: campaigns ran different configurations; deltas mix config and seed effects")
+	}
+	if stA.Len() == 0 || stB.Len() == 0 {
+		return fmt.Errorf("diff: both campaigns need at least one stored trial")
+	}
+
+	mA, mB := means(stA.Records()), means(stB.Records())
+	keys := make(map[string]bool, len(mA)+len(mB))
+	for k := range mA {
+		keys[k] = true
+	}
+	for k := range mB {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	// Campaign totals first, then the per-artifact families — the same
+	// reading order as the paper (Figure 3, then Tables 2 and 3).
+	rank := func(k string) int {
+		switch {
+		case !strings.Contains(k, "/"):
+			return 0
+		case strings.HasPrefix(k, "figure3_ratio/"):
+			return 1
+		case strings.HasPrefix(k, "dest_ratio/"):
+			return 2
+		case strings.HasPrefix(k, "table2_located/"):
+			return 3
+		case strings.HasPrefix(k, "table3_observers/"):
+			return 4
+		default:
+			return 5
+		}
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return rank(sorted[i]) < rank(sorted[j]) })
+
+	fmt.Printf("\n%-44s %14s %14s %14s\n", "headline (mean per trial)", "A", "B", "delta")
+	changed := 0
+	for _, k := range sorted {
+		a, b := mA[k], mB[k]
+		if a == b && !*all {
+			continue
+		}
+		if a != b {
+			changed++
+		}
+		fmt.Printf("%-44s %14.6g %14.6g %+14.6g\n", k, a, b, b-a)
+	}
+	fmt.Printf("\n%d of %d headline keys differ\n", changed, len(sorted))
+	return nil
+}
+
+// protoFromName maps a stored protocol name back to its decoy.Protocol.
+func protoFromName(name string) (decoy.Protocol, bool) {
+	for _, p := range decoy.Protocols {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// eventsOf reconstructs the minimal correlate.Unsolicited slice the
+// retention analyses consume from a campaign's stored event records.
+func eventsOf(st *runstore.Store) []correlate.Unsolicited {
+	var out []correlate.Unsolicited
+	for _, rec := range st.Records() {
+		for _, ev := range rec.Events {
+			sp, ok := protoFromName(ev.SentProto)
+			if !ok {
+				continue
+			}
+			cp, ok := protoFromName(ev.CaptureProto)
+			if !ok {
+				continue
+			}
+			out = append(out, correlate.Unsolicited{
+				Sent:    &correlate.Sent{Label: ev.Label, Protocol: sp, DstName: ev.DstName},
+				Capture: honeypot.Capture{Protocol: cp},
+				Delay:   time.Duration(ev.DelayNS),
+			})
+		}
+	}
+	return out
+}
+
+func printRetention(label string, events []correlate.Unsolicited, minDelay time.Duration) {
+	mu := analysis.MultiUseStats(events, minDelay)
+	fmt.Printf("%s\n  unsolicited events: %d\n  decoys with events after %s: %d (>3 events: %.1f%%, >10: %.1f%%)\n",
+		label, len(events), minDelay, mu.DecoysWithLateEvents,
+		100*mu.FractionOver3, 100*mu.FractionOver10)
+	day := (24 * time.Hour).Seconds()
+	for _, p := range decoy.Protocols {
+		cdf := analysis.DelayCDF(events, p, nil)
+		if cdf.N() == 0 {
+			continue
+		}
+		fmt.Printf("  %-5s delay CDF (n=%d): <=1min %.1f%%  <=1h %.1f%%  <=1d %.1f%%  <=10d %.1f%%\n",
+			p, cdf.N(), 100*cdf.At(60), 100*cdf.At(3600), 100*cdf.At(day), 100*cdf.At(10*day))
+	}
+}
+
+func cmdRetention(args []string) error {
+	fs := flag.NewFlagSet("retention", flag.ExitOnError)
+	minDelay := fs.Duration("min-delay", time.Hour, "multi-use threshold: count decoys still replayed after this delay (paper: 1h)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("retention: need at least one campaign directory")
+	}
+	var combined []correlate.Unsolicited
+	for _, dir := range fs.Args() {
+		st, err := openCampaign(dir)
+		if err != nil {
+			return err
+		}
+		events := eventsOf(st)
+		if err := st.Close(); err != nil {
+			return err
+		}
+		printRetention("campaign "+dir, events, *minDelay)
+		combined = append(combined, events...)
+	}
+	if fs.NArg() > 1 {
+		fmt.Println()
+		printRetention(fmt.Sprintf("combined (%d campaigns)", fs.NArg()), combined, *minDelay)
+	}
+	return nil
+}

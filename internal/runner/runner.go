@@ -18,6 +18,8 @@ import (
 	"sync"
 
 	"shadowmeter/internal/core"
+	"shadowmeter/internal/correlate"
+	"shadowmeter/internal/runstore"
 	"shadowmeter/internal/telemetry"
 )
 
@@ -33,6 +35,18 @@ type Config struct {
 	// Core is the per-trial experiment template; its Seed field is
 	// overwritten per trial.
 	Core core.Config
+
+	// Store, when non-nil, persists each completed trial as it finishes —
+	// the batch becomes a checkpointed campaign that survives
+	// interruption. Records land in completion order (worker-dependent),
+	// but the store indexes by trial number, so resume and the batch
+	// output stay deterministic.
+	Store *runstore.Store
+	// Resume serves trials whose (trial, seed, config-hash) record is
+	// already in Store instead of re-running them. Because trials are
+	// per-seed deterministic, a resumed batch produces byte-identical
+	// output to a cold run. Requires Store.
+	Resume bool
 }
 
 // Trial is the outcome of one world.
@@ -46,10 +60,18 @@ type Trial struct {
 	Headline map[string]float64 `json:"headline"`
 
 	// Full per-trial artifacts, retained for callers but kept out of the
-	// batch JSON (a Report does not round-trip compactly).
+	// batch JSON (a Report does not round-trip compactly). Report is nil
+	// for trials served from the store on resume.
 	Report  *core.Report          `json:"-"`
 	Metrics []telemetry.Metric    `json:"-"`
 	Spans   []telemetry.SpanStats `json:"-"`
+
+	// Events is the compact unsolicited-event log persisted for
+	// cross-campaign retention analysis. Populated only when the batch
+	// runs against a store.
+	Events []runstore.EventRecord `json:"-"`
+	// StoreErr records a failed persist of this trial.
+	StoreErr error `json:"-"`
 }
 
 // Stat is the cross-trial aggregate of one headline scalar.
@@ -65,6 +87,10 @@ type Result struct {
 	// Aggregate maps each headline key (union across trials; trials
 	// missing a key contribute 0) to its mean/min/max.
 	Aggregate map[string]Stat `json:"aggregate"`
+	// StoreErr is the first per-trial persist failure, if any. The batch
+	// output is still complete — every trial ran — but the campaign on
+	// disk is missing records and must not be trusted for resume.
+	StoreErr error `json:"-"`
 }
 
 // Run executes the batch and blocks until every trial completes.
@@ -77,6 +103,10 @@ func Run(cfg Config) *Result {
 	if workers <= 0 || workers > trials {
 		workers = trials
 	}
+	hash := ""
+	if cfg.Store != nil {
+		hash = CampaignHash(cfg.Core)
+	}
 
 	results := make([]Trial, trials)
 	jobs := make(chan int)
@@ -86,7 +116,7 @@ func Run(cfg Config) *Result {
 		go func() {
 			defer wg.Done()
 			for t := range jobs {
-				results[t] = runTrial(cfg, t)
+				results[t] = runTrial(cfg, t, hash)
 			}
 		}()
 	}
@@ -96,27 +126,98 @@ func Run(cfg Config) *Result {
 	close(jobs)
 	wg.Wait()
 
-	return &Result{Trials: results, Aggregate: aggregate(results)}
+	res := &Result{Trials: results, Aggregate: aggregate(results)}
+	for _, tr := range results {
+		if tr.StoreErr != nil {
+			res.StoreErr = fmt.Errorf("trial %d: %w", tr.Trial, tr.StoreErr)
+			break
+		}
+	}
+	return res
 }
 
-// runTrial executes one world start to finish on the calling goroutine.
-func runTrial(cfg Config, t int) Trial {
+// CampaignHash fingerprints the per-trial configuration: everything in
+// the core config except the seed, which varies per trial and lives in
+// each record instead. Two batches share a campaign store only if their
+// hashes match.
+func CampaignHash(cfg core.Config) string {
+	cfg.Seed = 0
+	h, err := runstore.HashJSON(cfg)
+	if err != nil {
+		// core.Config is plain data (ints, durations, a time.Time); its
+		// JSON encoding cannot fail.
+		panic(fmt.Sprintf("runner: hashing core config: %v", err))
+	}
+	return h
+}
+
+// runTrial executes one world start to finish on the calling goroutine —
+// or, on resume, serves the trial from the store, which is
+// indistinguishable in batch output because trials are per-seed
+// deterministic.
+func runTrial(cfg Config, t int, hash string) Trial {
+	seed := cfg.BaseSeed + int64(t)
+	if cfg.Store != nil && cfg.Resume {
+		if rec, ok := cfg.Store.Get(t); ok && rec.Seed == seed && rec.ConfigHash == hash {
+			cfg.Store.NoteResumeHit()
+			return Trial{
+				Trial:    t,
+				Seed:     seed,
+				Headline: rec.Headline,
+				Metrics:  rec.Metrics,
+				Spans:    rec.Spans,
+				Events:   rec.Events,
+			}
+		}
+	}
+
 	coreCfg := cfg.Core
-	coreCfg.Seed = cfg.BaseSeed + int64(t)
+	coreCfg.Seed = seed
 	e := core.NewExperiment(coreCfg)
 	e.ScreenPairResolvers()
 	e.RunPhaseI()
 	e.RunPhaseII()
 	report := e.Compile()
 	tele := e.Telemetry()
-	return Trial{
+	tr := Trial{
 		Trial:    t,
-		Seed:     coreCfg.Seed,
+		Seed:     seed,
 		Headline: headlineFrom(report),
 		Report:   report,
 		Metrics:  tele.Registry.Snapshot(),
 		Spans:    tele.Tracer.Summary(),
 	}
+	if cfg.Store != nil {
+		tr.Events = eventRecords(e.EventsPhaseI)
+		tr.StoreErr = cfg.Store.Append(runstore.TrialRecord{
+			Trial:      t,
+			Seed:       seed,
+			ConfigHash: hash,
+			Headline:   tr.Headline,
+			Events:     tr.Events,
+			Metrics:    tr.Metrics,
+			Spans:      tr.Spans,
+		})
+	}
+	return tr
+}
+
+// eventRecords compacts the Phase I unsolicited events into the
+// replayable form the store persists for retention analysis. Phase II
+// events are TTL-limited location probes, not landscape observations,
+// so they stay out of the longitudinal record.
+func eventRecords(events []correlate.Unsolicited) []runstore.EventRecord {
+	out := make([]runstore.EventRecord, 0, len(events))
+	for _, u := range events {
+		out = append(out, runstore.EventRecord{
+			Label:        u.Sent.Label,
+			SentProto:    u.Sent.Protocol.String(),
+			CaptureProto: u.Capture.Protocol.String(),
+			DstName:      u.Sent.DstName,
+			DelayNS:      int64(u.Delay),
+		})
+	}
+	return out
 }
 
 // headlineFrom flattens one report into the named scalars the batch

@@ -1,0 +1,504 @@
+// Package runstore is the durable campaign store: an append-only,
+// crash-safe on-disk record of a multi-trial measurement campaign.
+//
+// The paper's headline temporal result — observers replaying shadowed
+// identifiers hours to days after the decoy was sent — is longitudinal,
+// so campaigns must outlive processes. A campaign is one directory:
+//
+//	<dir>/manifest.json   versioned manifest: config hash, seed range
+//	<dir>/trials.log      length-prefixed, CRC32-checksummed records
+//
+// The manifest is written via tmp-file + rename (atomic on POSIX), so a
+// crash never leaves a half-written manifest. Trial records are appended
+// to the log and fsynced one at a time; a crash mid-append leaves at most
+// one torn record at the tail, which the reader detects by checksum and
+// (in writable mode) truncates away. Records before the torn tail are
+// never touched: the store loses at most the trial that was being
+// written, never a completed one.
+//
+// The store assumes a single writing process per campaign directory (the
+// batch runner); readers (cmd/shadowstore) open read-only and repair
+// nothing.
+package runstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"shadowmeter/internal/telemetry"
+)
+
+// StoreVersion is the on-disk format version. Manifests carry it; a
+// version mismatch is an error, never a silent reinterpretation.
+const StoreVersion = 1
+
+const (
+	manifestName = "manifest.json"
+	logName      = "trials.log"
+
+	// recordMagic opens every record frame ("SHR1"). A scan that does not
+	// find it at a record boundary treats everything from there on as a
+	// torn tail.
+	recordMagic = 0x53485231
+	// headerSize is magic + payload length + payload CRC32, 4 bytes each.
+	headerSize = 12
+)
+
+// Manifest identifies a campaign. Every field participates in the
+// compatibility check on resume: a campaign can only be continued by a
+// run with the identical configuration fingerprint and seed plan.
+type Manifest struct {
+	Version    int    `json:"version"`
+	ConfigHash string `json:"config_hash"`
+	BaseSeed   int64  `json:"base_seed"`
+	Trials     int    `json:"trials"`
+	Scale      string `json:"scale"`
+}
+
+// EventRecord is one unsolicited request in compact, replayable form —
+// exactly the fields the retention analyses (analysis.MultiUseStats,
+// analysis.DelayCDF) consume, nothing else.
+type EventRecord struct {
+	Label        string `json:"label"`
+	SentProto    string `json:"sent_proto"`
+	CaptureProto string `json:"capture_proto"`
+	DstName      string `json:"dst_name"`
+	DelayNS      int64  `json:"delay_ns"`
+}
+
+// TrialRecord is the persisted outcome of one trial world. Headline,
+// Metrics and Spans round-trip losslessly through JSON, so a trial
+// served from the store is indistinguishable in batch output from one
+// that just ran.
+type TrialRecord struct {
+	Trial      int                   `json:"trial"`
+	Seed       int64                 `json:"seed"`
+	ConfigHash string                `json:"config_hash"`
+	Headline   map[string]float64    `json:"headline"`
+	Events     []EventRecord         `json:"events,omitempty"`
+	Metrics    []telemetry.Metric    `json:"metrics,omitempty"`
+	Spans      []telemetry.SpanStats `json:"spans,omitempty"`
+}
+
+// Stats is a snapshot of the store's telemetry counters.
+type Stats struct {
+	RecordsWritten      int64
+	RecordsRead         int64
+	BytesWritten        int64
+	BytesRead           int64
+	ResumeHits          int64
+	TornTailTruncations int64
+}
+
+// storeMetrics holds the registered counter handles. Updates happen
+// under the store mutex, so the lock-free Counter variant is safe.
+type storeMetrics struct {
+	recordsWritten *telemetry.Counter
+	recordsRead    *telemetry.Counter
+	bytesWritten   *telemetry.Counter
+	bytesRead      *telemetry.Counter
+	resumeHits     *telemetry.Counter
+	tornTails      *telemetry.Counter
+}
+
+func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
+	return storeMetrics{
+		recordsWritten: reg.Counter("runstore_records_written_total", "trial records appended to the campaign log"),
+		recordsRead:    reg.Counter("runstore_records_read_total", "trial records decoded when opening the campaign log"),
+		bytesWritten:   reg.Counter("runstore_bytes_written_total", "bytes appended to the campaign log (frames incl. headers)"),
+		bytesRead:      reg.Counter("runstore_bytes_read_total", "bytes scanned when opening the campaign log"),
+		resumeHits:     reg.Counter("runstore_resume_hits_total", "trials served from the store instead of re-running"),
+		tornTails:      reg.Counter("runstore_torn_tail_total", "torn tail records detected on open (truncated in writable mode)"),
+	}
+}
+
+// Store is one open campaign directory.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	manifest Manifest
+	log      *os.File // nil when read-only or closed
+	readonly bool
+	index    map[int]TrialRecord
+	m        storeMetrics
+}
+
+func newStore(dir string, man Manifest, set *telemetry.Set, readonly bool) *Store {
+	if set == nil {
+		set = telemetry.NewSet()
+	}
+	return &Store{
+		dir:      dir,
+		manifest: man,
+		readonly: readonly,
+		index:    make(map[int]TrialRecord),
+		m:        newStoreMetrics(set.Registry),
+	}
+}
+
+// ManifestPath returns the manifest location inside a campaign dir.
+func ManifestPath(dir string) string { return filepath.Join(dir, manifestName) }
+
+// LogPath returns the trial-log location inside a campaign dir.
+func LogPath(dir string) string { return filepath.Join(dir, logName) }
+
+// Create initializes a fresh campaign directory: manifest via tmp-file +
+// rename, then an empty trial log. It fails if the directory already
+// holds a campaign. A nil telemetry set gets a private one.
+func Create(dir string, man Manifest, set *telemetry.Set) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: creating campaign dir: %w", err)
+	}
+	if _, err := os.Stat(ManifestPath(dir)); err == nil {
+		return nil, fmt.Errorf("runstore: campaign already exists in %s (open it instead)", dir)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	if err := writeManifest(dir, man); err != nil {
+		return nil, err
+	}
+	s := newStore(dir, man, set, false)
+	f, err := os.OpenFile(LogPath(dir), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: creating trial log: %w", err)
+	}
+	s.log = f
+	return s, nil
+}
+
+// Open opens an existing campaign for appending. A torn tail record —
+// the residue of a crash mid-append — is detected by checksum, counted
+// in runstore_torn_tail_total, and truncated away so the log ends on a
+// record boundary again.
+func Open(dir string, set *telemetry.Set) (*Store, error) {
+	return open(dir, set, false)
+}
+
+// OpenReadOnly opens a campaign for inspection. Torn tails are counted
+// but the log is left untouched, so inspecting a live campaign never
+// races its writer's recovery.
+func OpenReadOnly(dir string, set *telemetry.Set) (*Store, error) {
+	return open(dir, set, true)
+}
+
+func open(dir string, set *telemetry.Set, readonly bool) (*Store, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man.Version != StoreVersion {
+		return nil, fmt.Errorf("runstore: campaign %s has store version %d; this build speaks version %d", dir, man.Version, StoreVersion)
+	}
+	s := newStore(dir, man, set, readonly)
+
+	data, err := os.ReadFile(LogPath(dir))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("runstore: reading trial log: %w", err)
+	}
+	recs, _, valid := scanRecords(data)
+	s.m.recordsRead.Add(int64(len(recs)))
+	s.m.bytesRead.Add(int64(len(data)))
+	torn := int64(len(data)) > valid
+	if torn {
+		s.m.tornTails.Inc()
+	}
+	for _, r := range recs {
+		s.index[r.Trial] = r
+	}
+	if readonly {
+		return s, nil
+	}
+	f, err := os.OpenFile(LogPath(dir), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: opening trial log: %w", err)
+	}
+	if torn {
+		// Drop the torn tail so the next append starts on a boundary.
+		if err := f.Truncate(valid); err != nil {
+			return nil, closeOnErr(f, fmt.Errorf("runstore: truncating torn tail: %w", err))
+		}
+		if err := f.Sync(); err != nil {
+			return nil, closeOnErr(f, fmt.Errorf("runstore: syncing truncated log: %w", err))
+		}
+	}
+	s.log = f
+	return s, nil
+}
+
+// OpenOrCreate opens the campaign in dir if one exists — verifying that
+// its manifest matches man exactly — and creates it otherwise.
+func OpenOrCreate(dir string, man Manifest, set *telemetry.Set) (*Store, error) {
+	if _, err := os.Stat(ManifestPath(dir)); errors.Is(err, fs.ErrNotExist) {
+		return Create(dir, man, set)
+	} else if err != nil {
+		return nil, err
+	}
+	s, err := Open(dir, set)
+	if err != nil {
+		return nil, err
+	}
+	if s.manifest != man {
+		err := fmt.Errorf("runstore: campaign %s was created with a different configuration: stored %+v, requested %+v", dir, s.manifest, man)
+		return nil, closeOnErr(s.log, err)
+	}
+	return s, nil
+}
+
+// closeOnErr closes f (when non-nil) while propagating the primary
+// error; the close error, rarer and less actionable, is dropped in its
+// favor only if the primary is non-nil — which it always is here.
+func closeOnErr(f *os.File, primary error) error {
+	if f == nil {
+		return primary
+	}
+	if cerr := f.Close(); cerr != nil {
+		return errors.Join(primary, cerr)
+	}
+	return primary
+}
+
+// Append durably persists one trial record: a single frame write
+// followed by fsync. The record's config hash must match the campaign
+// manifest, and each trial index can be stored only once — duplicates
+// mean the caller re-ran a trial that resume should have served.
+func (s *Store) Append(rec TrialRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readonly {
+		return fmt.Errorf("runstore: campaign %s is open read-only", s.dir)
+	}
+	if s.log == nil {
+		return fmt.Errorf("runstore: campaign %s is closed", s.dir)
+	}
+	if rec.ConfigHash != s.manifest.ConfigHash {
+		return fmt.Errorf("runstore: record config hash %s does not match campaign %s", rec.ConfigHash, s.manifest.ConfigHash)
+	}
+	if _, dup := s.index[rec.Trial]; dup {
+		return fmt.Errorf("runstore: trial %d is already stored in %s", rec.Trial, s.dir)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runstore: encoding trial %d: %w", rec.Trial, err)
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], recordMagic)
+	binary.BigEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(payload))
+	copy(frame[headerSize:], payload)
+	if _, err := s.log.Write(frame); err != nil {
+		return fmt.Errorf("runstore: appending trial %d: %w", rec.Trial, err)
+	}
+	if err := s.log.Sync(); err != nil {
+		return fmt.Errorf("runstore: syncing trial %d: %w", rec.Trial, err)
+	}
+	s.index[rec.Trial] = rec
+	s.m.recordsWritten.Inc()
+	s.m.bytesWritten.Add(int64(len(frame)))
+	return nil
+}
+
+// Get returns the stored record for a trial index.
+func (s *Store) Get(trial int) (TrialRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.index[trial]
+	return rec, ok
+}
+
+// Has reports whether a trial index is stored.
+func (s *Store) Has(trial int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[trial]
+	return ok
+}
+
+// Len reports the number of stored trials.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Records returns every stored record sorted by trial index.
+func (s *Store) Records() []TrialRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TrialRecord, 0, len(s.index))
+	for _, rec := range s.index {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Trial < out[j].Trial })
+	return out
+}
+
+// Manifest returns the campaign manifest.
+func (s *Store) Manifest() Manifest { return s.manifest }
+
+// Dir returns the campaign directory.
+func (s *Store) Dir() string { return s.dir }
+
+// NoteResumeHit counts one trial served from the store instead of
+// re-running. The runner calls this from worker goroutines, so the
+// increment takes the store lock.
+func (s *Store) NoteResumeHit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.resumeHits.Inc()
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		RecordsWritten:      s.m.recordsWritten.Value(),
+		RecordsRead:         s.m.recordsRead.Value(),
+		BytesWritten:        s.m.bytesWritten.Value(),
+		BytesRead:           s.m.bytesRead.Value(),
+		ResumeHits:          s.m.resumeHits.Value(),
+		TornTailTruncations: s.m.tornTails.Value(),
+	}
+}
+
+// Close releases the log file handle. Safe to call on read-only and
+// already-closed stores.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Close()
+	s.log = nil
+	return err
+}
+
+// scanRecords decodes frames until the first torn or corrupt one,
+// reporting each record's start offset and how many bytes were valid.
+// Everything after the first bad frame is unreachable (frames are not
+// self-synchronizing), so a mid-file corruption costs the records behind
+// it — the crash model this store defends against only ever tears the
+// tail.
+func scanRecords(data []byte) (recs []TrialRecord, offs []int64, valid int64) {
+	off := 0
+	for {
+		if len(data)-off < headerSize {
+			break
+		}
+		if binary.BigEndian.Uint32(data[off:]) != recordMagic {
+			break
+		}
+		n := int(binary.BigEndian.Uint32(data[off+4:]))
+		sum := binary.BigEndian.Uint32(data[off+8:])
+		if len(data)-off-headerSize < n {
+			break
+		}
+		payload := data[off+headerSize : off+headerSize+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var rec TrialRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		offs = append(offs, int64(off))
+		off += headerSize + n
+	}
+	return recs, offs, int64(off)
+}
+
+// LogOffsets returns the byte offset of every valid record in a
+// campaign's trial log, in file order — a diagnostic for tests and
+// tooling (truncating the file at LogOffsets(dir)[k] keeps exactly the
+// first k records).
+func LogOffsets(dir string) ([]int64, error) {
+	data, err := os.ReadFile(LogPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	_, offs, _ := scanRecords(data)
+	return offs, nil
+}
+
+func writeManifest(dir string, man Manifest) error {
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runstore: encoding manifest: %w", err)
+	}
+	b = append(b, '\n')
+	tmp := ManifestPath(dir) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("runstore: creating manifest tmp: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		return closeOnErr(f, fmt.Errorf("runstore: writing manifest: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return closeOnErr(f, fmt.Errorf("runstore: syncing manifest: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("runstore: closing manifest tmp: %w", err)
+	}
+	if err := os.Rename(tmp, ManifestPath(dir)); err != nil {
+		return fmt.Errorf("runstore: publishing manifest: %w", err)
+	}
+	return syncDir(dir)
+}
+
+func readManifest(dir string) (Manifest, error) {
+	b, err := os.ReadFile(ManifestPath(dir))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return Manifest{}, fmt.Errorf("runstore: %s holds no campaign (missing %s)", dir, manifestName)
+		}
+		return Manifest{}, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return Manifest{}, fmt.Errorf("runstore: corrupt manifest in %s: %w", dir, err)
+	}
+	return man, nil
+}
+
+// syncDir flushes directory metadata so a rename (manifest publish) or
+// file creation survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// HashJSON fingerprints any JSON-marshalable configuration value:
+// sha256 over a version-salted canonical encoding, rendered as hex.
+// Struct field order is fixed at compile time and map keys are sorted by
+// encoding/json, so equal values always hash equally.
+func HashJSON(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("runstore: hashing config: %w", err)
+	}
+	// The salt ties hashes to the record schema: bumping StoreVersion
+	// invalidates stored fingerprints even for identical configs.
+	salted := append([]byte(fmt.Sprintf("runstore/v%d\n", StoreVersion)), b...)
+	sum := sha256.Sum256(salted)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,352 @@
+package runstore
+
+import (
+	"os"
+	"testing"
+
+	"shadowmeter/internal/telemetry"
+)
+
+func testManifest() Manifest {
+	return Manifest{Version: StoreVersion, ConfigHash: "cfg-abc", BaseSeed: 100, Trials: 4, Scale: "small"}
+}
+
+func testRecord(trial int) TrialRecord {
+	return TrialRecord{
+		Trial:      trial,
+		Seed:       100 + int64(trial),
+		ConfigHash: "cfg-abc",
+		Headline:   map[string]float64{"captures": float64(10 * trial), "sent_decoys": 42.5},
+		Events: []EventRecord{
+			{Label: "lbl", SentProto: "DNS", CaptureProto: "HTTP", DstName: "Yandex", DelayNS: int64(trial) * 1e9},
+		},
+		Metrics: []telemetry.Metric{{Name: "netsim_packets_sent_total", Kind: telemetry.KindCounter, Value: int64(trial)}},
+		Spans:   []telemetry.SpanStats{{Name: "phase1", Count: 1, Events: 7}},
+	}
+}
+
+// counterValue digs a scalar counter out of a telemetry set.
+func counterValue(t *testing.T, set *telemetry.Set, name string) int64 {
+	t.Helper()
+	for _, m := range set.Registry.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %q not registered", name)
+	return 0
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir() + "/camp"
+	s, err := Create(dir, testManifest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(testRecord(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	set := telemetry.NewSet()
+	r, err := Open(dir, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Manifest() != testManifest() {
+		t.Errorf("manifest = %+v, want %+v", r.Manifest(), testManifest())
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Trial != i || rec.Seed != 100+int64(i) {
+			t.Errorf("record %d: trial=%d seed=%d", i, rec.Trial, rec.Seed)
+		}
+		if rec.Headline["captures"] != float64(10*i) || rec.Headline["sent_decoys"] != 42.5 {
+			t.Errorf("record %d headline = %v", i, rec.Headline)
+		}
+		if len(rec.Events) != 1 || rec.Events[0].DstName != "Yandex" || rec.Events[0].DelayNS != int64(i)*1e9 {
+			t.Errorf("record %d events = %+v", i, rec.Events)
+		}
+		if len(rec.Metrics) != 1 || rec.Metrics[0].Value != int64(i) {
+			t.Errorf("record %d metrics = %+v", i, rec.Metrics)
+		}
+		if len(rec.Spans) != 1 || rec.Spans[0].Events != 7 {
+			t.Errorf("record %d spans = %+v", i, rec.Spans)
+		}
+	}
+	if got, ok := r.Get(1); !ok || got.Seed != 101 {
+		t.Errorf("Get(1) = %+v, %v", got, ok)
+	}
+	if r.Has(3) {
+		t.Error("Has(3) = true for unstored trial")
+	}
+	if n := counterValue(t, set, "runstore_records_read_total"); n != 3 {
+		t.Errorf("records_read = %d, want 3", n)
+	}
+	if n := counterValue(t, set, "runstore_torn_tail_total"); n != 0 {
+		t.Errorf("torn_tail = %d, want 0", n)
+	}
+}
+
+// TestTornTailRecovery is the crash model: a record torn mid-write must
+// be detected, counted, and truncated away, leaving every completed
+// record intact and the log appendable.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir() + "/camp"
+	s, err := Create(dir, testManifest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record: chop 5 bytes off the tail, as a crash between
+	// write and sync would.
+	logp := LogPath(dir)
+	fi, err := os.Stat(logp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(logp, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	set := telemetry.NewSet()
+	r, err := Open(dir, set)
+	if err != nil {
+		t.Fatalf("open after tear: %v", err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("got %d records after tear, want 2", r.Len())
+	}
+	if n := counterValue(t, set, "runstore_torn_tail_total"); n != 1 {
+		t.Errorf("runstore_torn_tail_total = %d, want 1", n)
+	}
+
+	// The truncated log must accept the replacement record and read back
+	// clean: recovery is complete, not just tolerated.
+	if err := r.Append(testRecord(2)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Open(dir, telemetry.NewSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Close()
+	if rr.Len() != 3 {
+		t.Errorf("got %d records after recovery append, want 3", rr.Len())
+	}
+	if n := counterValue(t, set, "runstore_torn_tail_total"); n != 1 {
+		t.Errorf("torn counter moved after recovery: %d", n)
+	}
+}
+
+// TestReadOnlyLeavesTornTail: inspection must never repair a live
+// campaign under its writer.
+func TestReadOnlyLeavesTornTail(t *testing.T) {
+	dir := t.TempDir() + "/camp"
+	s, err := Create(dir, testManifest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logp := LogPath(dir)
+	fi, err := os.Stat(logp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(logp, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	set := telemetry.NewSet()
+	r, err := OpenReadOnly(dir, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 1 {
+		t.Errorf("read-only open sees %d records, want 1", r.Len())
+	}
+	if n := counterValue(t, set, "runstore_torn_tail_total"); n != 1 {
+		t.Errorf("torn counter = %d, want 1", n)
+	}
+	if err := r.Append(testRecord(2)); err == nil {
+		t.Error("Append on read-only store did not fail")
+	}
+	after, err := os.Stat(logp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != fi.Size()-3 {
+		t.Errorf("read-only open changed the log size: %d -> %d", fi.Size()-3, after.Size())
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := t.TempDir() + "/camp"
+	s, err := Create(dir, testManifest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord(0)); err == nil {
+		t.Error("duplicate trial append did not fail")
+	}
+	bad := testRecord(1)
+	bad.ConfigHash = "other"
+	if err := s.Append(bad); err == nil {
+		t.Error("config-hash mismatch append did not fail")
+	}
+}
+
+func TestOpenOrCreate(t *testing.T) {
+	dir := t.TempDir() + "/camp"
+	man := testManifest()
+	s, err := OpenOrCreate(dir, man, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same manifest: opens and sees the record.
+	again, err := OpenOrCreate(dir, man, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != 1 {
+		t.Errorf("reopened campaign has %d records, want 1", again.Len())
+	}
+	if err := again.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Any manifest drift must refuse: a campaign is one configuration.
+	drift := man
+	drift.ConfigHash = "cfg-xyz"
+	if _, err := OpenOrCreate(dir, drift, nil); err == nil {
+		t.Error("config-hash drift did not fail")
+	}
+	drift = man
+	drift.Trials = 8
+	if _, err := OpenOrCreate(dir, drift, nil); err == nil {
+		t.Error("trial-count drift did not fail")
+	}
+
+	// Create on an existing campaign must refuse too.
+	if _, err := Create(dir, man, nil); err == nil {
+		t.Error("Create over existing campaign did not fail")
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	dir := t.TempDir() + "/camp"
+	man := testManifest()
+	man.Version = StoreVersion + 1
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); err == nil {
+		t.Error("version mismatch did not fail")
+	}
+}
+
+func TestLogOffsets(t *testing.T) {
+	dir := t.TempDir() + "/camp"
+	s, err := Create(dir, testManifest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	offs, err := LogOffsets(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 3 || offs[0] != 0 {
+		t.Fatalf("offsets = %v", offs)
+	}
+
+	// Truncating at offs[k] keeps exactly the first k records.
+	if err := os.Truncate(LogPath(dir), offs[2]); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Errorf("after truncate at offs[2]: %d records, want 2", r.Len())
+	}
+}
+
+func TestHashJSON(t *testing.T) {
+	type cfg struct {
+		A int
+		B string
+	}
+	h1, err := HashJSON(cfg{1, "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashJSON(cfg{1, "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := HashJSON(cfg{2, "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("equal configs hash unequal")
+	}
+	if h1 == h3 {
+		t.Error("distinct configs hash equal")
+	}
+	if len(h1) != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", len(h1))
+	}
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: runs the registry-backed benchmarks with -benchmem
+# and writes a machine-readable BENCH_<YYYYMMDD>.json so the perf
+# trajectory (e.g. the netsim zero-alloc pass) is tracked in-repo instead
+# of only in commit messages.
+#
+#   scripts/bench.sh                # writes BENCH_<today>.json in the repo root
+#   scripts/bench.sh out.json       # custom output path
+#   BENCH_TIME=100ms scripts/bench.sh   # faster, noisier
+#   BENCH_PKGS="./internal/netsim" scripts/bench.sh   # subset
+#
+# Compare two snapshots with e.g.:
+#   jq -s '[.[0].benchmarks, .[1].benchmarks]' BENCH_A.json BENCH_B.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The registry-backed benches: netsim/wire hot paths plus the multi-trial
+# runner throughput baseline.
+read -r -a pkgs <<<"${BENCH_PKGS:-./internal/netsim ./internal/wire ./internal/runner}"
+benchtime=${BENCH_TIME:-1s}
+stamp=$(date +%Y%m%d)
+out=${1:-BENCH_${stamp}.json}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -bench (${pkgs[*]}, benchtime $benchtime)"
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" "${pkgs[@]}" | tee "$tmp"
+
+awk -v date="$stamp" -v goversion="$(go version | awk '{print $3}')" '
+/^Benchmark/ {
+    name = $1; ns = ""; bytes = "0"; allocs = "0"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        else if ($i == "B/op") bytes = $(i-1)
+        else if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    row = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs)
+    body = (body == "" ? row : body ",\n" row)
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", date, goversion, body
+}' "$tmp" >"$out"
+
+echo "wrote $out"

@@ -65,6 +65,48 @@ if ! cmp -s "$tmpdir/batch1.json" "$tmpdir/batch2.json"; then
     exit 1
 fi
 
+echo "== runstore checkpoint/resume smoke"
+# The resume-determinism contract: a batch persisted with -out, torn at
+# the tail (simulating a crash mid-append), then resumed must produce
+# stdout byte-identical to the uninterrupted run, with the surviving
+# trials served from the store — verified via runstore_resume_hits_total
+# surfaced on stderr.
+go build -o "$tmpdir/shadowstore" ./cmd/shadowstore
+# The multi-trial smoke above already produced the uninterrupted
+# reference run for these seeds: batch2.json (seed 7, 2 trials).
+cp "$tmpdir/batch2.json" "$tmpdir/cold.json"
+"$tmpdir/shadowmeter" -seed 7 -trials 2 -workers 2 -out "$tmpdir/camp" >"$tmpdir/warm.json" 2>/dev/null
+if ! cmp -s "$tmpdir/cold.json" "$tmpdir/warm.json"; then
+    echo "-out changed batch stdout:" >&2
+    diff "$tmpdir/cold.json" "$tmpdir/warm.json" >&2 || true
+    exit 1
+fi
+truncate -s -7 "$tmpdir/camp/trials.log" # tear the tail record mid-write
+"$tmpdir/shadowmeter" -seed 7 -trials 2 -workers 2 -out "$tmpdir/camp" -resume \
+    >"$tmpdir/resumed.json" 2>"$tmpdir/resume.err"
+if ! cmp -s "$tmpdir/cold.json" "$tmpdir/resumed.json"; then
+    echo "resumed batch differs from cold run:" >&2
+    diff "$tmpdir/cold.json" "$tmpdir/resumed.json" >&2 || true
+    exit 1
+fi
+if ! grep -q "resume hits 1" "$tmpdir/resume.err"; then
+    echo "expected 1 resume hit (runstore_resume_hits_total); stderr was:" >&2
+    cat "$tmpdir/resume.err" >&2
+    exit 1
+fi
+if ! grep -q "torn-tail truncations 1" "$tmpdir/resume.err"; then
+    echo "expected 1 torn-tail truncation; stderr was:" >&2
+    cat "$tmpdir/resume.err" >&2
+    exit 1
+fi
+
+echo "== shadowstore smoke"
+"$tmpdir/shadowstore" list "$tmpdir/camp" >/dev/null
+"$tmpdir/shadowstore" show "$tmpdir/camp" >/dev/null
+"$tmpdir/shadowstore" show -trial 0 "$tmpdir/camp" >/dev/null
+"$tmpdir/shadowstore" diff "$tmpdir/camp" "$tmpdir/camp" >/dev/null
+"$tmpdir/shadowstore" retention "$tmpdir/camp" >/dev/null
+
 echo "== benchmark smoke (netsim, wire)"
 # -benchtime=1x compiles and runs each benchmark once: catches bitrot in
 # the registry-backed events/sec reporting without measuring anything.

@@ -6,7 +6,7 @@
 //
 //	shadowmeter [-seed N] [-scale small|medium|full] [-intercepted N]
 //	            [-trials N] [-workers W] [-out DIR] [-resume]
-//	            [-phase1-only] [-json-stats]
+//	            [-phase1-only] [-json-stats] [-cold-topology]
 //	            [-metrics] [-metrics-json] [-progress N]
 package main
 
@@ -85,6 +85,7 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "append the telemetry summary table to stderr after the report (single runs only)")
 		metricsJSON = flag.Bool("metrics-json", false, "print ONLY the telemetry export as JSON on stdout; in batch mode, the merged per-trial export (byte-identical for identical seeds)")
 		progressN   = flag.Int64("progress", 0, "report progress to stderr every N simulation events (0 disables)")
+		coldTopo    = flag.Bool("cold-topology", false, "rebuild the topology from scratch for every trial instead of sharing a blueprint (output must be byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -117,7 +118,7 @@ func main() {
 	}
 
 	if opts.batch() {
-		runBatch(*trials, *workers, *seed, cfg, *scale, *metricsJSON, *out, *resume)
+		runBatch(*trials, *workers, *seed, cfg, *scale, *metricsJSON, *out, *resume, *coldTopo)
 		return
 	}
 
@@ -188,9 +189,9 @@ func main() {
 // every completed trial is durably persisted as it finishes; with
 // -resume, trials already stored are served from the campaign store —
 // per-seed determinism makes the two paths byte-identical on stdout.
-func runBatch(trials, workers int, baseSeed int64, cfg core.Config, scaleName string, metricsJSON bool, outDir string, resume bool) {
+func runBatch(trials, workers int, baseSeed int64, cfg core.Config, scaleName string, metricsJSON bool, outDir string, resume bool, coldTopo bool) {
 	started := time.Now()
-	rcfg := runner.Config{Trials: trials, Workers: workers, BaseSeed: baseSeed, Core: cfg}
+	rcfg := runner.Config{Trials: trials, Workers: workers, BaseSeed: baseSeed, Core: cfg, ColdTopology: coldTopo}
 
 	var st *runstore.Store
 	if outDir != "" {

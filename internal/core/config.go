@@ -7,6 +7,8 @@ package core
 
 import (
 	"time"
+
+	"shadowmeter/internal/topology"
 )
 
 // Scale selects an experiment geometry.
@@ -27,6 +29,14 @@ const (
 type Config struct {
 	Seed  int64
 	Scale Scale
+
+	// Topo, when non-nil, instantiates the world's topology from a shared
+	// campaign blueprint instead of cold-building it per trial. The result
+	// is byte-identical to a cold topology.Build with the same Seed (the
+	// blueprint replays the seed-dependent draws per world); only the
+	// construction cost is shared. Excluded from campaign hashes: it is an
+	// execution strategy, not configuration.
+	Topo *topology.Blueprint `json:"-"`
 
 	// Start anchors the virtual clock and the identifier epoch; zero means
 	// 2024-03-01 UTC (the paper's campaign start).

@@ -460,7 +460,7 @@ func resolverHNames() []string {
 }
 
 func filterByDst(events []correlate.Unsolicited, names map[string]bool) []correlate.Unsolicited {
-	var out []correlate.Unsolicited
+	out := make([]correlate.Unsolicited, 0, len(events))
 	for _, u := range events {
 		if names[u.Sent.DstName] {
 			out = append(out, u)
@@ -474,7 +474,7 @@ func filterByProto(events []correlate.Unsolicited, protos ...decoy.Protocol) []c
 	for _, p := range protos {
 		want[p] = true
 	}
-	var out []correlate.Unsolicited
+	out := make([]correlate.Unsolicited, 0, len(events))
 	for _, u := range events {
 		if want[u.Sent.Protocol] {
 			out = append(out, u)

@@ -75,10 +75,11 @@ type World struct {
 // honeypots, and the screened VP platform.
 func BuildWorld(cfg Config) *World {
 	cfg = cfg.withDefaults()
+	topo := cfg.Topo.InstantiateOrBuild(cfg.Seed)
 	w := &World{
 		Cfg:        cfg,
 		Telemetry:  telemetry.NewSet(),
-		Topo:       topology.Build(topology.Config{Seed: cfg.Seed}),
+		Topo:       topo,
 		Registry:   resolversim.NewRegistry(),
 		Blocklist:  intel.NewBlocklist(),
 		Signatures: intel.DefaultSignatureDB(),

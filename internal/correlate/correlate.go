@@ -187,12 +187,17 @@ func (c *Correlator) Stats() Stats {
 // incrementally with batches; rule iii state (first-DNS-appearance) is
 // retained across calls.
 func (c *Correlator) Classify(captures []honeypot.Capture) []Unsolicited {
-	ordered := append([]honeypot.Capture(nil), captures...)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time.Before(ordered[j].Time) })
+	// Honeypot logs are appended in virtual-time order, so the capture
+	// batch is almost always already sorted — skip the defensive copy then.
+	ordered := captures
+	if !sort.SliceIsSorted(captures, func(i, j int) bool { return captures[i].Time.Before(captures[j].Time) }) {
+		ordered = append([]honeypot.Capture(nil), captures...)
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time.Before(ordered[j].Time) })
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var out []Unsolicited
+	out := make([]Unsolicited, 0, len(ordered))
 	for _, cap := range ordered {
 		c.stats.Captures++
 		c.m.captures.Inc()
@@ -245,20 +250,32 @@ func (c *Correlator) Classify(captures []honeypot.Capture) []Unsolicited {
 			Capture:     cap,
 			Sent:        sent,
 			Delay:       delay,
-			Combination: fmt.Sprintf("%s-%s", sent.Protocol, requestName(cap.Protocol, cap)),
+			Combination: combination(sent.Protocol, cap.Protocol),
 			Rule:        rule,
 		})
 	}
 	return out
 }
 
-// requestName renders the request side of a combination label; TLS
-// arrivals at the web honeypot are "HTTPS" in the paper's terminology.
-func requestName(p decoy.Protocol, cap honeypot.Capture) string {
-	if p == decoy.TLS {
-		return "HTTPS"
+// combinations precomputes every Decoy-Request label so classification
+// never formats strings; TLS arrivals at the web honeypot are "HTTPS" in
+// the paper's terminology.
+var combinations = [3][3]string{
+	decoy.DNS:  {decoy.DNS: "DNS-DNS", decoy.HTTP: "DNS-HTTP", decoy.TLS: "DNS-HTTPS"},
+	decoy.HTTP: {decoy.DNS: "HTTP-DNS", decoy.HTTP: "HTTP-HTTP", decoy.TLS: "HTTP-HTTPS"},
+	decoy.TLS:  {decoy.DNS: "TLS-DNS", decoy.HTTP: "TLS-HTTP", decoy.TLS: "TLS-HTTPS"},
+}
+
+// combination renders the paper's Decoy-Request label, e.g. "DNS-HTTP".
+func combination(sent, req decoy.Protocol) string {
+	if sent >= 0 && int(sent) < len(combinations) && req >= 0 && int(req) < len(combinations[sent]) {
+		return combinations[sent][req]
 	}
-	return p.String()
+	name := req.String()
+	if req == decoy.TLS {
+		name = "HTTPS"
+	}
+	return fmt.Sprintf("%s-%s", sent, name)
 }
 
 // PathsWithUnsolicited groups unsolicited requests by the originating

@@ -220,44 +220,73 @@ func clientRandom(id identifier.ID) [32]byte {
 // for TLS. It returns ok=false when the payload does not parse or carries
 // no domain.
 func ExtractDomain(proto Protocol, payload []byte) (string, bool) {
+	return extractDomain(proto, payload, nil)
+}
+
+func extractDomain(proto Protocol, payload []byte, in *identifier.Interner) (string, bool) {
 	switch proto {
 	case DNS:
-		msg, err := dnswire.Decode(payload)
-		if err != nil || msg.Header.QR || len(msg.Questions) == 0 {
-			return "", false
+		if in != nil {
+			return dnswire.QueryNameInterned(payload, in)
 		}
-		return msg.QName(), true
+		return dnswire.QueryNameFromBytes(payload)
 	case HTTP:
-		req, err := httpwire.ParseRequest(payload)
-		if err != nil || req.Host() == "" {
+		host, ok := httpwire.HostFromBytes(payload)
+		if !ok || host == "" {
 			return "", false
 		}
-		return dnswire.Canonical(req.Host()), true
+		return canonicalInterned(host, in), true
 	case TLS:
 		name, err := tlswire.SNIFromBytes(payload)
 		if err != nil {
 			return "", false
 		}
-		return dnswire.Canonical(name), true
+		return canonicalInterned(name, in), true
 	}
 	return "", false
+}
+
+func canonicalInterned(name string, in *identifier.Interner) string {
+	c := dnswire.Canonical(name)
+	if in != nil {
+		return in.Intern(c)
+	}
+	return c
 }
 
 // SniffDomain inspects an arbitrary transport payload on ports (srcPort,
 // dstPort) and extracts a domain if the payload is one of the three decoy
 // protocols. This is the generic DPI routine observer taps run.
 func SniffDomain(dstPort uint16, payload []byte) (string, Protocol, bool) {
+	var s Sniffer
+	return s.sniff(dstPort, payload, nil)
+}
+
+// Sniffer is a per-consumer DPI scratch: SniffDomain plus an intern table,
+// so the same experiment domain crossing one observation point repeatedly
+// (resolver retries, probe traffic) is materialized once. Not safe for
+// concurrent use — one per tap device.
+type Sniffer struct {
+	in identifier.Interner
+}
+
+// SniffDomain is like the package-level SniffDomain with interning.
+func (s *Sniffer) SniffDomain(dstPort uint16, payload []byte) (string, Protocol, bool) {
+	return s.sniff(dstPort, payload, &s.in)
+}
+
+func (s *Sniffer) sniff(dstPort uint16, payload []byte, in *identifier.Interner) (string, Protocol, bool) {
 	switch dstPort {
 	case 53:
-		if d, ok := ExtractDomain(DNS, payload); ok {
+		if d, ok := extractDomain(DNS, payload, in); ok {
 			return d, DNS, true
 		}
 	case 80:
-		if d, ok := ExtractDomain(HTTP, payload); ok {
+		if d, ok := extractDomain(HTTP, payload, in); ok {
 			return d, HTTP, true
 		}
 	case 443:
-		if d, ok := ExtractDomain(TLS, payload); ok {
+		if d, ok := extractDomain(TLS, payload, in); ok {
 			return d, TLS, true
 		}
 	}

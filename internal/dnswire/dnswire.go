@@ -129,16 +129,35 @@ func (m *Message) QType() uint16 {
 	return m.Questions[0].Type
 }
 
-// encoder serializes a message with name compression.
-type encoder struct {
+// Encoder holds reusable encode scratch — the output buffer and the name
+// compression offsets — for call sites that serialize many messages from
+// one goroutine (resolver reply loops, honeypot answers, probe emitters).
+// The zero value is ready to use.
+type Encoder struct {
 	buf     []byte
 	offsets map[string]int // FQDN -> offset of its first encoding
 }
 
-// Encode serializes the message to wire format. Header counts are derived
-// from the section slices, overriding the caller's values.
+// Encode serializes the message to wire format with a private encoder,
+// returning a buffer the caller owns. Header counts are derived from the
+// section slices, overriding the caller's values.
 func (m *Message) Encode() ([]byte, error) {
-	e := &encoder{buf: make([]byte, 0, 512), offsets: make(map[string]int)}
+	e := Encoder{buf: make([]byte, 0, 512)}
+	return m.AppendEncode(&e)
+}
+
+// AppendEncode serializes the message reusing enc's scratch. The returned
+// slice aliases enc's internal buffer and is valid only until the next
+// AppendEncode call — callers must copy (or hand the bytes to something
+// that copies, like a packet builder) before encoding again.
+func (m *Message) AppendEncode(enc *Encoder) ([]byte, error) {
+	e := enc
+	e.buf = e.buf[:0]
+	if e.offsets == nil {
+		e.offsets = make(map[string]int, 8)
+	} else {
+		clear(e.offsets)
+	}
 	h := m.Header
 	h.QDCount = uint16(len(m.Questions))
 	h.ANCount = uint16(len(m.Answers))
@@ -188,16 +207,16 @@ func (m *Message) Encode() ([]byte, error) {
 	return e.buf, nil
 }
 
-func (e *encoder) u16(v uint16) {
+func (e *Encoder) u16(v uint16) {
 	e.buf = append(e.buf, byte(v>>8), byte(v))
 }
 
-func (e *encoder) u32(v uint32) {
+func (e *Encoder) u32(v uint32) {
 	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
 // name writes a possibly-compressed domain name.
-func (e *encoder) name(n string) error {
+func (e *Encoder) name(n string) error {
 	n = Canonical(n)
 	if n == "." || n == "" {
 		e.buf = append(e.buf, 0)
@@ -235,7 +254,7 @@ func (e *encoder) name(n string) error {
 	return nil
 }
 
-func (e *encoder) rr(r *RR) error {
+func (e *Encoder) rr(r *RR) error {
 	if err := e.name(r.Name); err != nil {
 		return err
 	}
@@ -399,9 +418,15 @@ func decodeRRs(data []byte, off, count int) ([]RR, int, error) {
 
 // decodeName reads a possibly-compressed name starting at off, returning the
 // presentation-form name (lowercase, no trailing dot) and the offset just
-// past the name in the original (non-pointer) encoding.
+// past the name in the original (non-pointer) encoding. The name assembles
+// in a stack buffer — lowercased as it is copied — so the only allocation
+// is the returned string.
 func decodeName(data []byte, off int) (string, int, error) {
-	var sb strings.Builder
+	// 253 presentation octets is the longest legal name; anything that
+	// overruns the buffer is ErrNameTooLong whenever it terminates.
+	var buf [254]byte
+	n := 0
+	nonASCII := false
 	end := -1 // offset after the name in the original stream
 	jumps := 0
 	for {
@@ -414,11 +439,15 @@ func decodeName(data []byte, off int) (string, int, error) {
 			if end < 0 {
 				end = off + 1
 			}
-			name := sb.String()
-			if len(name) > 253 {
+			if n > 253 {
 				return "", 0, ErrNameTooLong
 			}
-			return strings.ToLower(name), end, nil
+			if nonASCII {
+				// Match strings.ToLower on the original bytes exactly
+				// (multi-byte case folding) for the rare non-ASCII name.
+				return strings.ToLower(string(buf[:n])), end, nil
+			}
+			return string(buf[:n]), end, nil
 		case b&0xC0 == 0xC0:
 			if off+1 >= len(data) {
 				return "", 0, ErrTruncated
@@ -439,13 +468,128 @@ func decodeName(data []byte, off int) (string, int, error) {
 			if off+1+l > len(data) {
 				return "", 0, ErrTruncated
 			}
-			if sb.Len() > 0 {
-				sb.WriteByte('.')
+			if n > 0 {
+				if n >= len(buf) {
+					return "", 0, ErrNameTooLong
+				}
+				buf[n] = '.'
+				n++
 			}
-			sb.Write(data[off+1 : off+1+l])
+			if n+l > len(buf) {
+				return "", 0, ErrNameTooLong
+			}
+			for i := 0; i < l; i++ {
+				c := data[off+1+i]
+				if 'A' <= c && c <= 'Z' {
+					c += 'a' - 'A'
+				} else if c >= 0x80 {
+					nonASCII = true
+				}
+				buf[n] = c
+				n++
+			}
 			off += 1 + l
 		}
 	}
+}
+
+// Interner is the subset of identifier.Interner the sniff fast path
+// needs; an interface here keeps the wire codec free of experiment types.
+type Interner interface {
+	Intern(s string) string
+	InternBytes(b []byte) string
+}
+
+// QueryNameFromBytes extracts the first question name of a wire-format DNS
+// query without materializing the whole message: the observer-tap fast
+// path, which runs on every packet crossing a tapped router. It returns
+// ok=false for responses, truncated messages, and anything the full decoder
+// would reject; messages with extra sections or compression pointers take
+// the slow path through Decode so the two agree on every input.
+func QueryNameFromBytes(data []byte) (string, bool) {
+	return QueryNameInterned(data, nil)
+}
+
+// QueryNameInterned is QueryNameFromBytes with the extracted name routed
+// through in (when non-nil), so repeated sightings of one experiment
+// domain cost no allocation.
+func QueryNameInterned(data []byte, in Interner) (string, bool) {
+	if len(data) < 12 {
+		return "", false
+	}
+	flags := binary.BigEndian.Uint16(data[2:4])
+	if flags&(1<<15) != 0 {
+		return "", false // response, not a query
+	}
+	qd := binary.BigEndian.Uint16(data[4:6])
+	if qd == 0 {
+		return "", false
+	}
+	if qd > 1 || data[6]|data[7]|data[8]|data[9]|data[10]|data[11] != 0 {
+		return queryNameSlow(data, in)
+	}
+	// Single question, no other sections: read the name in place.
+	var buf [253]byte
+	n := 0
+	off := 12
+	for {
+		if off >= len(data) {
+			return "", false
+		}
+		b := data[off]
+		switch {
+		case b == 0:
+			if off+5 > len(data) {
+				return "", false // QTYPE/QCLASS missing
+			}
+			if in != nil {
+				return in.InternBytes(buf[:n]), true
+			}
+			return string(buf[:n]), true
+		case b&0xC0 == 0xC0:
+			return queryNameSlow(data, in) // compressed name: full decoder
+		case b&0xC0 != 0:
+			return "", false
+		default:
+			l := int(b)
+			if off+1+l > len(data) {
+				return "", false
+			}
+			if n > 0 {
+				if n+1+l > len(buf) {
+					return "", false
+				}
+				buf[n] = '.'
+				n++
+			} else if l > len(buf) {
+				return "", false
+			}
+			for i := 0; i < l; i++ {
+				c := data[off+1+i]
+				if 'A' <= c && c <= 'Z' {
+					c += 'a' - 'A'
+				} else if c >= 0x80 {
+					return queryNameSlow(data, in) // non-ASCII case folding
+				}
+				buf[n] = c
+				n++
+			}
+			off += 1 + l
+		}
+	}
+}
+
+// queryNameSlow is QueryNameFromBytes's fallback for message shapes the
+// in-place scanner does not handle.
+func queryNameSlow(data []byte, in Interner) (string, bool) {
+	msg, err := Decode(data)
+	if err != nil || msg.Header.QR || len(msg.Questions) == 0 {
+		return "", false
+	}
+	if in != nil {
+		return in.Intern(msg.QName()), true
+	}
+	return msg.QName(), true
 }
 
 // Canonical lowercases a domain name and strips any trailing dot, giving the

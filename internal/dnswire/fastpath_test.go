@@ -1,0 +1,78 @@
+package dnswire
+
+import (
+	"testing"
+)
+
+// refQueryName is the slow-path reference QueryNameFromBytes must agree
+// with on every input.
+func refQueryName(data []byte) (string, bool) {
+	msg, err := Decode(data)
+	if err != nil || msg.Header.QR || len(msg.Questions) == 0 {
+		return "", false
+	}
+	return msg.QName(), true
+}
+
+// TestQueryNameFastPathMatchesDecode pins the sniffing fast path to the
+// full decoder: for a corpus of queries, responses, and every truncation
+// of each, both must return identical (name, ok).
+func TestQueryNameFastPathMatchesDecode(t *testing.T) {
+	var corpus [][]byte
+	for _, name := range []string{
+		"abc123.www.experiment.example",
+		"MiXeD-CaSe.Www.Experiment.Example",
+		"a.b",
+		"x",
+		"",
+	} {
+		q := NewQuery(0x1234, name, TypeA)
+		b, err := q.Encode()
+		if err != nil {
+			t.Fatalf("encode %q: %v", name, err)
+		}
+		corpus = append(corpus, b)
+
+		// A response to the same query (QR set, with an answer).
+		resp := NewResponse(q, RcodeNoError)
+		resp.Answers = append(resp.Answers, RR{Name: name, Type: TypeA, TTL: 60})
+		rb, err := resp.Encode()
+		if err != nil {
+			t.Fatalf("encode response %q: %v", name, err)
+		}
+		corpus = append(corpus, rb)
+	}
+	// A query with an additional record, which forces the slow path.
+	withAdd := NewQuery(7, "extra.example", TypeA)
+	withAdd.Additional = append(withAdd.Additional, RR{Name: "ns.example", Type: TypeA, TTL: 1})
+	if b, err := withAdd.Encode(); err == nil {
+		corpus = append(corpus, b)
+	}
+	corpus = append(corpus, []byte("junk"), nil)
+
+	for _, full := range corpus {
+		for end := 0; end <= len(full); end++ {
+			data := full[:end]
+			wantName, wantOK := refQueryName(data)
+			gotName, gotOK := QueryNameFromBytes(data)
+			if gotName != wantName || gotOK != wantOK {
+				t.Fatalf("QueryNameFromBytes(%x) = (%q, %v), Decode path = (%q, %v)",
+					data, gotName, gotOK, wantName, wantOK)
+			}
+		}
+	}
+}
+
+func BenchmarkQueryNameFromBytes(b *testing.B) {
+	q := NewQuery(0x1234, "abc123def456.www.experiment.example", TypeA)
+	data, err := q.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := QueryNameFromBytes(data); !ok {
+			b.Fatal("sniff failed")
+		}
+	}
+}

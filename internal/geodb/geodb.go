@@ -27,10 +27,22 @@ func (i Info) AS() string { return fmt.Sprintf("AS%d", i.ASN) }
 // DB is a longest-prefix-match IP metadata database. It is safe for
 // concurrent lookups after registration completes; registration itself is
 // also mutex-guarded so builders may populate it from multiple goroutines.
+//
+// A DB may be layered: Overlay returns a database whose lookups fall back
+// to a frozen base trie shared (lock-free) by many overlays, which is how
+// worlds instantiated from one topology blueprint share the read-only
+// prefix table while keeping per-world registrations private.
 type DB struct {
 	mu   sync.RWMutex
 	root *trieNode
 	n    int
+
+	// frozen marks the trie immutable: Register fails and lookups skip the
+	// lock, making concurrent reads from many worlds contention-free.
+	frozen bool
+	// base, when non-nil, is a frozen DB consulted as a fallback layer;
+	// longest-prefix match spans both tries.
+	base *DB
 }
 
 type trieNode struct {
@@ -43,6 +55,30 @@ func New() *DB {
 	return &DB{root: &trieNode{}}
 }
 
+// Freeze marks the database immutable. Subsequent Register calls fail, and
+// lookups no longer take the read lock — frozen tries are safe to share
+// across any number of goroutines without contention. Freeze must complete
+// before the DB is shared; it is not itself safe to race with lookups.
+func (db *DB) Freeze() {
+	db.mu.Lock()
+	db.frozen = true
+	db.mu.Unlock()
+}
+
+// Overlay returns a new empty database layered over db, which must already
+// be frozen (so concurrent instantiations never write the shared base).
+// Registrations land in the overlay; lookups take the longest prefix across
+// both layers, the overlay winning length ties.
+func (db *DB) Overlay() *DB {
+	db.mu.RLock()
+	frozen := db.frozen
+	db.mu.RUnlock()
+	if !frozen {
+		panic("geodb: Overlay requires a frozen base (call Freeze first)")
+	}
+	return &DB{root: &trieNode{}, base: db}
+}
+
 // Register associates the prefix base/plen with info. Registering the same
 // prefix twice overwrites the earlier entry.
 func (db *DB) Register(base wire.Addr, plen int, info Info) error {
@@ -51,6 +87,9 @@ func (db *DB) Register(base wire.Addr, plen int, info Info) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.frozen {
+		return fmt.Errorf("geodb: register %v/%d: database is frozen", base, plen)
+	}
 	node := db.root
 	v := base.Uint32()
 	for i := 0; i < plen; i++ {
@@ -68,27 +107,45 @@ func (db *DB) Register(base wire.Addr, plen int, info Info) error {
 	return nil
 }
 
-// Lookup returns the most specific registered prefix covering addr.
+// Lookup returns the most specific registered prefix covering addr,
+// considering the frozen base layer (if any) under the overlay.
 func (db *DB) Lookup(addr wire.Addr) (Info, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	best, bestLen := db.lookupLocal(addr)
+	if db.base != nil {
+		if info, plen := db.base.lookupLocal(addr); info != nil && plen > bestLen {
+			best = info
+		}
+	}
+	if best == nil {
+		return Info{}, false
+	}
+	return *best, true
+}
+
+// lookupLocal walks only this layer's trie, returning the deepest match and
+// its prefix length (-1 when absent). Frozen tries are read without locking.
+func (db *DB) lookupLocal(addr wire.Addr) (*Info, int) {
+	if !db.frozen {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	}
 	node := db.root
 	v := addr.Uint32()
 	var best *Info
+	bestLen := -1
 	for i := 0; i < 32 && node != nil; i++ {
 		if node.info != nil {
 			best = node.info
+			bestLen = i
 		}
 		bit := v >> (31 - uint(i)) & 1
 		node = node.child[bit]
 	}
 	if node != nil && node.info != nil {
 		best = node.info
+		bestLen = 32
 	}
-	if best == nil {
-		return Info{}, false
-	}
-	return *best, true
+	return best, bestLen
 }
 
 // Country is a convenience lookup returning "" when unknown.
@@ -109,11 +166,15 @@ func (db *DB) ASOf(addr wire.Addr) string {
 	return info.AS()
 }
 
-// Len reports the number of registered prefixes.
+// Len reports the number of registered prefixes, including any base layer.
 func (db *DB) Len() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.n
+	n := db.n
+	if db.base != nil {
+		n += db.base.Len()
+	}
+	return n
 }
 
 // Countries returns the sorted set of distinct countries registered.
@@ -133,6 +194,11 @@ func (db *DB) Countries() []string {
 		walk(n.child[1])
 	}
 	walk(db.root)
+	if db.base != nil {
+		for _, c := range db.base.Countries() {
+			set[c] = true
+		}
+	}
 	out := make([]string, 0, len(set))
 	for c := range set {
 		out = append(out, c)

@@ -103,6 +103,11 @@ type Deployment struct {
 	homepage    int64 // visits to the documented experiment homepage
 	unparseable int64
 
+	// enc is reply-encode scratch. Handlers run on the world's single
+	// event-loop goroutine, and the packet builder copies the bytes before
+	// the next query can arrive, so one per-deployment encoder is safe.
+	enc dnswire.Encoder
+
 	m deploymentMetrics
 }
 
@@ -194,7 +199,7 @@ func (d *Deployment) handleDNS(n *netsim.Network, s *Site, from wire.Endpoint, p
 	name := q.QName()
 	if !dnswire.IsSubdomain(name, d.Zone) {
 		resp := dnswire.NewResponse(q, dnswire.RcodeRefused)
-		raw, err := resp.Encode()
+		raw, err := resp.AppendEncode(&d.enc)
 		if err != nil {
 			return nil
 		}
@@ -219,7 +224,7 @@ func (d *Deployment) handleDNS(n *netsim.Network, s *Site, from wire.Endpoint, p
 			})
 		}
 	}
-	raw, err := resp.Encode()
+	raw, err := resp.AppendEncode(&d.enc)
 	if err != nil {
 		return nil
 	}

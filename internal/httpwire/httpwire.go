@@ -5,6 +5,7 @@
 package httpwire
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -64,7 +65,6 @@ func (r *Request) Header(name string) string { return r.Headers[strings.ToLower(
 // deterministic (request line, host first, then sorted) so identical
 // requests serialize identically.
 func (r *Request) Encode() []byte {
-	var b strings.Builder
 	path := r.Path
 	if path == "" {
 		path = "/"
@@ -73,11 +73,16 @@ func (r *Request) Encode() []byte {
 	if proto == "" {
 		proto = "HTTP/1.1"
 	}
-	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, path, proto)
-	writeHeaders(&b, r.Headers, len(r.Body))
-	b.WriteString("\r\n")
-	out := []byte(b.String())
-	return append(out, r.Body...)
+	b := make([]byte, 0, len(r.Method)+len(path)+len(proto)+4+headersSize(r.Headers)+2+len(r.Body))
+	b = append(b, r.Method...)
+	b = append(b, ' ')
+	b = append(b, path...)
+	b = append(b, ' ')
+	b = append(b, proto...)
+	b = append(b, '\r', '\n')
+	b = appendHeaders(b, r.Headers, len(r.Body))
+	b = append(b, '\r', '\n')
+	return append(b, r.Body...)
 }
 
 // NewResponse builds a response with a body and standard headers.
@@ -97,7 +102,6 @@ func NewResponse(code int, body string) *Response {
 
 // Encode serializes the response.
 func (r *Response) Encode() []byte {
-	var b strings.Builder
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
@@ -106,16 +110,33 @@ func (r *Response) Encode() []byte {
 	if status == "" {
 		status = StatusText(r.StatusCode)
 	}
-	fmt.Fprintf(&b, "%s %d %s\r\n", proto, r.StatusCode, status)
-	writeHeaders(&b, r.Headers, len(r.Body))
-	b.WriteString("\r\n")
-	out := []byte(b.String())
-	return append(out, r.Body...)
+	b := make([]byte, 0, len(proto)+len(status)+16+headersSize(r.Headers)+2+len(r.Body))
+	b = append(b, proto...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(r.StatusCode), 10)
+	b = append(b, ' ')
+	b = append(b, status...)
+	b = append(b, '\r', '\n')
+	b = appendHeaders(b, r.Headers, len(r.Body))
+	b = append(b, '\r', '\n')
+	return append(b, r.Body...)
 }
 
-func writeHeaders(b *strings.Builder, headers map[string]string, bodyLen int) {
+// headersSize estimates the serialized header block so Encode allocates its
+// buffer once.
+func headersSize(headers map[string]string) int {
+	n := len("Content-Length: 1234567890\r\n")
+	for k, v := range headers {
+		n += len(k) + len(v) + 4
+	}
+	return n
+}
+
+func appendHeaders(b []byte, headers map[string]string, bodyLen int) []byte {
 	if host, ok := headers["host"]; ok {
-		fmt.Fprintf(b, "Host: %s\r\n", host)
+		b = append(b, "Host: "...)
+		b = append(b, host...)
+		b = append(b, '\r', '\n')
 	}
 	keys := make([]string, 0, len(headers))
 	for k := range headers {
@@ -126,11 +147,32 @@ func writeHeaders(b *strings.Builder, headers map[string]string, bodyLen int) {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(b, "%s: %s\r\n", CanonicalHeader(k), headers[k])
+		b = appendCanonicalHeader(b, k)
+		b = append(b, ':', ' ')
+		b = append(b, headers[k]...)
+		b = append(b, '\r', '\n')
 	}
 	if bodyLen > 0 || headers["content-length"] != "" {
-		fmt.Fprintf(b, "Content-Length: %d\r\n", bodyLen)
+		b = append(b, "Content-Length: "...)
+		b = strconv.AppendInt(b, int64(bodyLen), 10)
+		b = append(b, '\r', '\n')
 	}
+	return b
+}
+
+// appendCanonicalHeader appends a lowercase key in canonical form
+// (e.g. "user-agent" -> "User-Agent") without intermediate strings.
+func appendCanonicalHeader(b []byte, k string) []byte {
+	up := true
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if up && 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		b = append(b, c)
+		up = c == '-'
+	}
+	return b
 }
 
 // ParseRequest parses a serialized request. It requires the full head to be
@@ -141,13 +183,21 @@ func ParseRequest(data []byte) (*Request, error) {
 	if err != nil {
 		return nil, err
 	}
-	lines := strings.Split(head, "\r\n")
-	parts := strings.SplitN(lines[0], " ", 3)
-	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
-		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformed, lines[0])
+	line, rest := cutLine(head)
+	sp1 := bytes.IndexByte(line, ' ')
+	sp2 := -1
+	if sp1 >= 0 {
+		sp2 = bytes.IndexByte(line[sp1+1:], ' ')
 	}
-	req := &Request{Method: parts[0], Path: parts[1], Proto: parts[2]}
-	req.Headers, err = parseHeaders(lines[1:])
+	if sp1 < 0 || sp2 < 0 || !bytes.HasPrefix(line[sp1+1+sp2+1:], []byte("HTTP/")) {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
+	}
+	req := &Request{
+		Method: string(line[:sp1]),
+		Path:   string(line[sp1+1 : sp1+1+sp2]),
+		Proto:  string(line[sp1+1+sp2+1:]),
+	}
+	req.Headers, err = parseHeaders(rest)
 	if err != nil {
 		return nil, err
 	}
@@ -161,20 +211,26 @@ func ParseResponse(data []byte) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	lines := strings.Split(head, "\r\n")
-	parts := strings.SplitN(lines[0], " ", 3)
-	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
-		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformed, lines[0])
+	line, rest := cutLine(head)
+	if !bytes.HasPrefix(line, []byte("HTTP/")) {
+		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
 	}
-	code, err := strconv.Atoi(parts[1])
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 < 0 {
+		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
+	}
+	codePart := line[sp1+1:]
+	status := ""
+	if sp2 := bytes.IndexByte(codePart, ' '); sp2 >= 0 {
+		status = string(codePart[sp2+1:])
+		codePart = codePart[:sp2]
+	}
+	code, err := strconv.Atoi(string(codePart))
 	if err != nil {
-		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformed, parts[1])
+		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformed, codePart)
 	}
-	resp := &Response{Proto: parts[0], StatusCode: code}
-	if len(parts) == 3 {
-		resp.Status = parts[2]
-	}
-	resp.Headers, err = parseHeaders(lines[1:])
+	resp := &Response{Proto: string(line[:sp1]), StatusCode: code, Status: status}
+	resp.Headers, err = parseHeaders(rest)
 	if err != nil {
 		return nil, err
 	}
@@ -182,28 +238,49 @@ func ParseResponse(data []byte) (*Response, error) {
 	return resp, err
 }
 
-func splitHead(data []byte) (head string, body []byte, err error) {
-	i := strings.Index(string(data), "\r\n\r\n")
+func splitHead(data []byte) (head, body []byte, err error) {
+	i := bytes.Index(data, []byte("\r\n\r\n"))
 	if i < 0 {
-		return "", nil, ErrIncomplete
+		return nil, nil, ErrIncomplete
 	}
-	return string(data[:i]), data[i+4:], nil
+	return data[:i], data[i+4:], nil
 }
 
-func parseHeaders(lines []string) (map[string]string, error) {
-	h := make(map[string]string, len(lines))
-	for _, line := range lines {
-		if line == "" {
+// cutLine splits head at its first CRLF (the whole head when none).
+func cutLine(head []byte) (line, rest []byte) {
+	if i := bytes.Index(head, []byte("\r\n")); i >= 0 {
+		return head[:i], head[i+2:]
+	}
+	return head, nil
+}
+
+func parseHeaders(head []byte) (map[string]string, error) {
+	h := make(map[string]string, bytes.Count(head, []byte("\r\n"))+1)
+	for len(head) > 0 {
+		var line []byte
+		line, head = cutLine(head)
+		if len(line) == 0 {
 			continue
 		}
-		i := strings.IndexByte(line, ':')
+		i := bytes.IndexByte(line, ':')
 		if i <= 0 {
 			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
 		}
-		key := strings.ToLower(strings.TrimSpace(line[:i]))
-		h[key] = strings.TrimSpace(line[i+1:])
+		key := lowerString(bytes.TrimSpace(line[:i]))
+		h[key] = string(bytes.TrimSpace(line[i+1:]))
 	}
 	return h, nil
+}
+
+// lowerString converts b to a lowercase string, skipping the extra copy
+// bytes.ToLower would make when b is already lower-case ASCII.
+func lowerString(b []byte) string {
+	for i := 0; i < len(b); i++ {
+		if c := b[i]; 'A' <= c && c <= 'Z' || c >= 0x80 {
+			return strings.ToLower(string(b))
+		}
+	}
+	return string(b)
 }
 
 func takeBody(headers map[string]string, body []byte) ([]byte, error) {
@@ -219,6 +296,97 @@ func takeBody(headers map[string]string, body []byte) ([]byte, error) {
 		return nil, ErrIncomplete
 	}
 	return body[:n], nil
+}
+
+// HostFromBytes extracts the Host header of a serialized request without
+// building the request struct or header map: the observer-tap fast path.
+// It applies the same validation ParseRequest does — request-line shape,
+// header syntax, Content-Length body completeness — so it accepts exactly
+// the requests the full parser would, at one allocation (the host string).
+func HostFromBytes(data []byte) (string, bool) {
+	headEnd := bytes.Index(data, []byte("\r\n\r\n"))
+	if headEnd < 0 {
+		return "", false
+	}
+	head, body := data[:headEnd], data[headEnd+4:]
+
+	// Request line: METHOD SP PATH SP HTTP/...
+	lineEnd := bytes.Index(head, []byte("\r\n"))
+	if lineEnd < 0 {
+		lineEnd = len(head)
+	}
+	line := head[:lineEnd]
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 < 0 {
+		return "", false
+	}
+	sp2 := bytes.IndexByte(line[sp1+1:], ' ')
+	if sp2 < 0 {
+		return "", false
+	}
+	if !bytes.HasPrefix(line[sp1+1+sp2+1:], []byte("HTTP/")) {
+		return "", false
+	}
+
+	var host []byte
+	hostSeen := false
+	contentLen := -1
+	rest := head[min(lineEnd+2, len(head)):]
+	for len(rest) > 0 {
+		var hl []byte
+		if i := bytes.Index(rest, []byte("\r\n")); i >= 0 {
+			hl, rest = rest[:i], rest[i+2:]
+		} else {
+			hl, rest = rest, nil
+		}
+		if len(hl) == 0 {
+			continue
+		}
+		colon := bytes.IndexByte(hl, ':')
+		if colon <= 0 {
+			return "", false
+		}
+		key := bytes.TrimSpace(hl[:colon])
+		val := bytes.TrimSpace(hl[colon+1:])
+		switch {
+		case len(key) == 4 && asciiEqualFold(key, "host"):
+			host, hostSeen = val, true // last wins, as in the map parser
+		case len(key) == 14 && asciiEqualFold(key, "content-length"):
+			n := 0
+			if len(val) == 0 {
+				return "", false
+			}
+			for _, c := range val {
+				if c < '0' || c > '9' {
+					return "", false
+				}
+				n = n*10 + int(c-'0')
+			}
+			contentLen = n
+		}
+	}
+	if contentLen >= 0 && len(body) < contentLen {
+		return "", false // ErrIncomplete in the full parser
+	}
+	if !hostSeen {
+		return "", false
+	}
+	return string(host), true
+}
+
+// asciiEqualFold reports whether b case-insensitively equals the lowercase
+// ASCII string s (len(b) must already equal len(s)).
+func asciiEqualFold(b []byte, s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CanonicalHeader renders a lowercase header key in canonical form

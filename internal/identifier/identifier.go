@@ -90,7 +90,16 @@ func (c *Codec) Encode(id ID) (string, error) {
 	crc := crc16(buf[:payloadLen])
 	buf[15] = byte(crc >> 8)
 	buf[16] = byte(crc)
-	return encodeBase32(buf[:]) + fmt.Sprintf("-%04d", id.Nonce%10000), nil
+	// Label = base32 body, '-', 4 decimal nonce digits: one allocation.
+	var out [EncodedLen + 5]byte
+	n := appendBase32(out[:0], buf[:])
+	suffix := id.Nonce % 10000
+	out[len(n)] = '-'
+	out[len(n)+1] = byte('0' + suffix/1000%10)
+	out[len(n)+2] = byte('0' + suffix/100%10)
+	out[len(n)+3] = byte('0' + suffix/10%10)
+	out[len(n)+4] = byte('0' + suffix%10)
+	return string(out[:len(n)+5]), nil
 }
 
 // Decode parses a label produced by Encode. The decimal suffix, if present,
@@ -102,7 +111,8 @@ func (c *Codec) Decode(label string) (ID, error) {
 	if len(label) != EncodedLen {
 		return ID{}, ErrBadLength
 	}
-	buf, err := decodeBase32(label)
+	var raw [EncodedLen * 5 / 8]byte
+	buf, err := decodeBase32(label, raw[:0])
 	if err != nil {
 		return ID{}, err
 	}
@@ -134,7 +144,7 @@ func IsIdentifierLabel(label string) bool {
 		return false
 	}
 	for i := 0; i < len(label); i++ {
-		if !strings.ContainsRune(alphabet, rune(label[i])) {
+		if alphabetRev[label[i]] < 0 {
 			return false
 		}
 	}
@@ -155,9 +165,7 @@ var alphabetRev = func() [256]int8 {
 	return rev
 }()
 
-func encodeBase32(data []byte) string {
-	var sb strings.Builder
-	sb.Grow((len(data)*8 + 4) / 5)
+func appendBase32(out, data []byte) []byte {
 	var acc uint32
 	var bits uint
 	for _, b := range data {
@@ -165,17 +173,19 @@ func encodeBase32(data []byte) string {
 		bits += 8
 		for bits >= 5 {
 			bits -= 5
-			sb.WriteByte(alphabet[acc>>bits&0x1F])
+			out = append(out, alphabet[acc>>bits&0x1F])
 		}
 	}
 	if bits > 0 {
-		sb.WriteByte(alphabet[acc<<(5-bits)&0x1F])
+		out = append(out, alphabet[acc<<(5-bits)&0x1F])
 	}
-	return sb.String()
+	return out
 }
 
-func decodeBase32(s string) ([]byte, error) {
-	out := make([]byte, 0, len(s)*5/8)
+// decodeBase32 appends the decoded bytes of s to out; a caller passing a
+// stack-backed slice with capacity len(s)*5/8 gets an allocation-free
+// decode.
+func decodeBase32(s string, out []byte) ([]byte, error) {
 	var acc uint32
 	var bits uint
 	for i := 0; i < len(s); i++ {

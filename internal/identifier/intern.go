@@ -1,0 +1,45 @@
+package identifier
+
+// Interner deduplicates experiment-domain strings. One decoy emission
+// makes its domain reappear many times — resolver retries, recursion to
+// the honeypot, and the exhibitors' own probe traffic all carry the same
+// name past the same observation points — and every sniff re-allocates an
+// identical string. An interner returns one canonical instance instead,
+// and InternBytes makes the hit path allocation-free (the map lookup on a
+// []byte key does not copy).
+//
+// Not safe for concurrent use. Give each single-goroutine consumer (a DPI
+// device, a world's event loop) its own; tables are bounded by the
+// distinct domains one trial emits.
+type Interner struct {
+	m map[string]string
+}
+
+// Intern returns the canonical instance of s, storing s on first sight.
+func (in *Interner) Intern(s string) string {
+	if c, ok := in.m[s]; ok {
+		return c
+	}
+	if in.m == nil {
+		in.m = make(map[string]string, 64)
+	}
+	in.m[s] = s
+	return s
+}
+
+// InternBytes returns the canonical string for b, copying b only on first
+// sight.
+func (in *Interner) InternBytes(b []byte) string {
+	if c, ok := in.m[string(b)]; ok {
+		return c
+	}
+	if in.m == nil {
+		in.m = make(map[string]string, 64)
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
+// Len reports how many distinct strings are interned.
+func (in *Interner) Len() int { return len(in.m) }

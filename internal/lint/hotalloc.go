@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc flags fmt.Sprintf in functions reachable from the per-packet
+// forwarding path. String formatting allocates on every call, and the
+// forwarding path runs once per simulated hop — the allocation sweeps
+// that keep BenchmarkTrials flat die by a thousand such cuts.
+//
+// Roots are declared by annotating a function with a
+//
+//	//shadowlint:hotpath
+//
+// directive comment; reachability is the package-local static call
+// graph (direct calls and method calls on concrete receivers — calls
+// through interfaces or function values are not followed, so hot-path
+// entry points behind an interface need their own annotation).
+var HotAlloc = &Analyzer{
+	Name:    "hotalloc",
+	Doc:     "forbid fmt.Sprintf in functions reachable from //shadowlint:hotpath roots",
+	Applies: inInternal,
+	Run:     runHotAlloc,
+}
+
+const hotpathDirective = "shadowlint:hotpath"
+
+func runHotAlloc(p *Package) []Diagnostic {
+	// Map every declared function object to its declaration, and collect
+	// the annotated roots.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var roots []types.Object
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := p.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if hasHotpathDirective(fd) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Static call graph over the package's declared functions.
+	calls := make(map[types.Object][]types.Object)
+	for obj, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeObject(p, call); callee != nil {
+				if _, local := decls[callee]; local {
+					calls[obj] = append(calls[obj], callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// Breadth-first reachability, remembering the root each function was
+	// discovered from so findings can say why a helper is hot.
+	via := make(map[types.Object]types.Object)
+	queue := make([]types.Object, 0, len(roots))
+	for _, r := range roots {
+		via[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, callee := range calls[cur] {
+			if _, seen := via[callee]; !seen {
+				via[callee] = via[cur]
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for obj, fd := range decls {
+		root, hot := via[obj]
+		if !hot {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isFmtSprintf(p, call) {
+				if obj == root {
+					out = append(out, diag(p, call.Pos(), "hotalloc",
+						"fmt.Sprintf allocates on the per-packet hot path (%s is a //shadowlint:hotpath root)", obj.Name()))
+				} else {
+					out = append(out, diag(p, call.Pos(), "hotalloc",
+						"fmt.Sprintf allocates on the per-packet hot path (%s is reachable from hot-path root %s)", obj.Name(), root.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasHotpathDirective reports whether fd's doc comment carries the
+// //shadowlint:hotpath marker.
+func hasHotpathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimPrefix(c.Text, "//") == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObject resolves the function object a call statically targets:
+// plain identifiers and method selectors on concrete receivers. Calls
+// through interfaces, function values, and builtins resolve to nil.
+func calleeObject(p *Package, call *ast.CallExpr) types.Object {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				return sel.Obj()
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Fn) — only local objects matter to
+		// the caller, and those come back via Uses.
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isFmtSprintf matches a call to the fmt package's Sprintf.
+func isFmtSprintf(p *Package, call *ast.CallExpr) bool {
+	se, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || se.Sel.Name != "Sprintf" {
+		return false
+	}
+	id, ok := unparen(se.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "fmt"
+}

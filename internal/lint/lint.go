@@ -3,7 +3,7 @@
 // standard library's go/parser, go/ast, go/types, and go/token — the
 // module is deliberately dependency-free.
 //
-// Five analyzers ship today:
+// Six analyzers ship today:
 //
 //   - simclock: no wall-clock calls (time.Now, time.Since, time.Sleep, …)
 //     inside internal/* simulation packages; the world clock from
@@ -19,6 +19,9 @@
 //   - rawprint: no fmt.Print*/log.Print* (or fmt.Fprint* to os.Stdout/
 //     os.Stderr) in internal/* — simulation libraries report through
 //     internal/telemetry, only cmd/* owns the process streams.
+//   - hotalloc: no fmt.Sprintf in functions reachable from a
+//     //shadowlint:hotpath root — the per-packet forwarding path must
+//     not format strings.
 //
 // A finding can be suppressed with a trailing or preceding comment:
 //
@@ -60,7 +63,7 @@ type Analyzer struct {
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Simclock, Detrand, DroppedErr, SliceRetain, RawPrint}
+	return []*Analyzer{Simclock, Detrand, DroppedErr, SliceRetain, RawPrint, HotAlloc}
 }
 
 // inInternal reports whether relPath is under the module's internal/

@@ -70,6 +70,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{pkg: "internal/errs"},
 		{pkg: "internal/fakewire"},
 		{pkg: "internal/printy"},
+		{pkg: "internal/hotsim"},
 		{pkg: "clockok"}, // outside internal/: zero findings expected
 	}
 	l := openFixture(t)
@@ -117,6 +118,7 @@ func TestExactPositions(t *testing.T) {
 		"fixture/internal/errs",
 		"fixture/internal/fakewire",
 		"fixture/internal/printy",
+		"fixture/internal/hotsim",
 	}, All())
 	if err != nil {
 		t.Fatal(err)
@@ -142,6 +144,8 @@ func TestExactPositions(t *testing.T) {
 		"internal/fakewire/fakewire.go:24:11:sliceretain", // Header: data[:4]
 		"internal/printy/printy.go:14:2:rawprint",         // fmt.Println("progress!")
 		"internal/printy/printy.go:18:2:rawprint",         // fmt.Fprintf(os.Stderr, ...)
+		"internal/hotsim/hotsim.go:24:7:hotalloc",         // Sprintf reachable from forward
+		"internal/hotsim/hotsim.go:39:9:hotalloc",         // Sprintf in the direct root
 	} {
 		if !got[exact] {
 			t.Errorf("expected a diagnostic at exactly %s; got:\n%s", exact, keys(got))

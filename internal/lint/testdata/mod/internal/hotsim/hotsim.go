@@ -1,0 +1,45 @@
+// Package hotsim mimics a forwarding engine: hotalloc must flag
+// fmt.Sprintf anywhere reachable from a //shadowlint:hotpath root,
+// honor suppressions, and leave cold code alone.
+package hotsim
+
+import "fmt"
+
+type engine struct {
+	names map[int]string
+}
+
+// forward is the per-packet entry point.
+//
+//shadowlint:hotpath
+func (e *engine) forward(id int) string {
+	return e.lookup(id) + e.tag(id)
+}
+
+// lookup is hot only by reachability from forward.
+func (e *engine) lookup(id int) string {
+	if n, ok := e.names[id]; ok {
+		return n
+	}
+	n := fmt.Sprintf("router-%d", id) // want hotalloc "reachable from hot-path root forward"
+	e.names[id] = n
+	return n
+}
+
+// tag exercises the escape hatch: the Sprintf below is suppressed.
+func (e *engine) tag(id int) string {
+	//shadowlint:ignore hotalloc tags are formatted once per topology build in production
+	return fmt.Sprintf("tag-%d", id)
+}
+
+// direct is itself a root: Sprintf in the root body is flagged too.
+//
+//shadowlint:hotpath
+func direct(id int) string {
+	return fmt.Sprintf("d-%d", id) // want hotalloc "direct is a //shadowlint:hotpath root"
+}
+
+// coldName is not reachable from any root; formatting here is fine.
+func coldName(id int) string {
+	return fmt.Sprintf("cold-%d", id)
+}

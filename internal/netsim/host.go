@@ -19,7 +19,7 @@ type Host struct {
 	// client state
 	nextEphemeral uint16
 	nextIPID      uint16
-	udpWaiters    map[wire.Endpoint]map[uint16]*udpWaiter // dst -> srcPort -> waiter
+	udpWaiters    map[udpWaiterKey]*udpWaiter
 	tcpFlows      map[tcpFlowKey]*clientFlow
 
 	// OnUnmatched, if set, sees packets no service or client flow claimed.
@@ -41,7 +41,7 @@ func NewHost(n *Network, addr wire.Addr) *Host {
 		udpServices:   make(map[uint16]UDPService),
 		tcpServices:   make(map[uint16]TCPApp),
 		nextEphemeral: 32768,
-		udpWaiters:    make(map[wire.Endpoint]map[uint16]*udpWaiter),
+		udpWaiters:    make(map[udpWaiterKey]*udpWaiter),
 		tcpFlows:      make(map[tcpFlowKey]*clientFlow),
 	}
 	n.AddHost(addr, h)
@@ -57,7 +57,11 @@ func (h *Host) ServeTCP(port uint16, app TCPApp) { h.tcpServices[port] = app }
 // OnICMP registers the ICMP hook (traceroute return channel).
 func (h *Host) OnICMP(fn func(n *Network, pkt *wire.Packet)) { h.onICMP = fn }
 
-// Handle implements Handler.
+// Handle implements Handler. It runs once per delivered packet — an
+// explicit hot-path root, since interface dispatch hides it from the
+// forwarding engine's static call graph.
+//
+//shadowlint:hotpath
 func (h *Host) Handle(n *Network, pkt *wire.Packet) {
 	switch {
 	case pkt.ICMP != nil:
@@ -90,19 +94,22 @@ func (h *Host) handleUDP(n *Network, pkt *wire.Packet) bool {
 		return true
 	}
 	// Client side: a reply to an outstanding request?
-	if waiters, ok := h.udpWaiters[from]; ok {
-		if w, ok := waiters[pkt.UDP.DstPort]; ok {
-			delete(waiters, pkt.UDP.DstPort)
-			if len(waiters) == 0 {
-				delete(h.udpWaiters, from)
-			}
-			if w.onReply != nil {
-				w.onReply(n, append([]byte(nil), pkt.UDP.Payload()...))
-			}
-			return true
+	if w, ok := h.udpWaiters[udpWaiterKey{dst: from, sport: pkt.UDP.DstPort}]; ok {
+		delete(h.udpWaiters, udpWaiterKey{dst: from, sport: pkt.UDP.DstPort})
+		if w.onReply != nil {
+			w.onReply(n, append([]byte(nil), pkt.UDP.Payload()...))
 		}
+		return true
 	}
 	return false
+}
+
+// udpWaiterKey identifies an outstanding UDP request: the destination it
+// was sent to plus the ephemeral source port it was sent from. A flat map
+// keyed by both avoids a per-destination inner map on every request.
+type udpWaiterKey struct {
+	dst   wire.Endpoint
+	sport uint16
 }
 
 type udpWaiter struct {
@@ -135,26 +142,17 @@ func (h *Host) SendUDPRequest(n *Network, dst wire.Endpoint, payload []byte, opt
 		timeout = 5 * time.Second
 	}
 	w := &udpWaiter{onReply: opts.OnReply, onTimeout: opts.OnTimeout}
-	if h.udpWaiters[dst] == nil {
-		h.udpWaiters[dst] = make(map[uint16]*udpWaiter)
-	}
-	h.udpWaiters[dst][sport] = w
+	key := udpWaiterKey{dst: dst, sport: sport}
+	h.udpWaiters[key] = w
 	src := wire.Endpoint{Addr: h.Addr, Port: sport}
 	raw, err := wire.BuildUDP(src, dst, ttl, h.ipID(opts.IPID), payload)
 	if err == nil {
-		n.Inject(raw)
+		n.InjectOwned(raw)
 	}
 	n.Schedule(timeout, func() {
-		waiters, ok := h.udpWaiters[dst]
-		if !ok {
-			return
-		}
-		if cur, ok := waiters[sport]; ok && cur == w && !w.expired {
+		if cur, ok := h.udpWaiters[key]; ok && cur == w && !w.expired {
 			w.expired = true
-			delete(waiters, sport)
-			if len(waiters) == 0 {
-				delete(h.udpWaiters, dst)
-			}
+			delete(h.udpWaiters, key)
 			if w.onTimeout != nil {
 				w.onTimeout(n)
 			}
@@ -177,14 +175,14 @@ func (h *Host) sendUDPFrom(n *Network, src, dst wire.Endpoint, ttl uint8, ipID u
 	}
 	raw, err := wire.BuildUDP(src, dst, ttl, h.ipID(ipID), payload)
 	if err == nil {
-		n.Inject(raw)
+		n.InjectOwned(raw)
 	}
 }
 
 func (h *Host) sendUDPRaw(n *Network, src, dst wire.Endpoint, ttl uint8, payload []byte) {
 	raw, err := wire.BuildUDP(src, dst, ttl, h.ipID(0), payload)
 	if err == nil {
-		n.Inject(raw)
+		n.InjectOwned(raw)
 	}
 }
 
@@ -249,7 +247,7 @@ func (h *Host) SendTCPRequest(n *Network, dst wire.Endpoint, payload []byte, opt
 	src := wire.Endpoint{Addr: h.Addr, Port: sport}
 	raw, err := wire.BuildTCP(src, dst, ttl, h.ipID(opts.IPID), wire.TCPSyn, fl.isn, 0, nil)
 	if err == nil {
-		n.Inject(raw)
+		n.InjectOwned(raw)
 	}
 	n.Schedule(timeout, func() {
 		if cur, ok := h.tcpFlows[key]; ok && cur == fl && fl.state != flowClosed {
@@ -270,7 +268,7 @@ func (h *Host) SendRawTCPPayload(n *Network, dst wire.Endpoint, ttl uint8, ipID 
 	src := wire.Endpoint{Addr: h.Addr, Port: h.allocPort()}
 	raw, err := wire.BuildTCP(src, dst, ttl, h.ipID(ipID), wire.TCPPsh|wire.TCPAck, 1, 1, payload)
 	if err == nil {
-		n.Inject(raw)
+		n.InjectOwned(raw)
 	}
 }
 
@@ -297,11 +295,11 @@ func (h *Host) handleTCP(n *Network, pkt *wire.Packet) bool {
 		// Final handshake ACK, then the request payload.
 		ack, err := wire.BuildTCP(local, from, fl.ttl, h.ipID(fl.ipID), wire.TCPAck, fl.isn+1, t.Seq+1, nil)
 		if err == nil {
-			n.Inject(ack)
+			n.InjectOwned(ack)
 		}
 		data, err := wire.BuildTCP(local, from, fl.ttl, h.ipID(fl.ipID), wire.TCPPsh|wire.TCPAck, fl.isn+1, t.Seq+1, fl.payload)
 		if err == nil {
-			n.Inject(data)
+			n.InjectOwned(data)
 		}
 		return true
 	case fl.state == flowSynSent && t.Flags&wire.TCPRst != 0:
@@ -333,7 +331,7 @@ func (h *Host) serveTCP(n *Network, app TCPApp, from wire.Endpoint, t *wire.TCP)
 		sisn := uint32(t.SrcPort)<<16 | 0x5678
 		raw, err := wire.BuildTCP(local, from, 64, h.ipID(0), wire.TCPSyn|wire.TCPAck, sisn, t.Seq+1, nil)
 		if err == nil {
-			n.Inject(raw)
+			n.InjectOwned(raw)
 		}
 	case len(t.Payload()) > 0:
 		payload := append([]byte(nil), t.Payload()...)
@@ -343,7 +341,7 @@ func (h *Host) serveTCP(n *Network, app TCPApp, from wire.Endpoint, t *wire.TCP)
 		}
 		raw, err := wire.BuildTCP(local, from, 64, h.ipID(0), wire.TCPPsh|wire.TCPAck|wire.TCPFin, t.Ack, t.Seq+uint32(len(t.Payload())), resp)
 		if err == nil {
-			n.Inject(raw)
+			n.InjectOwned(raw)
 		}
 	}
 }

@@ -254,6 +254,7 @@ func (n *Network) scheduleEvent(delay time.Duration, e *event) {
 	}
 	n.seq++
 	e.at = n.now.Add(delay)
+	e.atNS = e.at.UnixNano()
 	e.seq = n.seq
 	heap.Push(&n.events, e)
 	n.m.eventsScheduled.Inc()
@@ -304,6 +305,16 @@ func (n *Network) releaseFlight(f *flight) {
 // routing failures are counted in Stats, as on the real Internet the
 // sender learns nothing synchronously.
 func (n *Network) SendPacket(raw []byte) error {
+	// Copy: the caller may reuse its buffer, and routers mutate TTL.
+	return n.SendPacketOwned(append([]byte(nil), raw...))
+}
+
+// SendPacketOwned is SendPacket for buffers the caller hands over: the
+// network takes ownership of raw (routers mutate its TTL in place, and
+// captures may alias it for the rest of the run), so the caller must not
+// touch the buffer afterwards. Freshly built packets take this path to
+// skip SendPacket's defensive copy.
+func (n *Network) SendPacketOwned(raw []byte) error {
 	var probe wire.IPv4
 	if err := probe.DecodeFromBytes(raw); err != nil {
 		return fmt.Errorf("netsim: refusing to send unparseable packet: %w", err)
@@ -324,9 +335,7 @@ func (n *Network) SendPacket(raw []byte) error {
 			return nil
 		}
 	}
-	// Copy: the caller may reuse its buffer, and routers mutate TTL.
-	pkt := append([]byte(nil), raw...)
-	n.forward(n.newFlight(pkt, src, path))
+	n.forward(n.newFlight(raw, src, path))
 	return nil
 }
 
@@ -336,6 +345,15 @@ func (n *Network) SendPacket(raw []byte) error {
 // loudly instead of dropping the packet silently.
 func (n *Network) Inject(raw []byte) {
 	if err := n.SendPacket(raw); err != nil {
+		panic(err)
+	}
+}
+
+// InjectOwned is Inject without the defensive copy: ownership of raw
+// transfers to the network. Use it when the buffer was freshly built for
+// this exact send.
+func (n *Network) InjectOwned(raw []byte) {
+	if err := n.SendPacketOwned(raw); err != nil {
 		panic(err)
 	}
 }
@@ -355,6 +373,8 @@ type flight struct {
 
 // forward schedules the flight's next arrival: hop f.hop of its path, or
 // the destination when the path is exhausted.
+//
+//shadowlint:hotpath
 func (n *Network) forward(f *flight) {
 	e := n.newEvent()
 	e.flight = f
@@ -424,8 +444,15 @@ func (n *Network) tapCounter(r *Router) *telemetry.Counter {
 // sendTimeExceeded generates the ICMP error for a probe that expired at
 // hop index hop of its path.
 func (n *Network) sendTimeExceeded(r *Router, origin wire.Addr, expired []byte, hop int) {
-	te := wire.NewTimeExceeded(expired)
-	raw, err := wire.BuildICMP(r.Addr, origin, 64, 0, te, te.Payload())
+	// Build the message directly into its packet buffer: the quote aliases
+	// the expired packet only until BuildICMP copies it, so the intermediate
+	// copy wire.NewTimeExceeded would make is unnecessary here.
+	quote := expired
+	if len(quote) > wire.TimeExceededQuoteLen {
+		quote = quote[:wire.TimeExceededQuoteLen]
+	}
+	te := wire.ICMP{Type: wire.ICMPTimeExceeded}
+	raw, err := wire.BuildICMP(r.Addr, origin, 64, 0, &te, quote)
 	if err != nil {
 		return
 	}
@@ -461,6 +488,8 @@ func (n *Network) deliver(pkt []byte) {
 // dispatch executes one popped event and recycles it. The event's payload
 // is captured before release so a handler scheduling new work can reuse
 // the pooled object immediately.
+//
+//shadowlint:hotpath
 func (n *Network) dispatch(e *event) {
 	f, fn := e.flight, e.fn
 	n.releaseEvent(e)
@@ -536,6 +565,7 @@ func (n *Network) Pending() int { return n.events.Len() }
 // dispatch.
 type event struct {
 	at     time.Time
+	atNS   int64 // at.UnixNano(), precomputed: heap sifts compare plain ints
 	seq    int64 // FIFO tiebreak for simultaneous events
 	fn     func()
 	flight *flight
@@ -546,8 +576,8 @@ type eventHeap []*event
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
+	if h[i].atNS != h[j].atNS {
+		return h[i].atNS < h[j].atNS
 	}
 	return h[i].seq < h[j].seq
 }

@@ -164,6 +164,23 @@ type Exhibitor struct {
 	mu    sync.Mutex
 	seen  map[string]bool
 	stats Stats
+
+	// enc is probe-encode scratch: probes launch on the world's single
+	// event-loop goroutine and SendUDPRequest copies the payload into the
+	// packet synchronously, so one encoder per exhibitor is safe.
+	enc dnswire.Encoder
+	// launchBuf is ObserveDomain's scratch for the probes one observation
+	// schedules; each Schedule closure captures its element by value, so
+	// the backing array is reusable on the next observation.
+	launchBuf []launch
+}
+
+// launch is one scheduled probe drawn from a profile rule.
+type launch struct {
+	kind   ProbeKind
+	delay  time.Duration
+	origin Origin
+	path   string
 }
 
 // SetKindOrigins overrides the origin pool for one probe kind.
@@ -234,13 +251,7 @@ func (e *Exhibitor) ObserveDomain(n *netsim.Network, domain string) {
 	}
 	e.stats.Observed++
 
-	type launch struct {
-		kind   ProbeKind
-		delay  time.Duration
-		origin Origin
-		path   string
-	}
-	var launches []launch
+	launches := e.launchBuf[:0]
 	for _, rule := range e.Rules {
 		if rule.Prob < 1 && e.rng.Float64() >= rule.Prob {
 			continue
@@ -257,6 +268,7 @@ func (e *Exhibitor) ObserveDomain(n *netsim.Network, domain string) {
 		}
 	}
 	e.stats.ProbesLaunched += int64(len(launches))
+	e.launchBuf = launches
 	e.mu.Unlock()
 
 	for _, l := range launches {
@@ -300,7 +312,7 @@ func (e *Exhibitor) resolve(n *netsim.Network, origin Origin, domain string, onA
 	qid := uint16(e.rng.Intn(0xFFFF) + 1)
 	e.mu.Unlock()
 	q := dnswire.NewQuery(qid, domain, dnswire.TypeA)
-	payload, err := q.Encode()
+	payload, err := q.AppendEncode(&e.enc)
 	if err != nil {
 		return
 	}
@@ -370,6 +382,9 @@ type Device struct {
 	*Exhibitor
 	router      *netsim.Router
 	classifySrc func(wire.Addr) bool
+	// sniff interns extracted domains: taps run on the world's single
+	// event-loop goroutine, so an unlocked per-device table is safe.
+	sniff decoy.Sniffer
 }
 
 // SetSourceClassifier marks which source addresses count as measurement
@@ -402,7 +417,7 @@ func (d *Device) Observe(n *netsim.Network, at *netsim.Router, pkt *wire.Packet)
 	if len(payload) == 0 {
 		return
 	}
-	domain, proto, ok := decoy.SniffDomain(dstPort, payload)
+	domain, proto, ok := d.sniff.SniffDomain(dstPort, payload)
 	if !ok {
 		return
 	}

@@ -143,5 +143,5 @@ func (it *InterceptorTap) Observe(n *netsim.Network, at *netsim.Router, pkt *wir
 	if err != nil {
 		return
 	}
-	n.Inject(spoofed)
+	n.InjectOwned(spoofed)
 }

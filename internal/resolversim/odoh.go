@@ -88,16 +88,10 @@ func (p *ObliviousProxy) handle(n *netsim.Network, from wire.Endpoint, payload [
 
 // pushToClient sends the relayed response on the client's original flow.
 func (p *ObliviousProxy) pushToClient(n *netsim.Network, client wire.Endpoint, body []byte) {
-	tcp := wire.TCP{SrcPort: 443, DstPort: client.Port, Seq: 1, Ack: 1,
-		Flags: wire.TCPPsh | wire.TCPAck | wire.TCPFin, Window: 65535}
-	seg, err := tcp.Serialize(p.Addr, client.Addr, body)
+	pkt, err := wire.BuildTCP(wire.Endpoint{Addr: p.Addr, Port: 443}, client, 64, 0,
+		wire.TCPPsh|wire.TCPAck|wire.TCPFin, 1, 1, body)
 	if err != nil {
 		return
 	}
-	ip := wire.IPv4{TTL: 64, Protocol: wire.ProtoTCP, Src: p.Addr, Dst: client.Addr, Flags: wire.FlagDF}
-	pkt, err := ip.Serialize(seg)
-	if err != nil {
-		return
-	}
-	n.Inject(pkt)
+	n.InjectOwned(pkt)
 }

@@ -143,6 +143,12 @@ type Service struct {
 	mu      sync.Mutex
 	stats   ServiceStats
 	clients map[wire.Addr]bool
+
+	// enc is reply-encode scratch: handlers run on the world's single
+	// event-loop goroutine and every reply is copied into its packet (or
+	// HTTP envelope) before the next encode, so one encoder per service is
+	// safe. Upstream queries captured by retry closures still use Encode.
+	enc dnswire.Encoder
 }
 
 // ServiceStats counts resolver activity.
@@ -204,7 +210,7 @@ func (s *Service) handleDoHQuery(n *netsim.Network, from wire.Endpoint, payload 
 	inst := s.instanceFor(from.Addr)
 	if inst == nil {
 		resp := dnswire.NewResponse(q, dnswire.RcodeServFail)
-		raw, err := resp.Encode()
+		raw, err := resp.AppendEncode(&s.enc)
 		if err != nil {
 			return nil
 		}
@@ -224,7 +230,7 @@ func (s *Service) handleDoHQuery(n *netsim.Network, from wire.Endpoint, payload 
 		s.mu.Unlock()
 		resp := dnswire.NewResponse(q, entry.rcode)
 		resp.Answers = append(resp.Answers, entry.answers...)
-		raw, err := resp.Encode()
+		raw, err := resp.AppendEncode(&s.enc)
 		if err != nil {
 			return nil
 		}
@@ -283,22 +289,17 @@ func (s *Service) recurseDoH(n *netsim.Network, inst *Instance, q *dnswire.Messa
 func (s *Service) pushDoH(n *netsim.Network, client wire.Endpoint, q *dnswire.Message, rcode uint8, answers []dnswire.RR) {
 	resp := dnswire.NewResponse(q, rcode)
 	resp.Answers = append(resp.Answers, answers...)
-	raw, err := resp.Encode()
+	raw, err := resp.AppendEncode(&s.enc)
 	if err != nil {
 		return
 	}
 	body := dohResponse(raw)
-	tcp := wire.TCP{SrcPort: 443, DstPort: client.Port, Seq: 1, Ack: 1, Flags: wire.TCPPsh | wire.TCPAck | wire.TCPFin, Window: 65535}
-	seg, err := tcp.Serialize(s.Addr, client.Addr, body)
+	pkt, err := wire.BuildTCP(wire.Endpoint{Addr: s.Addr, Port: 443}, client, 64, 0,
+		wire.TCPPsh|wire.TCPAck|wire.TCPFin, 1, 1, body)
 	if err != nil {
 		return
 	}
-	ip := wire.IPv4{TTL: 64, Protocol: wire.ProtoTCP, Src: s.Addr, Dst: client.Addr, Flags: wire.FlagDF}
-	pkt, err := ip.Serialize(seg)
-	if err != nil {
-		return
-	}
-	n.Inject(pkt)
+	n.InjectOwned(pkt)
 }
 
 // dohResponse wraps a DNS message in the RFC 8484 HTTP envelope.
@@ -363,7 +364,7 @@ func (s *Service) handleQuery(n *netsim.Network, from wire.Endpoint, payload []b
 	inst := s.instanceFor(from.Addr)
 	if inst == nil {
 		resp := dnswire.NewResponse(q, dnswire.RcodeServFail)
-		raw, err := resp.Encode()
+		raw, err := resp.AppendEncode(&s.enc)
 		if err != nil {
 			return nil
 		}
@@ -387,7 +388,7 @@ func (s *Service) handleQuery(n *netsim.Network, from wire.Endpoint, payload []b
 		s.mu.Unlock()
 		resp := dnswire.NewResponse(q, entry.rcode)
 		resp.Answers = append(resp.Answers, entry.answers...)
-		raw, err := resp.Encode()
+		raw, err := resp.AppendEncode(&s.enc)
 		if err != nil {
 			return nil
 		}
@@ -482,21 +483,15 @@ func (s *Service) recurse(n *netsim.Network, inst *Instance, q *dnswire.Message,
 func (s *Service) replyToClient(n *netsim.Network, client wire.Endpoint, q *dnswire.Message, rcode uint8, answers []dnswire.RR) {
 	resp := dnswire.NewResponse(q, rcode)
 	resp.Answers = append(resp.Answers, answers...)
-	raw, err := resp.Encode()
+	raw, err := resp.AppendEncode(&s.enc)
 	if err != nil {
 		return
 	}
-	udp := wire.UDP{SrcPort: 53, DstPort: client.Port}
-	seg, err := udp.Serialize(s.Addr, client.Addr, raw)
+	pkt, err := wire.BuildUDP(wire.Endpoint{Addr: s.Addr, Port: 53}, client, 64, 0, raw)
 	if err != nil {
 		return
 	}
-	ip := wire.IPv4{TTL: 64, Protocol: wire.ProtoUDP, Src: s.Addr, Dst: client.Addr, Flags: wire.FlagDF}
-	pkt, err := ip.Serialize(seg)
-	if err != nil {
-		return
-	}
-	n.Inject(pkt)
+	n.InjectOwned(pkt)
 }
 
 // ReferralServer is a root or TLD authoritative server: it answers every
@@ -509,6 +504,9 @@ type ReferralServer struct {
 
 	mu      sync.Mutex
 	queries int64
+
+	// enc is reply-encode scratch; see Service.enc for why this is safe.
+	enc dnswire.Encoder
 }
 
 // NewReferralServer registers a referral server on addr.
@@ -541,7 +539,7 @@ func (rs *ReferralServer) handle(n *netsim.Network, from wire.Endpoint, payload 
 	resp.Authority = append(resp.Authority, dnswire.RR{
 		Name: child, Type: dnswire.TypeNS, TTL: 172800, Target: "ns1." + child,
 	})
-	raw, err := resp.Encode()
+	raw, err := resp.AppendEncode(&rs.enc)
 	if err != nil {
 		return nil
 	}

@@ -21,6 +21,7 @@ import (
 	"shadowmeter/internal/correlate"
 	"shadowmeter/internal/runstore"
 	"shadowmeter/internal/telemetry"
+	"shadowmeter/internal/topology"
 )
 
 // Config parameterizes a multi-trial batch.
@@ -47,6 +48,13 @@ type Config struct {
 	// per-seed deterministic, a resumed batch produces byte-identical
 	// output to a cold run. Requires Store.
 	Resume bool
+
+	// ColdTopology disables the shared topology blueprint, rebuilding the
+	// full topology per trial. Output is byte-identical either way — the
+	// blueprint only shares seed-independent construction — so this exists
+	// for the determinism cross-check (TestBlueprintDeterminism) and as an
+	// escape hatch.
+	ColdTopology bool
 }
 
 // Trial is the outcome of one world.
@@ -106,6 +114,12 @@ func Run(cfg Config) *Result {
 	hash := ""
 	if cfg.Store != nil {
 		hash = CampaignHash(cfg.Core)
+	}
+	if !cfg.ColdTopology && cfg.Core.Topo == nil && trials > 1 {
+		// One blueprint per campaign: trials share the read-only AS/router
+		// graph and geo trie, and instantiate only per-world mutable state.
+		// A single trial skips the snapshot — cold build is cheaper once.
+		cfg.Core.Topo = topology.NewBlueprint(topology.Config{})
 	}
 
 	results := make([]Trial, trials)

@@ -54,6 +54,44 @@ func TestRunnerDeterminism(t *testing.T) {
 	}
 }
 
+// TestBlueprintDeterminism is the shared-topology contract: the same
+// campaign config must produce byte-identical batch JSON and merged
+// telemetry whether worlds are instantiated from a shared blueprint or
+// cold-built per trial, at any worker count. The blueprint may only share
+// seed-independent construction; any leak of mutable state between trials
+// shows up here as a diff.
+func TestBlueprintDeterminism(t *testing.T) {
+	small := tinyCore()
+	small.WebSites = 20
+	small.MaxSweepsPerProtocol = 20
+	run := func(workers int, cold bool) ([]byte, []byte) {
+		res := Run(Config{Trials: 4, Workers: workers, BaseSeed: 29, Core: small, ColdTopology: cold})
+		js, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js, res.MergedTelemetryJSON()
+	}
+	refJSON, refTele := run(1, true) // cold, serial: the reference
+	for _, tc := range []struct {
+		name    string
+		workers int
+		cold    bool
+	}{
+		{"blueprint/workers=1", 1, false},
+		{"blueprint/workers=4", 4, false},
+		{"cold/workers=4", 4, true},
+	} {
+		js, tele := run(tc.workers, tc.cold)
+		if !bytes.Equal(refJSON, js) {
+			t.Errorf("%s: batch JSON differs from cold workers=1", tc.name)
+		}
+		if !bytes.Equal(refTele, tele) {
+			t.Errorf("%s: merged telemetry differs from cold workers=1", tc.name)
+		}
+	}
+}
+
 func TestAggregateStats(t *testing.T) {
 	trials := []Trial{
 		{Headline: map[string]float64{"a": 1, "b": 4}},
@@ -85,13 +123,16 @@ func TestDistinctSeedsDiverge(t *testing.T) {
 }
 
 // BenchmarkTrials is the repo's recorded multi-trial throughput
-// baseline: complete worlds per second through the worker pool.
+// baseline: an 8-trial batch through the worker pool, with the shared
+// topology blueprint in play exactly as production batches run it.
+// Note: per-op numbers are for the whole 8-trial batch; divide by 8 to
+// compare against snapshots taken when the benchmark ran 4 trials.
 func BenchmarkTrials(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				Run(Config{Trials: 4, Workers: workers, BaseSeed: int64(i * 4), Core: tinyCore()})
+				Run(Config{Trials: 8, Workers: workers, BaseSeed: int64(i * 8), Core: tinyCore()})
 			}
 		})
 	}

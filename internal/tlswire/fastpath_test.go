@@ -1,0 +1,68 @@
+package tlswire
+
+import "testing"
+
+// refSNI is the full-parser reference the SNIFromBytes scanner must agree
+// with: same acceptance set, same extracted name.
+func refSNI(data []byte) (string, bool) {
+	ch, err := ParseClientHello(data)
+	if err != nil || ch.ServerName == "" {
+		return "", false
+	}
+	return ch.ServerName, true
+}
+
+// TestSNIFastPathMatchesParse pins the skipping scanner to the full
+// ClientHello parser across plain, ECH, and SNI-less hellos plus every
+// truncation of each.
+func TestSNIFastPathMatchesParse(t *testing.T) {
+	var random [32]byte
+	for i := range random {
+		random[i] = byte(i)
+	}
+	var corpus [][]byte
+	plain, err := NewClientHello("abc.www.experiment.example", random).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus = append(corpus, plain)
+	ech, err := NewClientHelloECH("hidden.example", random).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus = append(corpus, ech)
+	noSNI, err := (&ClientHello{Version: VersionTLS12, Random: random, CipherSuites: defaultCipherSuites}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus = append(corpus, noSNI)
+	corpus = append(corpus, (&ServerHello{Version: VersionTLS12, CipherSuite: 0x1301}).Encode())
+	corpus = append(corpus, []byte("GET / HTTP/1.1\r\n\r\n"), nil)
+
+	for _, full := range corpus {
+		for end := 0; end <= len(full); end++ {
+			data := full[:end]
+			wantName, wantOK := refSNI(data)
+			name, err := SNIFromBytes(data)
+			gotOK := err == nil && name != ""
+			if gotOK != wantOK || (gotOK && name != wantName) {
+				t.Fatalf("SNIFromBytes(%x) = (%q, %v), ParseClientHello path = (%q, %v)",
+					data, name, gotOK, wantName, wantOK)
+			}
+		}
+	}
+}
+
+func BenchmarkSNIFromBytes(b *testing.B) {
+	var random [32]byte
+	data, err := NewClientHello("abc123def456.www.experiment.example", random).Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SNIFromBytes(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

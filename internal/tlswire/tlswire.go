@@ -243,16 +243,91 @@ func parseSNI(val []byte) (string, error) {
 }
 
 // SNIFromBytes extracts just the server name from a serialized ClientHello,
-// the single-field fast path used by observer taps.
+// the single-field fast path used by observer taps: it walks the same
+// framing ParseClientHello validates but skips past the fields it does not
+// need, so the only allocation is the returned name.
 func SNIFromBytes(data []byte) (string, error) {
-	ch, err := ParseClientHello(data)
-	if err != nil {
-		return "", err
+	if len(data) < 5 {
+		return "", ErrTruncated
 	}
-	if ch.ServerName == "" {
+	if data[0] != RecordHandshake {
+		return "", ErrNotHandshake
+	}
+	recLen := int(binary.BigEndian.Uint16(data[3:5]))
+	if len(data) < 5+recLen {
+		return "", ErrTruncated
+	}
+	hs := data[5 : 5+recLen]
+	if len(hs) < 4 || hs[0] != HandshakeClient {
+		return "", ErrNotHandshake
+	}
+	bodyLen := u24(hs[1:4])
+	if len(hs) < 4+bodyLen {
+		return "", ErrTruncated
+	}
+	r := reader{buf: hs[4 : 4+bodyLen]}
+	if _, ok := r.u16(); !ok { // legacy_version
+		return "", ErrTruncated
+	}
+	if _, ok := r.bytes(32); !ok { // random
+		return "", ErrTruncated
+	}
+	sidLen, ok := r.u8()
+	if !ok {
+		return "", ErrTruncated
+	}
+	if _, ok := r.bytes(int(sidLen)); !ok {
+		return "", ErrTruncated
+	}
+	csLen, ok := r.u16()
+	if !ok || csLen%2 != 0 {
+		return "", ErrMalformed
+	}
+	if _, ok := r.bytes(int(csLen)); !ok {
+		return "", ErrTruncated
+	}
+	compLen, ok := r.u8()
+	if !ok {
+		return "", ErrTruncated
+	}
+	if _, ok = r.bytes(int(compLen)); !ok {
+		return "", ErrTruncated
+	}
+	if r.len() == 0 {
+		return "", ErrNoSNI // no extensions
+	}
+	extLen, ok := r.u16()
+	if !ok {
+		return "", ErrTruncated
+	}
+	exts, ok := r.bytes(int(extLen))
+	if !ok {
+		return "", ErrTruncated
+	}
+	er := reader{buf: exts}
+	name := ""
+	for er.len() > 0 {
+		typ, ok1 := er.u16()
+		l, ok2 := er.u16()
+		if !ok1 || !ok2 {
+			return "", ErrMalformed
+		}
+		val, ok := er.bytes(int(l))
+		if !ok {
+			return "", ErrTruncated
+		}
+		if typ == extServerName {
+			n, err := parseSNI(val)
+			if err != nil {
+				return "", err
+			}
+			name = n
+		}
+	}
+	if name == "" {
 		return "", ErrNoSNI
 	}
-	return ch.ServerName, nil
+	return name, nil
 }
 
 // ServerHello is the minimal reply the simulated web fleet sends,

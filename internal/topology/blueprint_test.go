@@ -1,0 +1,151 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"shadowmeter/internal/netsim"
+	"shadowmeter/internal/wire"
+)
+
+// sameAS asserts structural equality of one AS across two worlds,
+// including the seed-dependent ICMPSilent flags.
+func sameAS(t *testing.T, a, b *AS) {
+	t.Helper()
+	if a.ASN != b.ASN || a.Name != b.Name || a.Country != b.Country ||
+		a.Province != b.Province || a.Hosting != b.Hosting {
+		t.Fatalf("AS mismatch: %+v vs %+v", a, b)
+	}
+	ap, al := a.Prefix()
+	bp, bl := b.Prefix()
+	if ap != bp || al != bl {
+		t.Fatalf("AS%d prefix mismatch: %v/%d vs %v/%d", a.ASN, ap, al, bp, bl)
+	}
+	if len(a.Routers) != len(b.Routers) {
+		t.Fatalf("AS%d router count %d vs %d", a.ASN, len(a.Routers), len(b.Routers))
+	}
+	for i := range a.Routers {
+		ra, rb := a.Routers[i], b.Routers[i]
+		if ra.Name != rb.Name || ra.Addr != rb.Addr || ra.ICMPSilent != rb.ICMPSilent {
+			t.Fatalf("AS%d router %d mismatch: %+v vs %+v", a.ASN, i, ra, rb)
+		}
+	}
+}
+
+// TestBlueprintMatchesColdBuild is the blueprint's core contract: for any
+// seed, Instantiate must be observationally identical to a cold Build —
+// same ASes, routers, ICMPSilent draws, geo answers, paths, and the same
+// state for every post-build mutation (stub ASes, service ASes, host
+// allocation).
+func TestBlueprintMatchesColdBuild(t *testing.T) {
+	bp := NewBlueprint(Config{})
+	for _, seed := range []int64{1, 7, 12345} {
+		cold := Build(Config{Seed: seed})
+		inst := bp.Instantiate(seed)
+
+		if cold.NumASes() != inst.NumASes() {
+			t.Fatalf("seed %d: NumASes %d vs %d", seed, cold.NumASes(), inst.NumASes())
+		}
+		for _, country := range cold.Countries() {
+			ca, ia := cold.CountryASes(country), inst.CountryASes(country)
+			if len(ca) != len(ia) {
+				t.Fatalf("seed %d country %s: %d vs %d ASes", seed, country, len(ca), len(ia))
+			}
+			for i := range ca {
+				sameAS(t, ca[i], ia[i])
+			}
+		}
+
+		// Post-build mutations replay identically: the rng must sit at the
+		// same point, the allocators at the same counters.
+		cs := cold.NewStubAS("parity-check", "DE", true)
+		is := inst.NewStubAS("parity-check", "DE", true)
+		sameAS(t, cs, is)
+		for i := 0; i < 5; i++ {
+			if ca, ia := cold.AllocHostAddr(cs), inst.AllocHostAddr(is); ca != ia {
+				t.Fatalf("seed %d: AllocHostAddr %v vs %v", seed, ca, ia)
+			}
+		}
+		addr := cs.Routers[0].Addr
+		if ci, _ := cold.Geo.Lookup(addr); ci != mustLookup(t, inst, addr) {
+			t.Fatalf("seed %d: geo overlay lookup diverges for %v", seed, addr)
+		}
+
+		// Paths resolve to the same hop sequences (by name — the router
+		// objects are intentionally distinct per world).
+		vp := cold.HostingASes("US")[0]
+		dsts := []*AS{cold.ChinanetBackbone(), cold.ProvincialAS("Jiangsu"), cs}
+		vpI := inst.HostingASes("US")[0]
+		dstsI := []*AS{inst.ChinanetBackbone(), inst.ProvincialAS("Jiangsu"), is}
+		for d := range dsts {
+			pc := cold.Path(vp.Routers[0].Addr, dsts[d].Routers[0].Addr)
+			pi := inst.Path(vpI.Routers[0].Addr, dstsI[d].Routers[0].Addr)
+			if fmt.Sprint(routerNames(pc)) != fmt.Sprint(routerNames(pi)) {
+				t.Fatalf("seed %d: path %d mismatch:\n%v\n%v", seed, d, routerNames(pc), routerNames(pi))
+			}
+		}
+	}
+}
+
+func mustLookup(t *testing.T, topo *Topology, addr wire.Addr) interface{} {
+	t.Helper()
+	info, ok := topo.Geo.Lookup(addr)
+	if !ok {
+		t.Fatalf("no geo entry for %v", addr)
+	}
+	return info
+}
+
+func routerNames(p []*netsim.Router) []string {
+	out := make([]string, len(p))
+	for i, r := range p {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// TestBlueprintPathCacheConcurrent exercises the shared structural path
+// cache from many worlds at once — the scenario the race detector must
+// bless: concurrent readers and first-writer publication with no per-lookup
+// mutex, every world resolving identical hop sequences against its own
+// router objects.
+func TestBlueprintPathCacheConcurrent(t *testing.T) {
+	bp := NewBlueprint(Config{})
+	ref := Build(Config{Seed: 1})
+	refPaths := make(map[[2]int]string)
+	srcs := append(ref.HostingASes("US"), ref.HostingASes("CN")...)
+	dsts := append(ref.CountryASes("CN")[:8], ref.TransitASes()...)
+	for _, s := range srcs {
+		for _, d := range dsts {
+			key := [2]int{s.ASN, d.ASN}
+			refPaths[key] = fmt.Sprint(routerNames(ref.Path(s.Routers[0].Addr, d.Routers[0].Addr)))
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			topo := bp.Instantiate(seed)
+			srcs := append(topo.HostingASes("US"), topo.HostingASes("CN")...)
+			dsts := append(topo.CountryASes("CN")[:8], topo.TransitASes()...)
+			for _, s := range srcs {
+				for _, d := range dsts {
+					got := fmt.Sprint(routerNames(topo.Path(s.Routers[0].Addr, d.Routers[0].Addr)))
+					if want := refPaths[[2]int{s.ASN, d.ASN}]; got != want {
+						errs <- fmt.Errorf("seed %d AS%d->AS%d: %s != %s", seed, s.ASN, d.ASN, got, want)
+						return
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -84,6 +84,24 @@ type Topology struct {
 	routersN  int
 	rng       *rand.Rand
 	pathCache map[[2]int][]*netsim.Router
+
+	// buildOrder and routerBirths record construction order (AS creation
+	// and router creation respectively) so a Blueprint snapshot can replay
+	// them — including the one rng draw per router — byte-identically.
+	buildOrder   []*AS
+	routerBirths []routerBirth
+	// cnGatewayIdx are the gateway positions within cnBackbone.Routers.
+	cnGatewayIdx []int
+	// bp is the shared blueprint this world was instantiated from, nil for
+	// cold-built topologies. It carries the cross-world structural path
+	// cache.
+	bp *Blueprint
+}
+
+// routerBirth is one addRouter call in construction order.
+type routerBirth struct {
+	as  *AS
+	idx int // index within as.Routers
 }
 
 // Build constructs the world.
@@ -147,6 +165,7 @@ func Build(cfg Config) *Topology {
 	for i := 0; i < 3; i++ {
 		gw := t.addRouter(t.cnBackbone, fmt.Sprintf("cn-intl-gw%d", i+1))
 		t.cnGateways = append(t.cnGateways, gw)
+		t.cnGatewayIdx = append(t.cnGatewayIdx, len(t.cnBackbone.Routers)-1)
 	}
 
 	// CN provincial networks.
@@ -245,6 +264,7 @@ func (t *Topology) register(as *AS) {
 func (t *Topology) registerLocked(as *AS) {
 	t.ases[as.ASN] = as
 	t.byCountry[as.Country] = append(t.byCountry[as.Country], as)
+	t.buildOrder = append(t.buildOrder, as)
 	err := t.Geo.Register(as.prefix, as.prefixLen, geodb.Info{
 		Country: as.Country, ASN: as.ASN, ASName: as.Name, Hosting: as.Hosting,
 	})
@@ -278,6 +298,7 @@ func (t *Topology) addRouterLocked(as *AS, name string) *netsim.Router {
 		ICMPSilent: t.rng.Float64() < t.silent,
 	}
 	as.Routers = append(as.Routers, r)
+	t.routerBirths = append(t.routerBirths, routerBirth{as: as, idx: i})
 	return r
 }
 
@@ -411,20 +432,87 @@ func (t *Topology) PathFunc() netsim.PathFunc {
 // Path computes the router sequence between two addresses. Paths are
 // symmetric in structure but computed per direction; results are cached per
 // AS pair.
+//
+// The fast path takes no lock: the per-world cache map is read and written
+// only by the world's own event-loop goroutine (the same single-goroutine
+// contract the rest of netsim state lives under). Worlds instantiated from
+// a shared Blueprint additionally consult its cross-world structural cache
+// on a miss, so a path computed by one trial is reused — as router indices,
+// resolved against this world's own routers — by every other trial.
 func (t *Topology) Path(src, dst wire.Addr) []*netsim.Router {
-	srcAS, dstAS := t.ASOf(src), t.ASOf(dst)
-	if srcAS == nil || dstAS == nil {
+	srcInfo, ok := t.Geo.Lookup(src)
+	if !ok {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	key := [2]int{srcAS.ASN, dstAS.ASN}
+	dstInfo, ok := t.Geo.Lookup(dst)
+	if !ok {
+		return nil
+	}
+	key := [2]int{srcInfo.ASN, dstInfo.ASN}
 	if p, ok := t.pathCache[key]; ok {
 		return p
 	}
-	p := t.buildPath(srcAS, dstAS)
+	return t.pathSlow(key)
+}
+
+// pathSlow fills a per-world cache miss, sharing structural work through
+// the blueprint when both endpoints are blueprint-native ASes.
+func (t *Topology) pathSlow(key [2]int) []*netsim.Router {
+	t.mu.Lock()
+	src, dst := t.ases[key[0]], t.ases[key[1]]
+	if src == nil || dst == nil {
+		t.mu.Unlock()
+		return nil
+	}
+	var p []*netsim.Router
+	if t.bp != nil && t.bp.native[key[0]] && t.bp.native[key[1]] {
+		if hops, ok := t.bp.loadPath(key); ok {
+			p = t.resolveHops(hops)
+		} else {
+			p = t.buildPath(src, dst)
+			t.bp.storePath(key, t.hopsFor(p))
+		}
+	} else {
+		p = t.buildPath(src, dst)
+	}
+	t.mu.Unlock()
 	t.pathCache[key] = p
 	return p
+}
+
+// resolveHops maps structural hop references onto this world's routers.
+func (t *Topology) resolveHops(hops []pathHop) []*netsim.Router {
+	out := make([]*netsim.Router, len(hops))
+	for i, h := range hops {
+		out[i] = t.ases[h.asn].Routers[h.idx]
+	}
+	return out
+}
+
+// hopsFor converts a resolved path back into structural references. Every
+// hop belongs to a blueprint-native AS when called (pathSlow guards), and
+// routers sit at stable indices within their AS fleet.
+func (t *Topology) hopsFor(p []*netsim.Router) []pathHop {
+	hops := make([]pathHop, 0, len(p))
+	for _, r := range p {
+		info, ok := t.Geo.Lookup(r.Addr)
+		if !ok {
+			return nil
+		}
+		as := t.ases[info.ASN]
+		idx := -1
+		for j, rr := range as.Routers {
+			if rr == r {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return nil
+		}
+		hops = append(hops, pathHop{asn: as.ASN, idx: idx})
+	}
+	return hops
 }
 
 // buildPath assembles the hop sequence. Deterministic: all "choices" hash

@@ -74,8 +74,25 @@ func (h *IPv4) SerializeTo(buf []byte, payload []byte) (int, error) {
 	if len(buf) < n {
 		return 0, fmt.Errorf("wire: buffer too small for IPv4 packet: %d < %d", len(buf), n)
 	}
+	if err := h.SerializeHeader(buf, len(payload)); err != nil {
+		return 0, err
+	}
+	copy(buf[IPv4HeaderLen:], payload)
+	return n, nil
+}
+
+// SerializeHeader writes only the 20-byte header into buf, assuming
+// payloadLen payload bytes already sit (or will sit) at
+// buf[IPv4HeaderLen:]. This is the single-allocation build path: the
+// transport layer serializes in place first, then the header slots in
+// front without re-copying the payload.
+func (h *IPv4) SerializeHeader(buf []byte, payloadLen int) error {
+	n := IPv4HeaderLen + payloadLen
+	if len(buf) < IPv4HeaderLen {
+		return fmt.Errorf("wire: buffer too small for IPv4 header: %d < %d", len(buf), IPv4HeaderLen)
+	}
 	if n > 0xFFFF {
-		return 0, fmt.Errorf("wire: IPv4 packet too large: %d", n)
+		return fmt.Errorf("wire: IPv4 packet too large: %d", n)
 	}
 	buf[0] = 0x45 // version 4, IHL 5
 	buf[1] = h.TOS
@@ -89,8 +106,7 @@ func (h *IPv4) SerializeTo(buf []byte, payload []byte) (int, error) {
 	copy(buf[16:20], h.Dst[:])
 	cs := Checksum(buf[:IPv4HeaderLen])
 	binary.BigEndian.PutUint16(buf[10:12], cs)
-	copy(buf[IPv4HeaderLen:], payload)
-	return n, nil
+	return nil
 }
 
 // Serialize allocates and returns the wire bytes of header+payload.

@@ -108,34 +108,45 @@ func (pkt *Packet) TransportPayload() []byte {
 	return nil
 }
 
-// BuildUDP serializes a complete IPv4/UDP packet.
+// BuildUDP serializes a complete IPv4/UDP packet in a single allocation:
+// the transport layer serializes in place behind the header slot, so the
+// payload is copied exactly once.
 func BuildUDP(src, dst Endpoint, ttl uint8, id uint16, payload []byte) ([]byte, error) {
 	udp := UDP{SrcPort: src.Port, DstPort: dst.Port}
-	seg, err := udp.Serialize(src.Addr, dst.Addr, payload)
-	if err != nil {
+	buf := make([]byte, IPv4HeaderLen+UDPHeaderLen+len(payload))
+	if _, err := udp.SerializeTo(buf[IPv4HeaderLen:], src.Addr, dst.Addr, payload); err != nil {
 		return nil, err
 	}
 	ip := IPv4{TTL: ttl, Protocol: ProtoUDP, ID: id, Src: src.Addr, Dst: dst.Addr, Flags: FlagDF}
-	return ip.Serialize(seg)
+	if err := ip.SerializeHeader(buf, len(buf)-IPv4HeaderLen); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
-// BuildTCP serializes a complete IPv4/TCP packet.
+// BuildTCP serializes a complete IPv4/TCP packet in a single allocation.
 func BuildTCP(src, dst Endpoint, ttl uint8, id uint16, flags uint8, seq, ack uint32, payload []byte) ([]byte, error) {
 	tcp := TCP{SrcPort: src.Port, DstPort: dst.Port, Seq: seq, Ack: ack, Flags: flags, Window: 65535}
-	seg, err := tcp.Serialize(src.Addr, dst.Addr, payload)
-	if err != nil {
+	buf := make([]byte, IPv4HeaderLen+TCPHeaderLen+len(payload))
+	if _, err := tcp.SerializeTo(buf[IPv4HeaderLen:], src.Addr, dst.Addr, payload); err != nil {
 		return nil, err
 	}
 	ip := IPv4{TTL: ttl, Protocol: ProtoTCP, ID: id, Src: src.Addr, Dst: dst.Addr, Flags: FlagDF}
-	return ip.Serialize(seg)
+	if err := ip.SerializeHeader(buf, len(buf)-IPv4HeaderLen); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
-// BuildICMP serializes a complete IPv4/ICMP packet.
+// BuildICMP serializes a complete IPv4/ICMP packet in a single allocation.
 func BuildICMP(src, dst Addr, ttl uint8, id uint16, msg *ICMP, msgPayload []byte) ([]byte, error) {
-	seg, err := msg.Serialize(msgPayload)
-	if err != nil {
+	buf := make([]byte, IPv4HeaderLen+ICMPHeaderLen+len(msgPayload))
+	if _, err := msg.SerializeTo(buf[IPv4HeaderLen:], msgPayload); err != nil {
 		return nil, err
 	}
 	ip := IPv4{TTL: ttl, Protocol: ProtoICMP, ID: id, Src: src, Dst: dst}
-	return ip.Serialize(seg)
+	if err := ip.SerializeHeader(buf, len(buf)-IPv4HeaderLen); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }

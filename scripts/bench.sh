@@ -36,11 +36,19 @@ awk -v date="$stamp" -v goversion="$(go version | awk '{print $3}')" '
         else if ($i == "allocs/op") allocs = $(i-1)
     }
     if (ns == "") next
+    if (name ~ /^BenchmarkTrials\/workers=1/) w1 = ns
+    if (name ~ /^BenchmarkTrials\/workers=4/) w4 = ns
     row = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs)
     body = (body == "" ? row : body ",\n" row)
 }
 END {
-    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", date, goversion, body
+    # trials_speedup_w4: how much faster the 4-worker batch runs the same
+    # trials than the serial one (>1 means parallelism pays; ~1 on a
+    # single-CPU host no matter how clean the runner is).
+    speedup = ""
+    if (w1 != "" && w4 != "" && w4 + 0 > 0)
+        speedup = sprintf(",\n  \"trials_speedup_w4\": %.3f", w1 / w4)
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\"%s,\n  \"benchmarks\": [\n%s\n  ]\n}\n", date, goversion, speedup, body
 }' "$tmp" >"$out"
 
 echo "wrote $out"

@@ -65,6 +65,17 @@ if ! cmp -s "$tmpdir/batch1.json" "$tmpdir/batch2.json"; then
     exit 1
 fi
 
+echo "== blueprint determinism smoke"
+# The shared-blueprint contract: worlds instantiated from one topology
+# blueprint must be byte-identical to worlds cold-built per trial. A diff
+# here means blueprint sharing leaked state between trials.
+"$tmpdir/shadowmeter" -seed 7 -trials 2 -workers 2 -cold-topology >"$tmpdir/batch3.json" 2>/dev/null
+if ! cmp -s "$tmpdir/batch1.json" "$tmpdir/batch3.json"; then
+    echo "blueprint-shared batch differs from cold-built topology:" >&2
+    diff "$tmpdir/batch1.json" "$tmpdir/batch3.json" >&2 || true
+    exit 1
+fi
+
 echo "== runstore checkpoint/resume smoke"
 # The resume-determinism contract: a batch persisted with -out, torn at
 # the tail (simulating a crash mid-append), then resumed must produce
@@ -121,6 +132,20 @@ allocs=$(go test -run '^$' -bench BenchmarkPacketForwarding -benchmem ./internal
 echo "BenchmarkPacketForwarding: $allocs allocs/op"
 if [ -z "$allocs" ] || [ "$allocs" -gt 7 ]; then
     echo "forward-path allocations regressed: $allocs allocs/op (gate: 7)" >&2
+    exit 1
+fi
+
+echo "== trials allocation gate"
+# The multi-trial runner went through a campaign-scale allocation sweep
+# (owned-buffer injection, single-allocation packet builders, sniff fast
+# paths, per-world encode scratch, interning): an 8-trial batch sits
+# around 4.6M allocs, down from ~9.8M before the sweep. The ceiling
+# leaves ~20% headroom for noise while catching any real regression.
+allocs=$(go test -run '^$' -bench 'BenchmarkTrials/workers=1$' -benchmem -benchtime 1x ./internal/runner |
+    awk '/BenchmarkTrials/ {print $(NF-1)}')
+echo "BenchmarkTrials/workers=1: $allocs allocs/op"
+if [ -z "$allocs" ] || [ "$allocs" -gt 5500000 ]; then
+    echo "trial-loop allocations regressed: $allocs allocs/op (gate: 5500000)" >&2
     exit 1
 fi
 

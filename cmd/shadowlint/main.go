@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	shadowlint [-json] [-list] [packages...]
+//	shadowlint [-json] [-list] [-p N] [packages...]
 //
 // Package patterns are module-relative ("./...", "internal/wire",
-// "./cmd/tracer"); the default is "./...". Exit status is 1 when any
-// finding is reported, 2 on a load or usage error.
+// "./cmd/tracer"); the default is "./...". Analysis is whole-program:
+// all packages load through one type-checker, then analyze on -p
+// concurrent workers (default GOMAXPROCS); output is byte-identical at
+// any -p. Exit status is 1 when any finding is reported, 2 on a load or
+// usage error.
 package main
 
 import (
@@ -22,10 +25,11 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic object per line")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic object per line plus a summary line")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	workers := flag.Int("p", 0, "per-package analysis workers (0 = GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: shadowlint [-json] [-list] [packages...]\n")
+		fmt.Fprintf(os.Stderr, "usage: shadowlint [-json] [-list] [-p N] [packages...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,7 +58,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	diags, err := lint.Run(loader, paths, analyzers)
+	diags, err := lint.Run(loader, paths, analyzers, *workers)
 	if err != nil {
 		fail(err)
 	}
@@ -64,10 +68,14 @@ func main() {
 			if r, err := filepath.Rel(root, rel); err == nil {
 				rel = r
 			}
-			enc, err := json.Marshal(map[string]any{
+			obj := map[string]any{
 				"file": rel, "line": d.Pos.Line, "col": d.Pos.Column,
 				"analyzer": d.Analyzer, "message": d.Message,
-			})
+			}
+			if d.Root != "" {
+				obj["root"] = d.Root
+			}
+			enc, err := json.Marshal(obj)
 			if err != nil {
 				fail(err)
 			}
@@ -75,6 +83,15 @@ func main() {
 		} else {
 			fmt.Println(d)
 		}
+	}
+	if *jsonOut {
+		enc, err := json.Marshal(map[string]any{
+			"packages": len(paths), "analyzers": len(analyzers), "findings": len(diags),
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(enc))
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

@@ -106,6 +106,8 @@ type Deployment struct {
 	// enc is reply-encode scratch. Handlers run on the world's single
 	// event-loop goroutine, and the packet builder copies the bytes before
 	// the next query can arrive, so one per-deployment encoder is safe.
+	//
+	//shadowlint:eventloop
 	enc dnswire.Encoder
 
 	m deploymentMetrics

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicPub enforces the runstore durable-publish pattern: a file made
+// visible via os.Rename must be fsynced before the rename (so the bytes
+// are durable before the name flips) and the containing directory must
+// be fsynced after it (so the name flip itself is durable). Concretely,
+// every function containing an os.Rename must call (*os.File).Sync —
+// directly or through a helper that transitively does — both before and
+// after the rename in source order.
+//
+// In a package that publishes via rename, os.WriteFile is forbidden
+// outright: it is not atomic and not durable, so a crash mid-write
+// leaves a torn file under the final name.
+var AtomicPub = &Analyzer{
+	Name:    "atomicpub",
+	Doc:     "require fsync-bracketed os.Rename publishes; forbid os.WriteFile in renaming packages",
+	Applies: inInternal,
+	Run:     runAtomicPub,
+}
+
+func runAtomicPub(prog *Program, p *Package) []Diagnostic {
+	var out []Diagnostic
+	pkgRenames := false
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isOSPkgCall(p, call, "Rename") {
+				pkgRenames = true
+			}
+			return true
+		})
+	}
+
+	forEachFuncNode(prog, p, func(n *Node, body *ast.BlockStmt) {
+		var renames []*ast.CallExpr
+		var syncPos []int // offsets of sync-ish calls, in source order
+		inspectOwn(body, func(node ast.Node) {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if isOSPkgCall(p, call, "Rename") {
+				renames = append(renames, call)
+				return
+			}
+			if callSyncs(prog, p, call) {
+				syncPos = append(syncPos, int(call.Pos()))
+			}
+		})
+		for _, call := range renames {
+			before, after := false, false
+			for _, pos := range syncPos {
+				if pos < int(call.Pos()) {
+					before = true
+				} else {
+					after = true
+				}
+			}
+			if !before {
+				out = append(out, diag(p, call.Pos(), "atomicpub",
+					"os.Rename publish in %s is not preceded by an fsync of the temp file", n.Name()))
+			}
+			if !after {
+				out = append(out, diag(p, call.Pos(), "atomicpub",
+					"os.Rename publish in %s is not followed by a directory fsync", n.Name()))
+			}
+		}
+	})
+
+	if pkgRenames {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if ok && isOSPkgCall(p, call, "WriteFile") {
+					out = append(out, diag(p, call.Pos(), "atomicpub",
+						"os.WriteFile is not atomic or durable; write a temp file, fsync, then os.Rename like the package's other publishes"))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// callSyncs reports whether a call flushes file state: a direct
+// (*os.File).Sync, or a call into a module function that transitively
+// syncs.
+func callSyncs(prog *Program, p *Package, call *ast.CallExpr) bool {
+	obj := calleeObject(p, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if isOSFileSync(fn) {
+		return true
+	}
+	if n := prog.FuncNode(fn); n != nil {
+		return prog.Syncs(n)
+	}
+	return false
+}
+
+// isOSPkgCall matches a call to a package-level function of os.
+func isOSPkgCall(p *Package, call *ast.CallExpr, name string) bool {
+	se, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || se.Sel.Name != name {
+		return false
+	}
+	fn := pkgLevelFunc(p, se, "os")
+	return fn != nil && fn.Name() == name
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CrossWorld polices the state shared across concurrently instantiated
+// trial worlds — the PR 5 bug class, where a blueprint field or package
+// global mutated by one trial silently changes what a later trial
+// observes, breaking the byte-identical-per-seed contract.
+//
+// Two rules:
+//
+//  1. A type annotated //shadowlint:shared is immutable after
+//     construction: its fields may be written only inside functions
+//     annotated //shadowlint:sharedinit. (Method calls on fields — e.g.
+//     a sync.Map publish — are not writes; first-writer-wins publish
+//     stays legal.)
+//  2. Package-level variables must not be written from code reachable
+//     (static call graph) from a //shadowlint:trialpath root — the
+//     per-trial instantiate-and-run loop must leave globals untouched.
+var CrossWorld = &Analyzer{
+	Name:    "crossworld",
+	Doc:     "forbid writes to cross-world shared state from per-trial code",
+	Applies: inInternal,
+	Run:     runCrossWorld,
+}
+
+func runCrossWorld(prog *Program, p *Package) []Diagnostic {
+	var out []Diagnostic
+	forEachFuncNode(prog, p, func(n *Node, body *ast.BlockStmt) {
+		trialRoot := prog.TrialRoot(n)
+		// Writes inside a //shadowlint:sharedinit constructor are the
+		// construction phase the shared annotation promises ends.
+		enclosingObj := p.Info.Defs[n.Decl.Name]
+		initOK := enclosingObj != nil && prog.HasDirective(enclosingObj, dirSharedInit)
+		check := func(lhs ast.Expr, what string) {
+			if obj, tn := sharedFieldTarget(prog, p, lhs); obj != nil && !initOK {
+				out = append(out, diag(p, lhs.Pos(), "crossworld",
+					"%s to field %s of cross-world shared type %s outside a //shadowlint:sharedinit constructor",
+					what, obj.Name(), tn.Name()))
+				return
+			}
+			if trialRoot == nil {
+				return
+			}
+			if obj := pkgVarTarget(p, lhs); obj != nil {
+				out = append(out, rootedDiag(p, lhs.Pos(), "crossworld", trialRoot.Name(),
+					"%s to package-level var %s from per-trial code (%s is reachable from //shadowlint:trialpath root %s)",
+					what, obj.Name(), n.Name(), trialRoot.Name()))
+			}
+		}
+		inspectOwn(body, func(node ast.Node) {
+			switch x := node.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					check(lhs, "write")
+				}
+			case *ast.IncDecStmt:
+				check(x.X, "write")
+			}
+		})
+	})
+	return out
+}
+
+// sharedFieldTarget reports whether lhs writes (possibly through index
+// or dereference) a field of a //shadowlint:shared named type, returning
+// the field object and the type name.
+func sharedFieldTarget(prog *Program, p *Package, lhs ast.Expr) (types.Object, *types.TypeName) {
+	e := unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = unparen(x.X)
+			continue
+		case *ast.StarExpr:
+			e = unparen(x.X)
+			continue
+		}
+		break
+	}
+	se, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	sel, ok := p.Info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	recv := sel.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	tn := named.Obj()
+	if !prog.HasDirective(tn, dirShared) {
+		return nil, nil
+	}
+	return sel.Obj(), tn
+}
+
+// pkgVarTarget reports whether lhs writes (possibly through index) a
+// package-level variable declared in the module, returning its object.
+func pkgVarTarget(p *Package, lhs ast.Expr) types.Object {
+	e := unparen(lhs)
+	for {
+		if x, ok := e.(*ast.IndexExpr); ok {
+			e = unparen(x.X)
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := p.Info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	return obj
+}

@@ -28,7 +28,7 @@ var Detrand = &Analyzer{
 	Run:     runDetrand,
 }
 
-func runDetrand(p *Package) []Diagnostic {
+func runDetrand(_ *Program, p *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

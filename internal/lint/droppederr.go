@@ -40,7 +40,7 @@ var DroppedErr = &Analyzer{
 	Run:     runDroppedErr,
 }
 
-func runDroppedErr(p *Package) []Diagnostic {
+func runDroppedErr(_ *Program, p *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EventLoop checks the single-goroutine confinement that makes the
+// per-world scratch buffers (reply encoders, probe launch slices) safe
+// without locks. A struct field annotated
+//
+//	//shadowlint:eventloop
+//
+// may be used only in code reachable from a function annotated
+// //shadowlint:eventloop (the netsim dispatch root), and never in code
+// that is itself launched on a new goroutine. Reachability follows the
+// dynamic call graph — interface dispatch (netsim.Handler, netsim.Tap)
+// and signature-matched function values (UDP/TCP service closures,
+// scheduled func() thunks) — because that is exactly how the event loop
+// reaches handler code.
+var EventLoop = &Analyzer{
+	Name:    "eventloop",
+	Doc:     "confine //shadowlint:eventloop fields to code reachable from the event-loop dispatch root",
+	Applies: inInternal,
+	Run:     runEventLoop,
+}
+
+func runEventLoop(prog *Program, p *Package) []Diagnostic {
+	var out []Diagnostic
+	type useKey struct {
+		field types.Object
+		line  int
+	}
+	seen := make(map[useKey]bool)
+	forEachFuncNode(prog, p, func(n *Node, body *ast.BlockStmt) {
+		inspectOwn(body, func(node ast.Node) {
+			se, ok := node.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			field, ok := p.Info.Uses[se.Sel].(*types.Var)
+			if !ok || !field.IsField() || !prog.HasDirective(field, dirEventloop) {
+				return
+			}
+			if !n.goLaunched && prog.LoopRoot(n) != nil {
+				return // confined correctly
+			}
+			// One statement often touches the field several times
+			// (w.enc = append(w.enc, …)); report each line once.
+			key := useKey{field: field, line: p.Fset.Position(se.Pos()).Line}
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			if n.goLaunched {
+				out = append(out, diag(p, se.Pos(), "eventloop",
+					"event-loop-confined field %s used in goroutine-launched %s", field.Name(), n.Name()))
+				return
+			}
+			out = append(out, diag(p, se.Pos(), "eventloop",
+				"event-loop-confined field %s used in %s, which is not reachable from any //shadowlint:eventloop dispatch root",
+				field.Name(), n.Name()))
+		})
+	})
+	return out
+}

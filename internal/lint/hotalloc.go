@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // HotAlloc flags fmt.Sprintf in functions reachable from the per-packet
@@ -15,10 +14,12 @@ import (
 //
 //	//shadowlint:hotpath
 //
-// directive comment; reachability is the package-local static call
-// graph (direct calls and method calls on concrete receivers — calls
-// through interfaces or function values are not followed, so hot-path
-// entry points behind an interface need their own annotation).
+// directive comment; reachability is the whole-program static call
+// graph (direct calls and method calls on concrete receivers, across
+// package boundaries — so pooled helpers in wire/dnswire called from
+// netsim hot paths are covered). Calls through interfaces or function
+// values are not followed: hot-path entry points behind an interface
+// need their own annotation.
 var HotAlloc = &Analyzer{
 	Name:    "hotalloc",
 	Doc:     "forbid fmt.Sprintf in functions reachable from //shadowlint:hotpath roots",
@@ -26,107 +27,68 @@ var HotAlloc = &Analyzer{
 	Run:     runHotAlloc,
 }
 
-const hotpathDirective = "shadowlint:hotpath"
+func runHotAlloc(prog *Program, p *Package) []Diagnostic {
+	var out []Diagnostic
+	forEachFuncNode(prog, p, func(n *Node, body *ast.BlockStmt) {
+		root := prog.HotRoot(n)
+		if root == nil {
+			return
+		}
+		inspectOwn(body, func(node ast.Node) {
+			call, ok := node.(*ast.CallExpr)
+			if !ok || !isFmtSprintf(p, call) {
+				return
+			}
+			if n == root {
+				out = append(out, rootedDiag(p, call.Pos(), "hotalloc", root.Name(),
+					"fmt.Sprintf allocates on the per-packet hot path (%s is a //shadowlint:hotpath root)", n.Name()))
+			} else {
+				out = append(out, rootedDiag(p, call.Pos(), "hotalloc", root.Name(),
+					"fmt.Sprintf allocates on the per-packet hot path (%s is reachable from hot-path root %s)", n.Name(), root.Name()))
+			}
+		})
+	})
+	return out
+}
 
-func runHotAlloc(p *Package) []Diagnostic {
-	// Map every declared function object to its declaration, and collect
-	// the annotated roots.
-	decls := make(map[types.Object]*ast.FuncDecl)
-	var roots []types.Object
+// forEachFuncNode visits every call-graph node whose body lives in p —
+// declarations and function literals — with its own body (nested
+// literals excluded; they get their own visit).
+func forEachFuncNode(prog *Program, p *Package, fn func(n *Node, body *ast.BlockStmt)) {
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			obj := p.Info.Defs[fd.Name]
-			if obj == nil {
-				continue
+			if n := prog.FuncNode(p.Info.Defs[fd.Name]); n != nil {
+				fn(n, fd.Body)
 			}
-			decls[obj] = fd
-			if hasHotpathDirective(fd) {
-				roots = append(roots, obj)
-			}
-		}
-	}
-	if len(roots) == 0 {
-		return nil
-	}
-
-	// Static call graph over the package's declared functions.
-	calls := make(map[types.Object][]types.Object)
-	for obj, fd := range decls {
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if callee := calleeObject(p, call); callee != nil {
-				if _, local := decls[callee]; local {
-					calls[obj] = append(calls[obj], callee)
+			ast.Inspect(fd.Body, func(node ast.Node) bool {
+				if lit, ok := node.(*ast.FuncLit); ok {
+					if n := prog.LitNode(lit); n != nil {
+						fn(n, lit.Body)
+					}
 				}
-			}
-			return true
-		})
-	}
-
-	// Breadth-first reachability, remembering the root each function was
-	// discovered from so findings can say why a helper is hot.
-	via := make(map[types.Object]types.Object)
-	queue := make([]types.Object, 0, len(roots))
-	for _, r := range roots {
-		via[r] = r
-		queue = append(queue, r)
-	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, callee := range calls[cur] {
-			if _, seen := via[callee]; !seen {
-				via[callee] = via[cur]
-				queue = append(queue, callee)
-			}
-		}
-	}
-
-	var out []Diagnostic
-	for obj, fd := range decls {
-		root, hot := via[obj]
-		if !hot {
-			continue
-		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
 				return true
-			}
-			if isFmtSprintf(p, call) {
-				if obj == root {
-					out = append(out, diag(p, call.Pos(), "hotalloc",
-						"fmt.Sprintf allocates on the per-packet hot path (%s is a //shadowlint:hotpath root)", obj.Name()))
-				} else {
-					out = append(out, diag(p, call.Pos(), "hotalloc",
-						"fmt.Sprintf allocates on the per-packet hot path (%s is reachable from hot-path root %s)", obj.Name(), root.Name()))
-				}
-			}
-			return true
-		})
+			})
+		}
 	}
-	return out
 }
 
-// hasHotpathDirective reports whether fd's doc comment carries the
-// //shadowlint:hotpath marker.
-func hasHotpathDirective(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		if strings.TrimPrefix(c.Text, "//") == hotpathDirective {
-			return true
+// inspectOwn walks a function body without descending into nested
+// function literals, so each expression is attributed to exactly one
+// call-graph node.
+func inspectOwn(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
 		}
-	}
-	return false
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
 }
 
 // calleeObject resolves the function object a call statically targets:

@@ -3,7 +3,13 @@
 // standard library's go/parser, go/ast, go/types, and go/token — the
 // module is deliberately dependency-free.
 //
-// Six analyzers ship today:
+// Analysis is whole-program: every requested package is loaded through
+// one shared type-checker, a cross-package call graph is built over the
+// result (see Program), and the analyzers then run in parallel, one
+// worker per package. Diagnostics are reported in a deterministic order
+// regardless of worker count.
+//
+// Ten analyzers ship today:
 //
 //   - simclock: no wall-clock calls (time.Now, time.Since, time.Sleep, …)
 //     inside internal/* simulation packages; the world clock from
@@ -19,23 +25,40 @@
 //   - rawprint: no fmt.Print*/log.Print* (or fmt.Fprint* to os.Stdout/
 //     os.Stderr) in internal/* — simulation libraries report through
 //     internal/telemetry, only cmd/* owns the process streams.
-//   - hotalloc: no fmt.Sprintf in functions reachable from a
-//     //shadowlint:hotpath root — the per-packet forwarding path must
-//     not format strings.
+//   - hotalloc: no fmt.Sprintf in functions reachable (cross-package)
+//     from a //shadowlint:hotpath root — the per-packet forwarding path
+//     must not format strings.
+//   - crossworld: state shared across concurrently instantiated trial
+//     worlds (//shadowlint:shared types, package-level vars) must not be
+//     written from //shadowlint:trialpath-reachable code; writes are
+//     allowed only in //shadowlint:sharedinit constructors.
+//   - eventloop: fields annotated //shadowlint:eventloop may be used
+//     only in code reachable from a //shadowlint:eventloop dispatch
+//     root, and never from goroutine-launched code.
+//   - atomicpub: every os.Rename publish must be bracketed by fsync —
+//     file sync before, directory sync after — and durable stores must
+//     not use os.WriteFile in a package that also renames.
+//   - metriclabel: telemetry CounterVec label values must come from
+//     bounded sources (constants or //shadowlint:bounded declarations),
+//     never per-packet strings.
 //
 // A finding can be suppressed with a trailing or preceding comment:
 //
 //	//shadowlint:ignore <analyzer> <reason>
 //
-// The reason is mandatory; a directive without one is itself reported.
+// The reason is mandatory; a directive without one is itself reported —
+// as is a directive that no longer suppresses anything, so stale
+// suppressions cannot linger after the code they excused is gone.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding at a concrete file position.
@@ -43,6 +66,11 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Root names the annotated root that makes the finding apply (the
+	// //shadowlint:hotpath or //shadowlint:eventloop function the code is
+	// reachable from). Empty for analyzers without reachability
+	// provenance.
+	Root string
 }
 
 // String renders the finding in the canonical
@@ -51,19 +79,23 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check over a type-checked package, with the
+// whole-program facts available for cross-package reasoning.
 type Analyzer struct {
 	Name string
 	Doc  string
 	// Applies filters by module-relative package path ("internal/wire").
 	// A nil Applies means the analyzer runs on every package.
 	Applies func(relPath string) bool
-	Run     func(p *Package) []Diagnostic
+	Run     func(prog *Program, p *Package) []Diagnostic
 }
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Simclock, Detrand, DroppedErr, SliceRetain, RawPrint, HotAlloc}
+	return []*Analyzer{
+		Simclock, Detrand, DroppedErr, SliceRetain, RawPrint,
+		HotAlloc, CrossWorld, EventLoop, AtomicPub, MetricLabel,
+	}
 }
 
 // inInternal reports whether relPath is under the module's internal/
@@ -73,33 +105,64 @@ func inInternal(relPath string) bool {
 	return relPath == "internal" || strings.HasPrefix(relPath, "internal/")
 }
 
-// Run loads each import path and applies the analyzers, dropping
-// findings covered by //shadowlint:ignore directives. Diagnostics come
-// back sorted by file, line, column, analyzer.
-func Run(l *Loader, importPaths []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Run loads every import path through the shared loader, builds the
+// whole-program call graph once, and applies the analyzers with up to
+// workers concurrent per-package passes (workers < 1 means GOMAXPROCS).
+// Findings covered by //shadowlint:ignore directives are dropped, and a
+// directive that covers nothing becomes a finding itself. Diagnostics
+// come back sorted by file, line, column, analyzer, message — the order
+// is byte-stable at any worker count.
+func Run(l *Loader, importPaths []string, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
 	known := make(map[string]bool)
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var diags []Diagnostic
+	// Loading is sequential: the loader memoizes packages, so this phase
+	// is the shared type-fact cache every worker reads from.
+	targets := make([]*Package, 0, len(importPaths))
+	seen := make(map[string]bool, len(importPaths))
 	for _, path := range importPaths {
 		p, err := l.Load(path)
 		if err != nil {
 			return nil, err
 		}
-		sup, malformed := collectSuppressions(p, known)
-		diags = append(diags, malformed...)
-		for _, a := range analyzers {
-			if a.Applies != nil && !a.Applies(p.RelPath) {
-				continue
-			}
-			for _, d := range a.Run(p) {
-				if sup.covers(a.Name, d.Pos) {
-					continue
-				}
-				diags = append(diags, d)
-			}
+		if !seen[p.Path] {
+			seen[p.Path] = true
+			targets = append(targets, p)
 		}
+	}
+	prog := NewProgram(l)
+
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perPkg := make([][]Diagnostic, len(targets))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				perPkg[i] = analyzePackage(prog, targets[i], analyzers, known)
+			}
+		}()
+	}
+	for i := range targets {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -112,37 +175,115 @@ func Run(l *Loader, importPaths []string, analyzers []*Analyzer) ([]Diagnostic, 
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags, nil
 }
 
-const ignorePrefix = "shadowlint:ignore"
-
-// suppressions maps file → line → analyzer names suppressed on that
-// line. A directive covers its own line and the following one, so both
-// trailing comments and a comment line directly above the offending
-// statement work.
-type suppressions map[string]map[int]map[string]bool
-
-func (s suppressions) covers(analyzer string, pos token.Position) bool {
-	lines := s[pos.Filename]
-	if lines == nil {
-		return false
+// analyzePackage runs every applicable analyzer over one package,
+// filters the findings through the package's suppression directives,
+// and reports malformed, misplaced, and dead directives. Workers only
+// read the immutable Program, so this is safe to call concurrently for
+// distinct packages.
+func analyzePackage(prog *Program, p *Package, analyzers []*Analyzer, known map[string]bool) []Diagnostic {
+	sup, malformed := collectSuppressions(p, known)
+	diags := append([]Diagnostic(nil), malformed...)
+	diags = append(diags, prog.directiveDiags[p.Path]...)
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(p.RelPath) {
+			continue
+		}
+		ran[a.Name] = true
+		for _, d := range a.Run(prog, p) {
+			if sup.covers(a.Name, d.Pos) {
+				continue
+			}
+			diags = append(diags, d)
+		}
 	}
-	return lines[pos.Line][analyzer] || lines[pos.Line]["all"]
+	diags = append(diags, sup.dead(ran)...)
+	return diags
 }
 
-func (s suppressions) add(file string, line int, analyzer string) {
-	if s[file] == nil {
-		s[file] = make(map[int]map[string]bool)
+const ignorePrefix = "shadowlint:ignore"
+
+// supEntry is one //shadowlint:ignore directive with a hit counter, so
+// directives that stop suppressing anything can be reported as stale.
+type supEntry struct {
+	pos       token.Position
+	analyzers []string // analyzer names, possibly including "all"
+	hits      int
+}
+
+// suppressions indexes a package's directives by the lines they cover.
+// A directive covers its own line and the following one, so both
+// trailing comments and a comment line directly above the offending
+// statement work.
+type suppressions struct {
+	entries []*supEntry
+	byLine  map[string]map[int][]*supEntry
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{byLine: make(map[string]map[int][]*supEntry)}
+}
+
+func (s *suppressions) covers(analyzer string, pos token.Position) bool {
+	covered := false
+	for _, e := range s.byLine[pos.Filename][pos.Line] {
+		for _, name := range e.analyzers {
+			if name == analyzer || name == "all" {
+				e.hits++
+				covered = true
+			}
+		}
+	}
+	return covered
+}
+
+func (s *suppressions) add(file string, line int, pos token.Position, analyzers []string) {
+	e := &supEntry{pos: pos, analyzers: analyzers}
+	s.entries = append(s.entries, e)
+	if s.byLine[file] == nil {
+		s.byLine[file] = make(map[int][]*supEntry)
 	}
 	for _, l := range []int{line, line + 1} {
-		if s[file][l] == nil {
-			s[file][l] = make(map[string]bool)
-		}
-		s[file][l][analyzer] = true
+		s.byLine[file][l] = append(s.byLine[file][l], e)
 	}
+}
+
+// dead reports directives that suppressed nothing this run. Only
+// directives naming an analyzer that actually ran on the package (or
+// "all") are judged — a subset run must not condemn directives for
+// analyzers it skipped.
+func (s *suppressions) dead(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.entries {
+		if e.hits > 0 {
+			continue
+		}
+		judged := false
+		for _, name := range e.analyzers {
+			if name == "all" || ran[name] {
+				judged = true
+				break
+			}
+		}
+		if !judged {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      e.pos,
+			Analyzer: "shadowlint",
+			Message: fmt.Sprintf("stale suppression: //shadowlint:ignore %s no longer suppresses anything; delete it",
+				strings.Join(e.analyzers, ",")),
+		})
+	}
+	return out
 }
 
 // collectSuppressions scans a package's comments for
@@ -150,8 +291,8 @@ func (s suppressions) add(file string, line int, analyzer string) {
 // an unknown analyzer name, or a missing reason — are returned as
 // diagnostics of the pseudo-analyzer "shadowlint" so they cannot
 // silently disable anything.
-func collectSuppressions(p *Package, known map[string]bool) (suppressions, []Diagnostic) {
-	sup := make(suppressions)
+func collectSuppressions(p *Package, known map[string]bool) (*suppressions, []Diagnostic) {
+	sup := newSuppressions()
 	var malformed []Diagnostic
 	bad := func(pos token.Pos, msg string) {
 		malformed = append(malformed, Diagnostic{
@@ -176,8 +317,9 @@ func collectSuppressions(p *Package, known map[string]bool) (suppressions, []Dia
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
+				names := strings.Split(fields[0], ",")
 				ok := true
-				for _, name := range strings.Split(fields[0], ",") {
+				for _, name := range names {
 					if name != "all" && !known[name] {
 						bad(c.Pos(), fmt.Sprintf("suppression names unknown analyzer %q", name))
 						ok = false
@@ -186,9 +328,7 @@ func collectSuppressions(p *Package, known map[string]bool) (suppressions, []Dia
 				if !ok {
 					continue
 				}
-				for _, name := range strings.Split(fields[0], ",") {
-					sup.add(pos.Filename, pos.Line, name)
-				}
+				sup.add(pos.Filename, pos.Line, pos, names)
 			}
 		}
 	}
@@ -202,6 +342,13 @@ func diag(p *Package, pos token.Pos, analyzer, format string, args ...any) Diagn
 		Analyzer: analyzer,
 		Message:  fmt.Sprintf(format, args...),
 	}
+}
+
+// rootedDiag is diag plus reachability provenance.
+func rootedDiag(p *Package, pos token.Pos, analyzer, root, format string, args ...any) Diagnostic {
+	d := diag(p, pos, analyzer, format, args...)
+	d.Root = root
+	return d
 }
 
 // unparen strips redundant parentheses.

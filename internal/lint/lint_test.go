@@ -60,27 +60,45 @@ func openFixture(t *testing.T) *Loader {
 // TestAnalyzersOnFixtures drives every analyzer over the fixture
 // packages and requires an exact match between the emitted diagnostics
 // and the // want markers: each finding needs a marker on its exact
-// file and line, and each marker must be hit.
+// file and line, and each marker must be hit. Cases that exercise
+// cross-package reachability list every involved package.
 func TestAnalyzersOnFixtures(t *testing.T) {
 	cases := []struct {
-		pkg string // module-relative fixture package
+		name string
+		pkgs []string // module-relative fixture packages, analyzed together
 	}{
-		{pkg: "internal/clock"},
-		{pkg: "internal/rng"},
-		{pkg: "internal/errs"},
-		{pkg: "internal/fakewire"},
-		{pkg: "internal/printy"},
-		{pkg: "internal/hotsim"},
-		{pkg: "clockok"}, // outside internal/: zero findings expected
+		{name: "internal/clock", pkgs: []string{"internal/clock"}},
+		{name: "internal/rng", pkgs: []string{"internal/rng"}},
+		{name: "internal/errs", pkgs: []string{"internal/errs"}},
+		{name: "internal/fakewire", pkgs: []string{"internal/fakewire"}},
+		{name: "internal/printy", pkgs: []string{"internal/printy"}},
+		{name: "internal/hotsim", pkgs: []string{"internal/hotsim"}},
+		{name: "internal/hotx", pkgs: []string{"internal/hotx", "internal/hotxdep"}},
+		{name: "internal/crossworld", pkgs: []string{"internal/crossworld"}},
+		{name: "internal/loopfield", pkgs: []string{"internal/loopfield"}},
+		{name: "internal/atomicpub", pkgs: []string{"internal/atomicpub"}},
+		{name: "internal/metriclabel", pkgs: []string{"internal/metriclabel"}},
+		{name: "internal/staleignore", pkgs: []string{"internal/staleignore"}},
+		{name: "clockok", pkgs: []string{"clockok"}}, // outside internal/: zero findings expected
 	}
-	l := openFixture(t)
 	for _, tc := range cases {
-		t.Run(tc.pkg, func(t *testing.T) {
-			diags, err := Run(l, []string{"fixture/" + tc.pkg}, All())
+		t.Run(tc.name, func(t *testing.T) {
+			// A fresh loader per case keeps the whole-program graph scoped
+			// to the case's packages (plus their deps), so reachability
+			// roots in one fixture cannot leak into another.
+			l := openFixture(t)
+			paths := make([]string, len(tc.pkgs))
+			for i, pkg := range tc.pkgs {
+				paths[i] = "fixture/" + pkg
+			}
+			diags, err := Run(l, paths, All(), 0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			wants := parseWants(t, filepath.Join("testdata/mod", tc.pkg))
+			var wants []want
+			for _, pkg := range tc.pkgs {
+				wants = append(wants, parseWants(t, filepath.Join("testdata/mod", pkg))...)
+			}
 			matched := make([]bool, len(wants))
 		diag:
 			for _, d := range diags {
@@ -119,7 +137,7 @@ func TestExactPositions(t *testing.T) {
 		"fixture/internal/fakewire",
 		"fixture/internal/printy",
 		"fixture/internal/hotsim",
-	}, All())
+	}, All(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,12 +179,41 @@ func keys(m map[string]bool) string {
 	return sb.String()
 }
 
+// TestParallelDeterminism requires byte-identical diagnostics at any
+// worker count — the property the check.sh -json smoke holds shadowlint
+// to, checked here at the library layer.
+func TestParallelDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		l := openFixture(t)
+		paths, err := l.Expand([]string{"./..."})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := Run(l, paths, All(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, d := range diags {
+			sb.WriteString(d.String())
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); got != serial {
+			t.Errorf("diagnostics differ between -p 1 and -p %d:\n%s\nvs\n%s", workers, serial, got)
+		}
+	}
+}
+
 // TestMalformedSuppressions checks that broken directives are reported
 // by the "shadowlint" pseudo-analyzer and are NOT honored: the
 // wall-clock reads they fail to cover still fire.
 func TestMalformedSuppressions(t *testing.T) {
 	l := openFixture(t)
-	diags, err := Run(l, []string{"fixture/internal/badsup"}, All())
+	diags, err := Run(l, []string{"fixture/internal/badsup"}, All(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,6 +279,10 @@ func TestExpand(t *testing.T) {
 		"fixture/internal/errs",
 		"fixture/internal/fakewire",
 		"fixture/internal/rng",
+		"fixture/internal/crossworld",
+		"fixture/internal/loopfield",
+		"fixture/internal/atomicpub",
+		"fixture/internal/metriclabel",
 	} {
 		if !strings.Contains(joined, p) {
 			t.Errorf("Expand(./...) missing %s (got %v)", p, paths)

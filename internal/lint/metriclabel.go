@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MetricLabel guards telemetry cardinality before the Prometheus
+// endpoint faces a fleet: every CounterVec.With label value must come
+// from a bounded set. Accepted sources are constants (string literals,
+// named consts), identifiers or fields annotated //shadowlint:bounded
+// (e.g. a router name drawn from a fixed topology), and calls to
+// functions annotated //shadowlint:bounded (classifiers that map
+// arbitrary input onto a fixed rule set). Anything else — a formatted
+// string, a packet field, an address — is flagged: per-packet label
+// values grow the child map without bound.
+//
+// The telemetry package itself is exempt: its Snapshot/merge plumbing
+// re-feeds already-registered labels through With.
+var MetricLabel = &Analyzer{
+	Name: "metriclabel",
+	Doc:  "require bounded CounterVec label values (constants or //shadowlint:bounded sources)",
+	Applies: func(relPath string) bool {
+		return inInternal(relPath) && relPath != "internal/telemetry"
+	},
+	Run: runMetricLabel,
+}
+
+func runMetricLabel(prog *Program, p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if !isCounterVecWith(p, call) {
+				return true
+			}
+			arg := unparen(call.Args[0])
+			if boundedLabel(prog, p, arg) {
+				return true
+			}
+			out = append(out, diag(p, arg.Pos(), "metriclabel",
+				"unbounded metric label: CounterVec.With argument must be a constant or a //shadowlint:bounded source"))
+			return true
+		})
+	}
+	return out
+}
+
+// isCounterVecWith matches a method call to telemetry's
+// (*CounterVec).With.
+func isCounterVecWith(p *Package, call *ast.CallExpr) bool {
+	se, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || se.Sel.Name != "With" {
+		return false
+	}
+	sel, ok := p.Info.Selections[se]
+	if !ok || sel.Kind() != types.MethodVal {
+		return false
+	}
+	m := sel.Obj().(*types.Func)
+	if m.Pkg() == nil || !strings.HasSuffix(m.Pkg().Path(), "internal/telemetry") {
+		return false
+	}
+	recv := m.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "CounterVec"
+}
+
+// boundedLabel reports whether an expression draws from a bounded set:
+// a compile-time constant, a //shadowlint:bounded identifier/field/var,
+// or a call to a //shadowlint:bounded function.
+func boundedLabel(prog *Program, p *Package, e ast.Expr) bool {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		return true // constant-folded
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[x]; obj != nil && prog.HasDirective(obj, dirBounded) {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if obj := p.Info.Uses[x.Sel]; obj != nil && prog.HasDirective(obj, dirBounded) {
+			return true
+		}
+	case *ast.CallExpr:
+		if obj := calleeObject(p, x); obj != nil && prog.HasDirective(obj, dirBounded) {
+			return true
+		}
+	}
+	return false
+}

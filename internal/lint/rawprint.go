@@ -46,7 +46,7 @@ var RawPrint = &Analyzer{
 	Run:     runRawPrint,
 }
 
-func runRawPrint(p *Package) []Diagnostic {
+func runRawPrint(_ *Program, p *Package) []Diagnostic {
 	var out []Diagnostic
 	report := func(n ast.Node, pkg, fn string) {
 		out = append(out, diag(p, n.Pos(), "rawprint",

@@ -32,7 +32,7 @@ var Simclock = &Analyzer{
 	Run:     runSimclock,
 }
 
-func runSimclock(p *Package) []Diagnostic {
+func runSimclock(_ *Program, p *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -27,7 +27,7 @@ func isWirePackage(relPath string) bool {
 	return inInternal(relPath) && strings.HasSuffix(path.Base(relPath), "wire")
 }
 
-func runSliceRetain(p *Package) []Diagnostic {
+func runSliceRetain(_ *Program, p *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {

@@ -1,0 +1,73 @@
+// Package atomicpub exercises the atomicpub analyzer: every os.Rename
+// publish must be fsync-bracketed, and os.WriteFile is forbidden in a
+// package that publishes via rename.
+package atomicpub
+
+import "os"
+
+// publishGood is the canonical durable publish: write tmp, fsync the
+// file, rename, fsync the directory (through a helper).
+func publishGood(dir string, data []byte) error {
+	tmp := dir + "/manifest.tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dir+"/manifest.json"); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir flushes directory metadata; callers count as syncing.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return d.Close()
+}
+
+// publishTorn renames without either barrier.
+func publishTorn(dir string) error {
+	return os.Rename(dir+"/a", dir+"/b") // want atomicpub "not preceded by an fsync" // want atomicpub "not followed by a directory fsync"
+}
+
+// publishHalf syncs the file but forgets the directory.
+func publishHalf(dir string, f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/a", dir+"/b") // want atomicpub "not followed by a directory fsync"
+}
+
+// writeDirect is torn-on-crash; forbidden where renames exist.
+func writeDirect(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want atomicpub "not atomic"
+}
+
+// publishJustified shows a suppressed finding.
+func publishJustified(dir string) error {
+	//shadowlint:ignore atomicpub fixture keeps one justified non-durable rename
+	return os.Rename(dir+"/scratch", dir+"/scratch2")
+}
+
+var (
+	_ = publishGood
+	_ = publishTorn
+	_ = publishHalf
+	_ = writeDirect
+	_ = publishJustified
+)

@@ -1,0 +1,54 @@
+// Package crossworld exercises the crossworld analyzer: shared-type
+// fields may be written only in //shadowlint:sharedinit constructors,
+// and package-level vars must not be written from
+// //shadowlint:trialpath-reachable code.
+package crossworld
+
+// Blueprint is shared across concurrently instantiated worlds.
+//
+//shadowlint:shared
+type Blueprint struct {
+	specs []int
+	idx   map[string]int
+}
+
+var trialCount int
+
+// NewBlueprint is the construction phase; its writes are legal.
+//
+//shadowlint:sharedinit
+func NewBlueprint() *Blueprint {
+	bp := &Blueprint{idx: make(map[string]int)}
+	bp.specs = append(bp.specs, 1)
+	bp.idx["a"] = 0
+	return bp
+}
+
+// Instantiate is per-trial code.
+//
+//shadowlint:trialpath
+func Instantiate(bp *Blueprint) int {
+	bp.specs[0] = 2 // want crossworld "outside a //shadowlint:sharedinit constructor"
+	trialCount++    // want crossworld "package-level var trialCount from per-trial code"
+	return helper(bp)
+}
+
+// helper is reachable from the trial root, so its global write is a
+// cross-world leak too.
+func helper(bp *Blueprint) int {
+	trialCount = 3 // want crossworld "reachable from //shadowlint:trialpath root Instantiate"
+	return bp.specs[0]
+}
+
+// setupOnly is not reachable from any trial root, so the global write
+// is setup-phase and legal; the shared-field write still is not.
+func setupOnly(bp *Blueprint) {
+	trialCount = 0
+	bp.idx["b"] = 1 //shadowlint:ignore crossworld fixture keeps a justified construction-order exception
+}
+
+var (
+	_ = NewBlueprint
+	_ = Instantiate
+	_ = setupOnly
+)

@@ -1,0 +1,15 @@
+// Package hotx exercises cross-package hotalloc reachability: its
+// annotated root calls into internal/hotxdep, whose Sprintf must be
+// flagged even though the root lives in another package.
+package hotx
+
+import "fixture/internal/hotxdep"
+
+// forward is the per-packet entry point.
+//
+//shadowlint:hotpath
+func forward(b []byte) string {
+	return hotxdep.Describe(b)
+}
+
+var _ = forward

@@ -1,0 +1,17 @@
+// Package hotxdep is the dependency side of the cross-package hotalloc
+// fixture.
+package hotxdep
+
+import "fmt"
+
+// Describe is called from hotx's annotated root.
+func Describe(b []byte) string {
+	return fmt.Sprintf("%d bytes", len(b)) // want hotalloc "Describe is reachable from hot-path root forward"
+}
+
+// Cold is not reachable from any hot path; its Sprintf is fine.
+func Cold(b []byte) string {
+	return fmt.Sprintf("cold %d", len(b))
+}
+
+var _ = Cold

@@ -1,0 +1,68 @@
+// Package loopfield exercises the eventloop analyzer: fields annotated
+// //shadowlint:eventloop may only be used in code reachable from a
+// //shadowlint:eventloop dispatch root, and never from goroutine-
+// launched code.
+package loopfield
+
+//shadowlint:eventloop // want shadowlint "does not apply to a variable declaration"
+var scratchPool []byte
+
+// World owns the single event-loop goroutine.
+type World struct {
+	// enc is reply-encode scratch, safe only because handlers run on
+	// the world's event-loop goroutine.
+	//
+	//shadowlint:eventloop
+	enc []byte
+
+	handlers []func()
+}
+
+// Dispatch is the event loop: everything it reaches — including the
+// registered func() handlers, via the indirect call — runs on its
+// goroutine.
+//
+//shadowlint:eventloop
+func (w *World) Dispatch() {
+	for _, fn := range w.handlers {
+		fn()
+	}
+}
+
+// Register queues a handler for the loop.
+func (w *World) Register(fn func()) { w.handlers = append(w.handlers, fn) }
+
+// Setup wires a handler; the closure is reachable from Dispatch through
+// the signature-matched indirect call, so its scratch use is legal.
+func Setup(w *World) {
+	w.Register(func() {
+		w.enc = append(w.enc[:0], 1)
+	})
+}
+
+// Stray is called from nowhere the loop reaches.
+func Stray(w *World) {
+	w.enc = append(w.enc, 2) // want eventloop "not reachable from any //shadowlint:eventloop dispatch root"
+}
+
+// Leak hands the scratch to a fresh goroutine.
+func Leak(w *World) {
+	go w.drain()
+}
+
+func (w *World) drain() {
+	w.enc = w.enc[:0] // want eventloop "goroutine-launched"
+}
+
+// strayButJustified shows a suppressed finding.
+func strayButJustified(w *World) {
+	w.enc = nil //shadowlint:ignore eventloop fixture keeps one justified reset outside the loop
+}
+
+var (
+	_ = Setup
+	_ = Stray
+	_ = Leak
+	_ = strayButJustified
+	_ = scratchPool
+)

@@ -1,0 +1,43 @@
+// Package metriclabel exercises the metriclabel analyzer: CounterVec
+// label values must be constants or //shadowlint:bounded sources.
+package metriclabel
+
+import "fixture/internal/telemetry"
+
+// Router is topology state; its name set is fixed at build time.
+type Router struct {
+	//shadowlint:bounded
+	Name string
+
+	Addr string
+}
+
+const ruleDNS = "dns"
+
+// classify maps arbitrary payloads onto a fixed rule set.
+//
+//shadowlint:bounded
+func classify(payload []byte) string {
+	if len(payload) > 12 {
+		return "dns"
+	}
+	return "other"
+}
+
+func record(vec *telemetry.CounterVec, r *Router, payload []byte) {
+	vec.With("http").Inc()
+	vec.With(ruleDNS).Inc()
+	vec.With(r.Name).Inc()
+	vec.With(classify(payload)).Inc()
+	vec.With(r.Addr).Inc()          // want metriclabel "unbounded metric label"
+	vec.With(string(payload)).Inc() // want metriclabel "unbounded metric label"
+}
+
+func recordJustified(vec *telemetry.CounterVec, addr string) {
+	vec.With(addr).Inc() //shadowlint:ignore metriclabel fixture keeps one justified per-address child
+}
+
+var (
+	_ = record
+	_ = recordJustified
+)

@@ -1,0 +1,22 @@
+// Package staleignore exercises dead-suppression detection: a
+// directive that no longer suppresses anything is itself an error.
+package staleignore
+
+import "time"
+
+// frozen stopped reading the clock, but kept its suppression.
+func frozen() int64 {
+	v := int64(42)
+	//shadowlint:ignore simclock the clock read moved to the caller // want shadowlint "stale suppression"
+	return v
+}
+
+// now still reads the clock; its suppression is live and stays silent.
+func now() int64 {
+	return time.Now().Unix() //shadowlint:ignore simclock fixture keeps one live suppression for contrast
+}
+
+var (
+	_ = frozen
+	_ = now
+)

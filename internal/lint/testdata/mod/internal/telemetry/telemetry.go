@@ -1,0 +1,28 @@
+// Package telemetry is a miniature stand-in for the real module's
+// telemetry package, so metriclabel fixtures can call CounterVec.With.
+// The path matters: metriclabel resolves With by its receiver type and
+// the internal/telemetry import-path suffix, and exempts this package
+// itself.
+package telemetry
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// CounterVec is a one-label counter family.
+type CounterVec struct{ children map[string]*Counter }
+
+// With returns the counter for a label value, creating it on first use.
+func (v *CounterVec) With(label string) *Counter {
+	if v.children == nil {
+		v.children = make(map[string]*Counter)
+	}
+	c, ok := v.children[label]
+	if !ok {
+		c = &Counter{}
+		v.children[label] = c
+	}
+	return c
+}

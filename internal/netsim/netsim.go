@@ -28,6 +28,10 @@ import (
 // Exceeded when it expires, and expose attached Taps to every packet that
 // arrives on their wire.
 type Router struct {
+	// Name is drawn from the fixed set minted at topology build time, so
+	// it is a safe (bounded-cardinality) metric label.
+	//
+	//shadowlint:bounded
 	Name string
 	// Addr is the interface address exposed in ICMP error messages. A
 	// router with ICMPSilent set never answers, modeling the hops that make
@@ -487,9 +491,12 @@ func (n *Network) deliver(pkt []byte) {
 
 // dispatch executes one popped event and recycles it. The event's payload
 // is captured before release so a handler scheduling new work can reuse
-// the pooled object immediately.
+// the pooled object immediately. It is the event-loop root: everything it
+// reaches — flight hops, handler dispatch, scheduled closures — runs on
+// the world's single event-loop goroutine.
 //
 //shadowlint:hotpath
+//shadowlint:eventloop
 func (n *Network) dispatch(e *event) {
 	f, fn := e.flight, e.fn
 	n.releaseEvent(e)

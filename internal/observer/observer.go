@@ -168,10 +168,14 @@ type Exhibitor struct {
 	// enc is probe-encode scratch: probes launch on the world's single
 	// event-loop goroutine and SendUDPRequest copies the payload into the
 	// packet synchronously, so one encoder per exhibitor is safe.
+	//
+	//shadowlint:eventloop
 	enc dnswire.Encoder
 	// launchBuf is ObserveDomain's scratch for the probes one observation
 	// schedules; each Schedule closure captures its element by value, so
 	// the backing array is reusable on the next observation.
+	//
+	//shadowlint:eventloop
 	launchBuf []launch
 }
 

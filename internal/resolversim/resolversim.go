@@ -148,6 +148,8 @@ type Service struct {
 	// event-loop goroutine and every reply is copied into its packet (or
 	// HTTP envelope) before the next encode, so one encoder per service is
 	// safe. Upstream queries captured by retry closures still use Encode.
+	//
+	//shadowlint:eventloop
 	enc dnswire.Encoder
 }
 
@@ -506,6 +508,8 @@ type ReferralServer struct {
 	queries int64
 
 	// enc is reply-encode scratch; see Service.enc for why this is safe.
+	//
+	//shadowlint:eventloop
 	enc dnswire.Encoder
 }
 

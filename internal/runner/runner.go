@@ -168,7 +168,10 @@ func CampaignHash(cfg core.Config) string {
 // runTrial executes one world start to finish on the calling goroutine —
 // or, on resume, serves the trial from the store, which is
 // indistinguishable in batch output because trials are per-seed
-// deterministic.
+// deterministic. As the per-trial root, nothing it reaches may write
+// cross-world shared state (enforced by the crossworld analyzer).
+//
+//shadowlint:trialpath
 func runTrial(cfg Config, t int, hash string) Trial {
 	seed := cfg.BaseSeed + int64(t)
 	if cfg.Store != nil && cfg.Resume {

@@ -21,7 +21,11 @@ import (
 //
 // All fields except paths are written once in NewBlueprint and only read
 // afterwards; paths is a sync.Map, so the whole structure is safe to share
-// across any number of concurrently-instantiated worlds.
+// across any number of concurrently-instantiated worlds. The crossworld
+// analyzer enforces the write-once contract: field writes outside the
+// //shadowlint:sharedinit constructor are findings.
+//
+//shadowlint:shared
 type Blueprint struct {
 	geo   *geodb.DB // frozen; worlds layer private overlays on top
 	specs []asSpec  // AS construction order
@@ -81,6 +85,8 @@ type specBirth struct {
 // the snapshot (the seed only affects ICMPSilent draws, replayed per
 // trial); the structural knobs — CountryCount, HostingASesPerCountry,
 // RoutersPerAS, ICMPSilentFraction — are captured.
+//
+//shadowlint:sharedinit
 func NewBlueprint(cfg Config) *Blueprint {
 	t := Build(cfg)
 	bp := &Blueprint{
@@ -136,6 +142,8 @@ func NewBlueprint(cfg Config) *Blueprint {
 // attach per world), the geo overlay, the allocators, and an rng advanced
 // exactly as a cold Build(Config{Seed: seed}) would leave it. The result is
 // indistinguishable from a cold Build with the same seed.
+//
+//shadowlint:trialpath
 func (bp *Blueprint) Instantiate(seed int64) *Topology {
 	t := &Topology{
 		Geo:          bp.geo.Overlay(),
@@ -199,6 +207,8 @@ func (bp *Blueprint) Instantiate(seed int64) *Topology {
 // and falls back to a cold Build otherwise — the two produce byte-identical
 // worlds for the same seed, so callers can treat the blueprint as a pure
 // accelerator. Safe on a nil receiver.
+//
+//shadowlint:trialpath
 func (bp *Blueprint) InstantiateOrBuild(seed int64) *Topology {
 	if bp == nil {
 		return Build(Config{Seed: seed})

@@ -27,7 +27,18 @@ trap 'rm -f "$tmp"' EXIT
 echo "== go test -bench (${pkgs[*]}, benchtime $benchtime)"
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" "${pkgs[@]}" | tee "$tmp"
 
-awk -v date="$stamp" -v goversion="$(go version | awk '{print $3}')" '
+# Lint wall time: the whole-program engine promises a full-tree pass well
+# under the 30s acceptance ceiling; track it next to the benchmarks.
+echo "== shadowlint wall time"
+go build -o /tmp/shadowlint.bench ./cmd/shadowlint
+lint_start=$(date +%s.%N)
+/tmp/shadowlint.bench ./...
+lint_end=$(date +%s.%N)
+rm -f /tmp/shadowlint.bench
+lint_wall=$(awk -v a="$lint_start" -v b="$lint_end" 'BEGIN {printf "%.3f", b - a}')
+echo "shadowlint ./... took ${lint_wall}s"
+
+awk -v date="$stamp" -v goversion="$(go version | awk '{print $3}')" -v lintwall="$lint_wall" '
 /^Benchmark/ {
     name = $1; ns = ""; bytes = "0"; allocs = "0"
     for (i = 2; i <= NF; i++) {
@@ -48,7 +59,7 @@ END {
     speedup = ""
     if (w1 != "" && w4 != "" && w4 + 0 > 0)
         speedup = sprintf(",\n  \"trials_speedup_w4\": %.3f", w1 / w4)
-    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\"%s,\n  \"benchmarks\": [\n%s\n  ]\n}\n", date, goversion, speedup, body
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"lint_wall_seconds\": %s%s,\n  \"benchmarks\": [\n%s\n  ]\n}\n", date, goversion, lintwall, speedup, body
 }' "$tmp" >"$out"
 
 echo "wrote $out"

@@ -22,6 +22,21 @@ go vet ./...
 echo "== shadowlint"
 go run ./cmd/shadowlint ./...
 
+echo "== shadowlint -json determinism smoke"
+# Whole-program analysis runs on per-package workers; the diagnostic
+# stream (and the trailing summary object) must be byte-identical at any
+# worker count, mirroring the telemetry export contract.
+lint1=$(mktemp) && lint2=$(mktemp)
+go run ./cmd/shadowlint -json -p 1 ./... >"$lint1"
+go run ./cmd/shadowlint -json -p 8 ./... >"$lint2"
+if ! cmp -s "$lint1" "$lint2"; then
+    echo "shadowlint -json output depends on worker count:" >&2
+    diff "$lint1" "$lint2" >&2 || true
+    rm -f "$lint1" "$lint2"
+    exit 1
+fi
+rm -f "$lint1" "$lint2"
+
 echo "== go build"
 go build ./...
 

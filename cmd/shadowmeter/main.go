@@ -8,32 +8,41 @@
 //	            [-trials N] [-workers W] [-out DIR] [-resume]
 //	            [-phase1-only] [-json-stats] [-cold-topology]
 //	            [-metrics] [-metrics-json] [-progress N]
+//	            [-watch ADDR] [-occupancy-json PATH] [-flight-dir DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"shadowmeter/internal/core"
 	"shadowmeter/internal/runner"
 	"shadowmeter/internal/runstore"
 	"shadowmeter/internal/telemetry"
+	"shadowmeter/internal/watch"
 )
 
 // options are the parsed command-line settings that interact; kept in a
 // struct so flag-combination rules are testable.
 type options struct {
-	trials      int
-	out         string
-	resume      bool
-	phase1Only  bool
-	jsonStats   bool
-	metrics     bool
-	metricsJSON bool
-	mitigations bool
+	trials        int
+	out           string
+	resume        bool
+	phase1Only    bool
+	jsonStats     bool
+	metrics       bool
+	metricsJSON   bool
+	mitigations   bool
+	watch         string
+	occupancyJSON string
+	flightDir     string
 }
 
 // batch reports whether the run goes through the multi-trial campaign
@@ -54,6 +63,9 @@ func (o options) validate() error {
 		return fmt.Errorf("-out is incompatible with -mitigations: only main-experiment trials are persisted")
 	}
 	if o.mitigations {
+		if o.watch != "" || o.occupancyJSON != "" || o.flightDir != "" {
+			return fmt.Errorf("-watch, -occupancy-json and -flight-dir are incompatible with -mitigations: the observability plane watches the main-experiment campaign runner")
+		}
 		return nil // remaining rules govern the main experiment
 	}
 	if o.batch() {
@@ -66,6 +78,18 @@ func (o options) validate() error {
 		if o.metrics {
 			return fmt.Errorf("-metrics is incompatible with batch mode (-trials > 1 or -out): per-trial telemetry is merged; use -metrics-json for the merged export")
 		}
+		return nil
+	}
+	// The observability plane rides beside the campaign runner; single
+	// runs have nothing for it to observe.
+	if o.watch != "" {
+		return fmt.Errorf("-watch requires batch mode (-trials > 1 or -out): the observability plane watches a campaign")
+	}
+	if o.occupancyJSON != "" {
+		return fmt.Errorf("-occupancy-json requires batch mode (-trials > 1 or -out): occupancy is a property of the worker pool")
+	}
+	if o.flightDir != "" {
+		return fmt.Errorf("-flight-dir requires batch mode (-trials > 1 or -out): the flight recorder rides on the campaign monitor")
 	}
 	return nil
 }
@@ -84,8 +108,11 @@ func main() {
 		mitigations = flag.Bool("mitigations", false, "run the encryption mitigation study (ECH, DoH) instead of the main experiment")
 		metrics     = flag.Bool("metrics", false, "append the telemetry summary table to stderr after the report (single runs only)")
 		metricsJSON = flag.Bool("metrics-json", false, "print ONLY the telemetry export as JSON on stdout; in batch mode, the merged per-trial export (byte-identical for identical seeds)")
-		progressN   = flag.Int64("progress", 0, "report progress to stderr every N simulation events (0 disables)")
+		progressN   = flag.Int64("progress", 0, "single run: report progress to stderr every N simulation events; batch: any N > 0 prints one stderr line per completed trial (0 disables)")
 		coldTopo    = flag.Bool("cold-topology", false, "rebuild the topology from scratch for every trial instead of sharing a blueprint (output must be byte-identical either way)")
+		watchAddr   = flag.String("watch", "", "serve the live observability plane on ADDR (/healthz, /campaign, /progress, /metrics, /debug/pprof); batch mode only, provably inert")
+		occJSON     = flag.String("occupancy-json", "", "write the worker-occupancy report (busy/idle/merge-wait per worker, trial wall-time histogram) to PATH after the batch")
+		flightDir   = flag.String("flight-dir", "", "flight-recorder dump directory for panicking or slow trials (default: the -out campaign directory)")
 	)
 	flag.Parse()
 
@@ -94,6 +121,7 @@ func main() {
 		phase1Only: *phase1Only, jsonStats: *jsonStats,
 		metrics: *metrics, metricsJSON: *metricsJSON,
 		mitigations: *mitigations,
+		watch:       *watchAddr, occupancyJSON: *occJSON, flightDir: *flightDir,
 	}
 	if err := opts.validate(); err != nil {
 		log.Fatal(err)
@@ -118,7 +146,14 @@ func main() {
 	}
 
 	if opts.batch() {
-		runBatch(*trials, *workers, *seed, cfg, *scale, *metricsJSON, *out, *resume, *coldTopo)
+		runBatch(batchParams{
+			trials: *trials, workers: *workers, baseSeed: *seed,
+			cfg: cfg, scaleName: *scale,
+			metricsJSON: *metricsJSON, outDir: *out, resume: *resume,
+			coldTopo:  *coldTopo,
+			watchAddr: *watchAddr, occupancyPath: *occJSON,
+			flightDir: *flightDir, progress: *progressN > 0,
+		})
 		return
 	}
 
@@ -182,6 +217,43 @@ func main() {
 	}
 }
 
+// batchParams bundles everything a campaign run needs; the flag surface
+// grew past the point where a positional parameter list stays readable.
+type batchParams struct {
+	trials   int
+	workers  int
+	baseSeed int64
+	cfg      core.Config
+	// scaleName annotates the store manifest and campaign snapshot.
+	scaleName   string
+	metricsJSON bool
+	outDir      string
+	resume      bool
+	coldTopo    bool
+	// watchAddr, when non-empty, serves the observability plane there.
+	watchAddr string
+	// occupancyPath, when non-empty, receives the worker-occupancy JSON.
+	occupancyPath string
+	// flightDir overrides the flight-recorder directory (default outDir).
+	flightDir string
+	// progress prints one stderr line per completed trial.
+	progress bool
+}
+
+// observed reports whether the run needs a campaign monitor. A plain
+// unpersisted batch stays monitor-free — the check.sh watch-on/off diff
+// compares a genuinely bare pipeline against a fully observed one — but
+// a persisted campaign (-out) always gets one, so a panicking trial
+// leaves a flight dump beside the store it interrupted.
+func (p batchParams) observed() bool {
+	return p.watchAddr != "" || p.occupancyPath != "" || p.flightDir != "" || p.progress || p.outDir != ""
+}
+
+// stalledCheckInterval paces the in-flight slow-trial watchdog. The
+// ticker lives here, not in internal/ — wall-clock scheduling is a cmd/
+// concern (and the simclock analyzer holds internal packages to that).
+const stalledCheckInterval = 2 * time.Second
+
 // runBatch executes a multi-trial campaign and prints the aggregate
 // batch JSON (per-trial headlines + cross-trial mean/min/max). With
 // -metrics-json, stdout instead carries only the merged telemetry
@@ -189,35 +261,134 @@ func main() {
 // every completed trial is durably persisted as it finishes; with
 // -resume, trials already stored are served from the campaign store —
 // per-seed determinism makes the two paths byte-identical on stdout.
-func runBatch(trials, workers int, baseSeed int64, cfg core.Config, scaleName string, metricsJSON bool, outDir string, resume bool, coldTopo bool) {
+//
+// The observability plane (-watch, -occupancy-json, -progress, the
+// flight recorder) attaches a Monitor to the runner; the monitor only
+// ever sees copies and snapshots, so stdout stays byte-identical with
+// the plane on or off.
+func runBatch(p batchParams) {
 	started := time.Now()
-	rcfg := runner.Config{Trials: trials, Workers: workers, BaseSeed: baseSeed, Core: cfg, ColdTopology: coldTopo}
+	rcfg := runner.Config{Trials: p.trials, Workers: p.workers, BaseSeed: p.baseSeed, Core: p.cfg, ColdTopology: p.coldTopo}
 
 	var st *runstore.Store
-	if outDir != "" {
+	if p.outDir != "" {
 		man := runstore.Manifest{
 			Version:    runstore.StoreVersion,
-			ConfigHash: runner.CampaignHash(cfg),
-			BaseSeed:   baseSeed,
-			Trials:     trials,
-			Scale:      scaleName,
+			ConfigHash: runner.CampaignHash(p.cfg),
+			BaseSeed:   p.baseSeed,
+			Trials:     p.trials,
+			Scale:      p.scaleName,
 		}
 		var err error
-		st, err = runstore.OpenOrCreate(outDir, man, telemetry.NewSet())
+		st, err = runstore.OpenOrCreate(p.outDir, man, telemetry.NewSet())
 		if err != nil {
 			log.Fatalf("opening campaign store: %v", err)
 		}
-		if !resume && st.Len() > 0 {
-			log.Fatalf("campaign %s already holds %d trial records; pass -resume to continue it or point -out at a fresh directory", outDir, st.Len())
+		if !p.resume && st.Len() > 0 {
+			log.Fatalf("campaign %s already holds %d trial records; pass -resume to continue it or point -out at a fresh directory", p.outDir, st.Len())
 		}
 		if n := st.Stats().TornTailTruncations; n > 0 {
-			fmt.Fprintf(os.Stderr, "store %s: truncated %d torn tail record(s) left by an interrupted run\n", outDir, n)
+			fmt.Fprintf(os.Stderr, "store %s: truncated %d torn tail record(s) left by an interrupted run\n", p.outDir, n)
 		}
-		rcfg.Store, rcfg.Resume = st, resume
+		rcfg.Store, rcfg.Resume = st, p.resume
 	}
 
-	fmt.Fprintf(os.Stderr, "running %d trials (seeds %d..%d)...\n", trials, baseSeed, baseSeed+int64(trials)-1)
+	var mon *runner.Monitor
+	var repDone chan struct{}
+	stop := make(chan struct{})
+	if p.observed() {
+		flightDir := p.flightDir
+		if flightDir == "" {
+			flightDir = p.outDir // panics in a persisted campaign leave evidence beside it
+		}
+		bus := telemetry.NewBus(time.Now, 0)
+		mon = runner.NewMonitor(runner.MonitorOptions{
+			Clock:     time.Now,
+			Bus:       bus,
+			FlightDir: flightDir,
+			Scale:     p.scaleName,
+		})
+		rcfg.Monitor = mon
+
+		if p.watchAddr != "" {
+			ln, err := net.Listen("tcp", p.watchAddr)
+			if err != nil {
+				log.Fatalf("-watch %s: %v", p.watchAddr, err)
+			}
+			// check.sh and operators parse this line for the resolved port.
+			fmt.Fprintf(os.Stderr, "watch: serving on http://%s\n", ln.Addr())
+			srv := &watch.Server{Monitor: mon, Bus: bus}
+			go func() {
+				if err := http.Serve(ln, srv.Handler()); err != nil {
+					select {
+					case <-stop: // campaign over; listener closed under us
+					default:
+						fmt.Fprintf(os.Stderr, "watch: server stopped: %v\n", err)
+					}
+				}
+			}()
+			defer ln.Close()
+		}
+		if p.progress {
+			rep := &telemetry.Reporter{Bus: bus, Total: p.trials, W: os.Stderr, Clock: time.Now}
+			repDone = make(chan struct{})
+			go func() {
+				defer close(repDone)
+				rep.Run(stop)
+			}()
+		}
+		// In-flight slow-trial watchdog: internal/ cannot own a ticker
+		// (deterministic pipeline), so cmd/ paces the checks.
+		go func() {
+			tick := time.NewTicker(stalledCheckInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					mon.CheckStalled()
+				}
+			}
+		}()
+		// SIGQUIT: flight-dump every in-flight trial, then restore the
+		// default handler so a second SIGQUIT still gets the Go runtime's
+		// goroutine dump.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		defer signal.Stop(quit)
+		go func() {
+			select {
+			case <-stop:
+			case <-quit:
+				n := mon.DumpInflight("sigquit")
+				fmt.Fprintf(os.Stderr, "watch: SIGQUIT: wrote %d flight dump(s)\n", n)
+				signal.Stop(quit)
+			}
+		}()
+	}
+
+	fmt.Fprintf(os.Stderr, "running %d trials (seeds %d..%d)...\n", p.trials, p.baseSeed, p.baseSeed+int64(p.trials)-1)
 	res := runner.Run(rcfg)
+	close(stop)
+	if repDone != nil {
+		<-repDone // let the reporter drain its final "trials N/N" line
+	}
+
+	if mon != nil {
+		if err := mon.FlightErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "watch: flight recorder: %v\n", err)
+		}
+		if p.occupancyPath != "" {
+			b, err := mon.OccupancyJSON()
+			if err == nil {
+				err = os.WriteFile(p.occupancyPath, b, 0o644)
+			}
+			if err != nil {
+				log.Fatalf("-occupancy-json %s: %v", p.occupancyPath, err)
+			}
+		}
+	}
 
 	if st != nil {
 		if res.StoreErr != nil {
@@ -228,10 +399,10 @@ func runBatch(trials, workers int, baseSeed int64, cfg core.Config, scaleName st
 		}
 		s := st.Stats()
 		fmt.Fprintf(os.Stderr, "store %s: records written %d, resume hits %d, torn-tail truncations %d\n",
-			outDir, s.RecordsWritten, s.ResumeHits, s.TornTailTruncations)
+			p.outDir, s.RecordsWritten, s.ResumeHits, s.TornTailTruncations)
 	}
 
-	if metricsJSON {
+	if p.metricsJSON {
 		os.Stdout.Write(res.MergedTelemetryJSON())
 		fmt.Fprintf(os.Stderr, "total wall time: %.1fs\n", time.Since(started).Seconds())
 		return

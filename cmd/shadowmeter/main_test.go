@@ -23,8 +23,17 @@ func TestFlagValidation(t *testing.T) {
 		{"campaign resume", options{trials: 4, out: "camp", resume: true}, ""},
 		{"mitigations alone", options{trials: 1, mitigations: true}, ""},
 		{"mitigations with phase1-only tolerated", options{trials: 1, mitigations: true, phase1Only: true}, ""},
+		{"batch with watch", options{trials: 4, watch: "127.0.0.1:0"}, ""},
+		{"campaign of one with watch", options{trials: 1, out: "camp", watch: "127.0.0.1:0"}, ""},
+		{"batch with occupancy json", options{trials: 4, occupancyJSON: "occ.json"}, ""},
+		{"batch with flight dir", options{trials: 4, flightDir: "dumps"}, ""},
+		{"fully observed campaign", options{trials: 4, out: "camp", watch: ":0", occupancyJSON: "occ.json", flightDir: "dumps", metricsJSON: true}, ""},
 
 		{"resume without out", options{trials: 4, resume: true}, "-resume requires -out"},
+		{"single run with watch", options{trials: 1, watch: "127.0.0.1:0"}, "-watch requires batch mode"},
+		{"single run with occupancy json", options{trials: 1, occupancyJSON: "occ.json"}, "-occupancy-json requires batch mode"},
+		{"single run with flight dir", options{trials: 1, flightDir: "dumps"}, "-flight-dir requires batch mode"},
+		{"mitigations with watch", options{trials: 1, mitigations: true, watch: ":0"}, "-mitigations"},
 		{"mitigations with out", options{trials: 1, out: "camp", mitigations: true}, "-mitigations"},
 		{"batch with phase1-only", options{trials: 4, phase1Only: true}, "-phase1-only"},
 		{"campaign with phase1-only", options{trials: 1, out: "camp", phase1Only: true}, "-phase1-only"},

@@ -7,6 +7,7 @@
 //
 //	shadowstore list DIR...                     campaign summaries
 //	shadowstore show [-trial N] DIR             per-trial headlines, or one full record
+//	shadowstore tail [-interval D] DIR          follow a (live) campaign's trial log
 //	shadowstore diff [-all] DIR_A DIR_B         headline deltas (Figure 3 ratios, Table 2/3 counts)
 //	shadowstore retention [-min-delay D] DIR... cross-campaign multi-use/delay analysis
 //
@@ -16,8 +17,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	fs2 "io/fs" // fs is the conventional FlagSet name in this file
 	"log"
 	"os"
 	"sort"
@@ -36,6 +39,7 @@ func usage() {
 
   shadowstore list DIR...                     campaign summaries
   shadowstore show [-trial N] DIR             per-trial headlines, or one full record
+  shadowstore tail [-interval D] DIR          follow a (live) campaign's trial log
   shadowstore diff [-all] DIR_A DIR_B         headline deltas between two campaigns
   shadowstore retention [-min-delay D] DIR... cross-campaign multi-use/delay analysis
 `)
@@ -55,6 +59,8 @@ func main() {
 		err = cmdList(args)
 	case "show":
 		err = cmdShow(args)
+	case "tail":
+		err = cmdTail(args)
 	case "diff":
 		err = cmdDiff(args)
 	case "retention":
@@ -140,6 +146,67 @@ func cmdShow(args []string) error {
 			rec.Headline["unsolicited"], rec.Headline["observer_addrs"], len(rec.Events))
 	}
 	return nil
+}
+
+// cmdTail follows a campaign's trial log as its batch runner appends to
+// it: every record already stored is printed immediately, then the log
+// is polled and each newly completed trial printed as it lands, until
+// the campaign holds all the trials its manifest promises.
+//
+// The follower is strictly read-only — it never opens a Store, so it
+// can never trigger the writable-mode torn-tail repair under a live
+// writer. A half-appended frame at the tail simply fails to decode on
+// this poll and decodes on a later one; a writer restart that truncates
+// a torn tail only removes bytes the follower never accepted as valid.
+func cmdTail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval for new records")
+	follow := fs.Bool("follow", true, "poll until the campaign completes; -follow=false prints the stored trials and exits")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("tail: need exactly one campaign directory")
+	}
+	dir := fs.Arg(0)
+	man, err := runstore.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	if man.Version != runstore.StoreVersion {
+		return fmt.Errorf("tail: campaign %s has store version %d; this build speaks version %d", dir, man.Version, runstore.StoreVersion)
+	}
+	fmt.Printf("tailing campaign %s\n  scale %s, config %.12s, seeds %d..%d, %d trials expected\n\n",
+		dir, man.Scale, man.ConfigHash, man.BaseSeed, man.BaseSeed+int64(man.Trials)-1, man.Trials)
+	fmt.Printf("%5s %8s %12s %10s %12s %10s %8s\n",
+		"trial", "seed", "sent_decoys", "captures", "unsolicited", "observers", "events")
+
+	printed := 0
+	for {
+		data, err := os.ReadFile(runstore.LogPath(dir))
+		if err != nil && !errors.Is(err, fs2.ErrNotExist) {
+			return fmt.Errorf("tail: reading trial log: %w", err)
+		}
+		recs, _ := runstore.DecodeRecords(data)
+		// Valid frames are append-only (repair only ever removes the torn,
+		// never-decoded tail), so everything past `printed` is new.
+		for _, rec := range recs[min(printed, len(recs)):] {
+			fmt.Printf("%5d %8d %12.0f %10.0f %12.0f %10.0f %8d\n",
+				rec.Trial, rec.Seed,
+				rec.Headline["sent_decoys"], rec.Headline["captures"],
+				rec.Headline["unsolicited"], rec.Headline["observer_addrs"], len(rec.Events))
+		}
+		printed = max(printed, len(recs))
+		if printed >= man.Trials {
+			fmt.Printf("\ncampaign complete: %d/%d trials stored\n", printed, man.Trials)
+			return nil
+		}
+		if !*follow {
+			fmt.Printf("\ncampaign in progress: %d/%d trials stored\n", printed, man.Trials)
+			return nil
+		}
+		time.Sleep(*interval)
+	}
 }
 
 // means folds stored records into one value per headline key.

@@ -55,6 +55,13 @@ type Config struct {
 	// for the determinism cross-check (TestBlueprintDeterminism) and as an
 	// escape hatch.
 	ColdTopology bool
+
+	// Monitor, when non-nil, receives live campaign callbacks: bus
+	// events, worker-occupancy accounting, and flight-recorder triggers.
+	// The monitor only ever receives copies and snapshots taken by each
+	// trial's own goroutine, so batch output is byte-identical with or
+	// without it (CI-enforced by the -watch on/off diff in check.sh).
+	Monitor *Monitor
 }
 
 // Trial is the outcome of one world.
@@ -122,23 +129,38 @@ func Run(cfg Config) *Result {
 		cfg.Core.Topo = topology.NewBlueprint(topology.Config{})
 	}
 
+	if m := cfg.Monitor; m != nil {
+		info := CampaignInfo{Trials: trials, Workers: workers, BaseSeed: cfg.BaseSeed, ConfigHash: hash}
+		if cfg.Store != nil {
+			info.StoreDir = cfg.Store.Dir()
+		}
+		m.campaignStarted(info)
+	}
+
 	results := make([]Trial, trials)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for t := range jobs {
-				results[t] = runTrial(cfg, t, hash)
+			if m := cfg.Monitor; m != nil {
+				m.workerStarted(w)
+				defer m.workerExited(w)
 			}
-		}()
+			for t := range jobs {
+				results[t] = runTrial(cfg, w, t, hash)
+			}
+		}(w)
 	}
 	for t := 0; t < trials; t++ {
 		jobs <- t
 	}
 	close(jobs)
 	wg.Wait()
+	if m := cfg.Monitor; m != nil {
+		m.campaignFinished()
+	}
 
 	res := &Result{Trials: results, Aggregate: aggregate(results)}
 	for _, tr := range results {
@@ -169,14 +191,29 @@ func CampaignHash(cfg core.Config) string {
 // or, on resume, serves the trial from the store, which is
 // indistinguishable in batch output because trials are per-seed
 // deterministic. As the per-trial root, nothing it reaches may write
-// cross-world shared state (enforced by the crossworld analyzer).
+// cross-world shared state (enforced by the crossworld analyzer); the
+// monitor hooks hand copies outward, never reach inward.
 //
 //shadowlint:trialpath
-func runTrial(cfg Config, t int, hash string) Trial {
+func runTrial(cfg Config, worker, t int, hash string) Trial {
 	seed := cfg.BaseSeed + int64(t)
+	if m := cfg.Monitor; m != nil {
+		m.trialStarted(worker, t, seed)
+		defer func() {
+			// A panicking trial gets a flight dump before the panic
+			// propagates — the world's span ring is the crash context.
+			if r := recover(); r != nil {
+				m.trialPanicked(t, fmt.Sprint(r))
+				panic(r)
+			}
+		}()
+	}
 	if cfg.Store != nil && cfg.Resume {
 		if rec, ok := cfg.Store.Get(t); ok && rec.Seed == seed && rec.ConfigHash == hash {
 			cfg.Store.NoteResumeHit()
+			if m := cfg.Monitor; m != nil {
+				m.trialFinished(worker, t, seed, true, rec.Headline, rec.Metrics, rec.Spans)
+			}
 			return Trial{
 				Trial:    t,
 				Seed:     seed,
@@ -191,6 +228,9 @@ func runTrial(cfg Config, t int, hash string) Trial {
 	coreCfg := cfg.Core
 	coreCfg.Seed = seed
 	e := core.NewExperiment(coreCfg)
+	if m := cfg.Monitor; m != nil {
+		m.attachWorld(t, e.Telemetry())
+	}
 	e.ScreenPairResolvers()
 	e.RunPhaseI()
 	e.RunPhaseII()
@@ -215,6 +255,12 @@ func runTrial(cfg Config, t int, hash string) Trial {
 			Metrics:    tr.Metrics,
 			Spans:      tr.Spans,
 		})
+		if m := cfg.Monitor; m != nil {
+			m.storeAppended(t, tr.StoreErr)
+		}
+	}
+	if m := cfg.Monitor; m != nil {
+		m.trialFinished(worker, t, seed, false, tr.Headline, tr.Metrics, tr.Spans)
 	}
 	return tr
 }

@@ -419,6 +419,25 @@ func scanRecords(data []byte) (recs []TrialRecord, offs []int64, valid int64) {
 	return recs, offs, int64(off)
 }
 
+// DecodeRecords decodes every valid record frame at the start of data,
+// returning them in file order plus the number of valid bytes consumed.
+// Everything from the first torn or corrupt frame on is ignored, which
+// makes it safe on a snapshot of a live log: a half-appended tail frame
+// simply does not decode yet, and will on a later read. This is the
+// read-only follower's primitive (shadowstore tail) — it never opens a
+// Store and so can never trigger writable-mode tail repair.
+func DecodeRecords(data []byte) ([]TrialRecord, int64) {
+	recs, _, valid := scanRecords(data)
+	return recs, valid
+}
+
+// ReadManifest reads a campaign's manifest without opening its store —
+// for tooling that wants the identity and trial plan of a possibly
+// still-running campaign with zero interaction with its log.
+func ReadManifest(dir string) (Manifest, error) {
+	return readManifest(dir)
+}
+
 // LogOffsets returns the byte offset of every valid record in a
 // campaign's trial log, in file order — a diagnostic for tests and
 // tooling (truncating the file at LogOffsets(dir)[k] keeps exactly the

@@ -139,7 +139,14 @@ func (s *Set) WriteText(w io.Writer) {
 // format (version 0.0.4): HELP/TYPE headers, labeled children, and
 // cumulative histogram buckets.
 func (s *Set) WritePrometheus(w io.Writer) {
-	for _, m := range s.Registry.Snapshot() {
+	WritePrometheusMetrics(w, s.Registry.Snapshot())
+}
+
+// WritePrometheusMetrics renders an exported metric slice — a registry
+// snapshot or a MergeSnapshots result — in the Prometheus text format.
+// The watch plane serves merged-so-far campaign metrics through this.
+func WritePrometheusMetrics(w io.Writer, metrics []Metric) {
+	for _, m := range metrics {
 		if m.Help != "" {
 			fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help)
 		}

@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the streaming half of the observability layer: a bounded,
+// sequence-numbered event bus the multi-trial runner publishes campaign
+// milestones into (campaign_started, trial_started/finished, worker
+// busy/idle transitions, store appends, flight-recorder dumps) and the
+// live watch plane (internal/watch, shadowmeter -watch) reads back out.
+//
+// The bus is deliberately on the *side* of the deterministic pipeline:
+// publishers hand over copies, consumers receive copies, and nothing a
+// consumer does can block or reorder a trial. Publish never blocks — the
+// ring evicts its oldest event and slow subscribers drop — so attaching
+// a watcher to a campaign cannot perturb its output (the byte-identical
+// batch-JSON contract is CI-enforced with -watch on and off).
+
+// Stream event types, in roughly the order a campaign emits them.
+const (
+	EventCampaignStarted  = "campaign_started"
+	EventWorkerBusy       = "worker_busy"
+	EventTrialStarted     = "trial_started"
+	EventTrialFinished    = "trial_finished"
+	EventWorkerIdle       = "worker_idle"
+	EventStoreAppended    = "store_appended"
+	EventFlightDump       = "flight_dump"
+	EventCampaignFinished = "campaign_finished"
+)
+
+// StreamEvent is one bus message. Fields are a union across event types;
+// unused ones stay at their zero value and are elided from JSON where
+// that cannot be confused with real data. Trial and Worker use -1 for
+// "not applicable" because 0 is a valid index for both.
+type StreamEvent struct {
+	// Seq is the bus-assigned sequence number, dense and strictly
+	// increasing per bus. Gaps on the consumer side mean eviction.
+	Seq uint64 `json:"seq"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// WallNS stamps the publish instant (bus clock, Unix nanoseconds).
+	WallNS int64 `json:"wall_ns"`
+
+	Trial  int   `json:"trial"`
+	Worker int   `json:"worker"`
+	Seed   int64 `json:"seed,omitempty"`
+
+	// Completed/Total carry monotonic campaign progress on
+	// trial_finished and campaign_* events.
+	Completed int `json:"completed,omitempty"`
+	Total     int `json:"total,omitempty"`
+
+	// Resumed marks a trial served from the campaign store.
+	Resumed bool `json:"resumed,omitempty"`
+	// WallSeconds is the trial's wall-clock duration on trial_finished.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// VirtualSeconds is the trial's summed span duration in virtual time.
+	VirtualSeconds float64 `json:"virtual_seconds,omitempty"`
+	// Headline carries the trial's scalar headline stats (campaign
+	// totals only — per-country/per-protocol families stay in the batch
+	// JSON) on trial_finished.
+	Headline map[string]float64 `json:"headline,omitempty"`
+	// Detail is a free-form annotation (flight-dump reason, store path).
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultBusCapacity bounds the ring when NewBus is given no capacity.
+const DefaultBusCapacity = 4096
+
+// BusStats is a snapshot of the bus's self-accounting.
+type BusStats struct {
+	// Published counts every event ever accepted.
+	Published int64 `json:"published"`
+	// Evicted counts ring slots overwritten before any poller could have
+	// read them at the current capacity (the poll-side drop counter).
+	Evicted int64 `json:"evicted"`
+	// SubscriberDropped counts events not delivered to some subscriber
+	// because its channel was full (the push-side drop counter).
+	SubscriberDropped int64 `json:"subscriber_dropped"`
+	// Subscribers is the current subscriber count.
+	Subscribers int `json:"subscribers"`
+}
+
+// Bus is a bounded broadcast ring. Publishing is cheap (one mutex, one
+// ring write, one non-blocking send per subscriber) and never blocks;
+// overflow is recorded in drop counters instead of backpressure, because
+// the publisher is the measurement hot path and the consumers are
+// best-effort observers.
+type Bus struct {
+	// Clock stamps events. Installed by cmd/ binaries (time.Now); nil
+	// stamps the zero time. The bus clock feeds only the live plane,
+	// never deterministic output.
+	clock Clock
+
+	mu      sync.Mutex
+	ring    []StreamEvent
+	next    uint64 // seq assigned to the next published event
+	evicted int64
+	subs    map[*Subscriber]bool
+
+	published  atomic.Int64
+	subDropped atomic.Int64
+}
+
+// NewBus creates a bus with the given ring capacity (<= 0 means
+// DefaultBusCapacity) stamping events with clock (nil stamps zero).
+func NewBus(clock Clock, capacity int) *Bus {
+	if capacity <= 0 {
+		capacity = DefaultBusCapacity
+	}
+	return &Bus{
+		clock: clock,
+		ring:  make([]StreamEvent, capacity),
+		subs:  make(map[*Subscriber]bool),
+	}
+}
+
+// Publish assigns the event a sequence number and timestamp, stores it
+// in the ring (evicting the oldest event when full), and offers it to
+// every subscriber without blocking. It returns the assigned sequence
+// number.
+func (b *Bus) Publish(ev StreamEvent) uint64 {
+	if b.clock != nil {
+		ev.WallNS = b.clock().UnixNano()
+	}
+	b.mu.Lock()
+	ev.Seq = b.next
+	b.next++
+	slot := ev.Seq % uint64(len(b.ring))
+	if ev.Seq >= uint64(len(b.ring)) {
+		b.evicted++ // the slot held the event len(ring) seqs ago
+	}
+	b.ring[slot] = ev
+	// Deliver under the lock so every subscriber sees events in seq
+	// order; the sends are non-blocking, so the critical section stays
+	// bounded by the subscriber count.
+	for s := range b.subs {
+		select {
+		case s.c <- ev:
+		default:
+			s.dropped.Add(1)
+			b.subDropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+
+	b.published.Add(1)
+	return ev.Seq
+}
+
+// Since returns every retained event with Seq >= seq in order, the
+// sequence number to poll from next, and how many requested events were
+// already evicted from the ring (0 when the caller kept up).
+func (b *Bus) Since(seq uint64) (events []StreamEvent, next uint64, missed uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	oldest := uint64(0)
+	if b.next > uint64(len(b.ring)) {
+		oldest = b.next - uint64(len(b.ring))
+	}
+	from := seq
+	if from < oldest {
+		missed = oldest - from
+		from = oldest
+	}
+	for s := from; s < b.next; s++ {
+		events = append(events, b.ring[s%uint64(len(b.ring))])
+	}
+	return events, b.next, missed
+}
+
+// Recent returns up to n of the newest retained events in order.
+func (b *Bus) Recent(n int) []StreamEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= 0 {
+		return nil
+	}
+	from := uint64(0)
+	if b.next > uint64(n) {
+		from = b.next - uint64(n)
+	}
+	if b.next > uint64(len(b.ring)) && from < b.next-uint64(len(b.ring)) {
+		from = b.next - uint64(len(b.ring))
+	}
+	out := make([]StreamEvent, 0, b.next-from)
+	for s := from; s < b.next; s++ {
+		out = append(out, b.ring[s%uint64(len(b.ring))])
+	}
+	return out
+}
+
+// Stats snapshots the bus accounting.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	evicted := b.evicted
+	subscribers := len(b.subs)
+	b.mu.Unlock()
+	return BusStats{
+		Published:         b.published.Load(),
+		Evicted:           evicted,
+		SubscriberDropped: b.subDropped.Load(),
+		Subscribers:       subscribers,
+	}
+}
+
+// Subscriber is one push-mode consumer. Read events from C; a full
+// channel makes the bus drop (counted), never block.
+type Subscriber struct {
+	// C delivers events in publish order, minus any dropped.
+	C <-chan StreamEvent
+
+	c       chan StreamEvent
+	dropped atomic.Int64
+}
+
+// Dropped reports how many events this subscriber missed because its
+// channel was full at publish time.
+func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
+
+// Subscribe registers a push consumer with the given channel buffer
+// (<= 0 means 64). The caller must Unsubscribe when done.
+func (b *Bus) Subscribe(buffer int) *Subscriber {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	s := &Subscriber{c: make(chan StreamEvent, buffer)}
+	s.C = s.c
+	b.mu.Lock()
+	b.subs[s] = true
+	b.mu.Unlock()
+	return s
+}
+
+// Unsubscribe removes the subscriber and closes its channel, so a
+// consumer ranging over C terminates.
+func (b *Bus) Unsubscribe(s *Subscriber) {
+	b.mu.Lock()
+	registered := b.subs[s]
+	delete(b.subs, s)
+	b.mu.Unlock()
+	if registered {
+		close(s.c)
+	}
+}
+
+// wallOf converts an event timestamp back to a time.Time.
+func wallOf(ev StreamEvent) time.Time { return time.Unix(0, ev.WallNS) }

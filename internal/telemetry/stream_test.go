@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusSequencesAndSince(t *testing.T) {
+	b := NewBus(nil, 8)
+	for i := 0; i < 5; i++ {
+		seq := b.Publish(StreamEvent{Type: EventTrialStarted, Trial: i})
+		if seq != uint64(i) {
+			t.Fatalf("publish %d assigned seq %d", i, seq)
+		}
+	}
+	events, next, missed := b.Since(0)
+	if len(events) != 5 || next != 5 || missed != 0 {
+		t.Fatalf("Since(0) = %d events, next %d, missed %d; want 5, 5, 0", len(events), next, missed)
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i) || ev.Trial != i {
+			t.Fatalf("event %d out of order: seq %d trial %d", i, ev.Seq, ev.Trial)
+		}
+	}
+	if tail, _, _ := b.Since(3); len(tail) != 2 || tail[0].Seq != 3 {
+		t.Fatalf("Since(3) = %+v; want seqs 3, 4", tail)
+	}
+}
+
+// The ring must overflow by eviction, never by blocking: Publish past
+// capacity keeps returning immediately, the drop shows up in Evicted,
+// and Since reports exactly how much of a lagging poller's window is
+// gone.
+func TestBusOverflowEvictsWithoutBlocking(t *testing.T) {
+	const capacity, published = 8, 20
+	b := NewBus(nil, capacity)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < published; i++ {
+			b.Publish(StreamEvent{Type: EventStoreAppended, Trial: i})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a full ring")
+	}
+	st := b.Stats()
+	if st.Published != published {
+		t.Fatalf("Published = %d, want %d", st.Published, published)
+	}
+	if want := int64(published - capacity); st.Evicted != want {
+		t.Fatalf("Evicted = %d, want %d", st.Evicted, want)
+	}
+	events, next, missed := b.Since(0)
+	if missed != published-capacity {
+		t.Fatalf("Since(0) missed = %d, want %d", missed, published-capacity)
+	}
+	if len(events) != capacity || next != published {
+		t.Fatalf("Since(0) = %d events next %d, want %d retained next %d", len(events), next, capacity, published)
+	}
+	if events[0].Seq != published-capacity {
+		t.Fatalf("oldest retained seq = %d, want %d", events[0].Seq, published-capacity)
+	}
+}
+
+// A subscriber that stops reading must cost the publisher nothing: the
+// hot path keeps returning, and the loss is visible on both the
+// subscriber's own counter and the bus aggregate.
+func TestBusSlowSubscriberDropsWithoutBlocking(t *testing.T) {
+	b := NewBus(nil, 64)
+	sub := b.Subscribe(2) // tiny buffer, and nobody reading
+	defer b.Unsubscribe(sub)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			b.Publish(StreamEvent{Type: EventWorkerBusy, Worker: i})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a full subscriber channel")
+	}
+	if got := sub.Dropped(); got != 8 {
+		t.Fatalf("subscriber Dropped = %d, want 8", got)
+	}
+	if st := b.Stats(); st.SubscriberDropped != 8 {
+		t.Fatalf("bus SubscriberDropped = %d, want 8", st.SubscriberDropped)
+	}
+	// The 2 buffered events arrived in order.
+	first := <-sub.C
+	second := <-sub.C
+	if first.Seq != 0 || second.Seq != 1 {
+		t.Fatalf("buffered seqs = %d, %d; want 0, 1", first.Seq, second.Seq)
+	}
+}
+
+func TestBusConcurrentPublishOrdering(t *testing.T) {
+	b := NewBus(nil, 1024)
+	sub := b.Subscribe(1024)
+	defer b.Unsubscribe(sub)
+	var wg sync.WaitGroup
+	const publishers, each = 4, 50
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b.Publish(StreamEvent{Type: EventTrialFinished, Worker: p, Trial: i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	if st := b.Stats(); st.SubscriberDropped != 0 {
+		t.Fatalf("unexpected drops: %d", st.SubscriberDropped)
+	}
+	last := int64(-1)
+	for i := 0; i < publishers*each; i++ {
+		ev := <-sub.C
+		if int64(ev.Seq) <= last {
+			t.Fatalf("subscriber saw seq %d after %d", ev.Seq, last)
+		}
+		last = int64(ev.Seq)
+	}
+}
+
+func TestBusRecent(t *testing.T) {
+	b := NewBus(nil, 4)
+	for i := 0; i < 10; i++ {
+		b.Publish(StreamEvent{Trial: i})
+	}
+	recent := b.Recent(3)
+	if len(recent) != 3 || recent[0].Trial != 7 || recent[2].Trial != 9 {
+		t.Fatalf("Recent(3) = %+v; want trials 7..9", recent)
+	}
+	// Asking past capacity returns what the ring still holds.
+	if all := b.Recent(100); len(all) != 4 {
+		t.Fatalf("Recent(100) = %d events, want 4 (ring capacity)", len(all))
+	}
+}
+
+// The reporter must be monotonic even when the bus reorders nothing but
+// its channel drops events: lines appear only when the completed count
+// advances, and the final N/N line survives the shutdown race.
+func TestReporterMonotonicAndFinalLine(t *testing.T) {
+	b := NewBus(nil, 0)
+	var buf bytes.Buffer
+	rep := &Reporter{Bus: b, Total: 3, W: &buf}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { defer close(done); rep.Run(stop) }()
+	for b.Stats().Subscribers == 0 { // wait until Run has subscribed
+		time.Sleep(time.Millisecond)
+	}
+
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	for i, completed := range []int{1, 1, 2, 2, 3} { // duplicates simulate out-of-order/redundant delivery
+		b.Publish(StreamEvent{
+			Type: EventTrialFinished, Trial: i, Completed: completed, Total: 3,
+			WallNS: base + int64(i)*int64(time.Second),
+		})
+	}
+	close(stop)
+	<-done
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("reporter wrote %d lines, want 3 (monotonic):\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[2], "trials 3/3 (100%)") {
+		t.Fatalf("final line = %q, want trials 3/3", lines[2])
+	}
+}

@@ -22,10 +22,23 @@ type Tracer struct {
 	// MaxRecords bounds the retained per-span records (aggregates are
 	// always kept). 0 means DefaultMaxRecords.
 	MaxRecords int
+
+	// recent is a rolling ring of the last DefaultRecentSpans finished
+	// spans — unlike recs, which stops appending once full, the ring
+	// always holds the newest spans. It feeds the flight recorder: when
+	// a trial is dumped (panic, slow-trial watchdog, SIGQUIT) the ring
+	// is the "what was this world doing" record.
+	recent     []SpanRecord
+	recentNext int
+	recentFull bool
 }
 
 // DefaultMaxRecords bounds retained span records unless overridden.
 const DefaultMaxRecords = 4096
+
+// DefaultRecentSpans sizes the rolling last-N span ring kept for flight
+// dumps.
+const DefaultRecentSpans = 256
 
 // SpanStats aggregates all spans of one name.
 type SpanStats struct {
@@ -98,8 +111,17 @@ func (s *Span) End() time.Duration {
 	if max == 0 {
 		max = DefaultMaxRecords
 	}
+	rec := SpanRecord{Name: s.name, Start: s.start, End: end, Events: s.events}
 	if len(t.recs) < max {
-		t.recs = append(t.recs, SpanRecord{Name: s.name, Start: s.start, End: end, Events: s.events})
+		t.recs = append(t.recs, rec)
+	}
+	if t.recent == nil {
+		t.recent = make([]SpanRecord, DefaultRecentSpans)
+	}
+	t.recent[t.recentNext] = rec
+	t.recentNext++
+	if t.recentNext == len(t.recent) {
+		t.recentNext, t.recentFull = 0, true
 	}
 	return d
 }
@@ -121,4 +143,22 @@ func (t *Tracer) Records() []SpanRecord {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]SpanRecord(nil), t.recs...)
+}
+
+// Recent returns the rolling last-N finished spans in completion order
+// (oldest first). Safe to call from any goroutine — the flight recorder
+// reads a live world's tracer this way while its event loop runs.
+func (t *Tracer) Recent() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.recent == nil {
+		return nil
+	}
+	if !t.recentFull {
+		return append([]SpanRecord(nil), t.recent[:t.recentNext]...)
+	}
+	out := make([]SpanRecord, 0, len(t.recent))
+	out = append(out, t.recent[t.recentNext:]...)
+	out = append(out, t.recent[:t.recentNext]...)
+	return out
 }

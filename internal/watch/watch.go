@@ -1,0 +1,205 @@
+// Package watch is the live campaign observability plane: an HTTP
+// server that exposes a running multi-trial batch — progress stream,
+// merged-so-far metrics, campaign status, profiling — without touching
+// the deterministic pipeline.
+//
+// Endpoints:
+//
+//	/healthz        liveness ("ok")
+//	/campaign       campaign identity + completion bitmap + ETA (JSON)
+//	/progress       the stream bus: JSON poll (?since=SEQ) or SSE
+//	                (?stream=1, or Accept: text/event-stream)
+//	/metrics        Prometheus text: merged completed-trial telemetry
+//	                plus the live plane's own bus/progress meters
+//	/debug/pprof/   net/http/pprof (CPU, heap, goroutine profiles)
+//
+// Everything served here is a snapshot or a bus copy. The /metrics
+// merge folds only telemetry snapshots taken by each trial's own
+// goroutine at completion — a scrape can never race a running world —
+// and the bus drops rather than blocks, so a stalled watcher cannot
+// stall a worker. That is what makes `-watch` provably inert: batch
+// stdout and -metrics-json are byte-identical with the plane on or off.
+package watch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"shadowmeter/internal/runner"
+	"shadowmeter/internal/telemetry"
+)
+
+// Server wires the observability plane over a campaign monitor and its
+// stream bus. Monitor may be nil (campaign endpoints answer 503), Bus
+// may be nil (/progress answers 503) — useful for tests and partial
+// wiring.
+type Server struct {
+	Monitor *runner.Monitor
+	Bus     *telemetry.Bus
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/campaign", s.handleCampaign)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, _ *http.Request) {
+	if s.Monitor == nil {
+		http.Error(w, "no campaign attached", http.StatusServiceUnavailable)
+		return
+	}
+	b, err := json.MarshalIndent(s.Monitor.Campaign(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeBody(w, b)
+}
+
+// writeBody sends a JSON document plus trailing newline. A write error
+// here means the client hung up mid-response; the connection is the
+// only place it could be reported, so the handler just stops.
+func writeBody(w http.ResponseWriter, b []byte) {
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		return
+	}
+}
+
+// handleMetrics serves the Prometheus view: the merged completed-trial
+// registry plus the live plane's own meters (bus accounting, campaign
+// completion) rendered by hand.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.Monitor != nil {
+		metrics, _ := s.Monitor.MergedMetrics()
+		telemetry.WritePrometheusMetrics(w, metrics)
+		snap := s.Monitor.Campaign()
+		fmt.Fprintf(w, "# HELP watch_trials_completed trials finished so far in the observed campaign\n")
+		fmt.Fprintf(w, "# TYPE watch_trials_completed gauge\nwatch_trials_completed %d\n", snap.Completed)
+		fmt.Fprintf(w, "# HELP watch_trials_total trials in the observed campaign\n")
+		fmt.Fprintf(w, "# TYPE watch_trials_total gauge\nwatch_trials_total %d\n", snap.Trials)
+		fmt.Fprintf(w, "# HELP watch_slow_trial_dumps_total watchdog flight dumps written\n")
+		fmt.Fprintf(w, "# TYPE watch_slow_trial_dumps_total counter\nwatch_slow_trial_dumps_total %d\n", snap.SlowTrialDumps)
+	}
+	if s.Bus != nil {
+		st := s.Bus.Stats()
+		fmt.Fprintf(w, "# HELP watch_bus_published_total events published to the stream bus\n")
+		fmt.Fprintf(w, "# TYPE watch_bus_published_total counter\nwatch_bus_published_total %d\n", st.Published)
+		fmt.Fprintf(w, "# HELP watch_bus_evicted_total ring slots overwritten before being polled\n")
+		fmt.Fprintf(w, "# TYPE watch_bus_evicted_total counter\nwatch_bus_evicted_total %d\n", st.Evicted)
+		fmt.Fprintf(w, "# HELP watch_bus_subscriber_dropped_total events dropped on full subscriber channels\n")
+		fmt.Fprintf(w, "# TYPE watch_bus_subscriber_dropped_total counter\nwatch_bus_subscriber_dropped_total %d\n", st.SubscriberDropped)
+		fmt.Fprintf(w, "# HELP watch_bus_subscribers current stream subscribers\n")
+		fmt.Fprintf(w, "# TYPE watch_bus_subscribers gauge\nwatch_bus_subscribers %d\n", st.Subscribers)
+	}
+}
+
+// progressPoll is the JSON shape of a /progress poll response.
+type progressPoll struct {
+	Events []telemetry.StreamEvent `json:"events"`
+	// NextSeq is the ?since value that continues from here.
+	NextSeq uint64 `json:"next_seq"`
+	// Missed counts requested events already evicted from the ring.
+	Missed uint64 `json:"missed"`
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if s.Bus == nil {
+		http.Error(w, "no stream bus attached", http.StatusServiceUnavailable)
+		return
+	}
+	since := uint64(0)
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	if r.URL.Query().Get("stream") != "" || r.Header.Get("Accept") == "text/event-stream" {
+		s.streamProgress(w, r, since)
+		return
+	}
+	events, next, missed := s.Bus.Since(since)
+	if events == nil {
+		events = []telemetry.StreamEvent{}
+	}
+	b, err := json.MarshalIndent(progressPoll{Events: events, NextSeq: next, Missed: missed}, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeBody(w, b)
+}
+
+// streamProgress serves Server-Sent Events: a replay of the retained
+// backlog from ?since, then live events until the client disconnects.
+// Subscription happens before the backlog read, so no event published
+// in between is lost; the seq guard dedupes the overlap.
+func (s *Server) streamProgress(w http.ResponseWriter, r *http.Request, since uint64) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	sub := s.Bus.Subscribe(256)
+	defer s.Bus.Unsubscribe(sub)
+	backlog, next, _ := s.Bus.Since(since)
+	for _, ev := range backlog {
+		if !writeSSE(w, ev) {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			if ev.Seq < next {
+				continue // already sent in the backlog replay
+			}
+			if !writeSSE(w, ev) {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev telemetry.StreamEvent) bool {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return false
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, b)
+	return err == nil
+}

@@ -1,0 +1,203 @@
+package watch
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"shadowmeter/internal/runner"
+	"shadowmeter/internal/telemetry"
+)
+
+func testServer(t *testing.T, mon *runner.Monitor, bus *telemetry.Bus) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer((&Server{Monitor: mon, Bus: bus}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t, nil, nil)
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+}
+
+func TestUnattachedEndpointsAnswer503(t *testing.T) {
+	ts := testServer(t, nil, nil)
+	for _, path := range []string{"/campaign", "/progress"} {
+		if code, _ := get(t, ts.URL+path); code != http.StatusServiceUnavailable {
+			t.Errorf("%s with nothing attached = %d, want 503", path, code)
+		}
+	}
+	// /metrics degrades to an empty exposition rather than erroring:
+	// a scraper pointed at a not-yet-started campaign just sees nothing.
+	if code, _ := get(t, ts.URL+"/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics with nothing attached = %d, want 200", code)
+	}
+}
+
+func TestMetricsIncludesBusAccounting(t *testing.T) {
+	bus := telemetry.NewBus(nil, 0)
+	bus.Publish(telemetry.StreamEvent{Type: telemetry.EventTrialStarted})
+	ts := testServer(t, nil, bus)
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, "watch_bus_published_total 1") {
+		t.Fatalf("/metrics missing bus accounting:\n%s", body)
+	}
+}
+
+func TestProgressPollSinceAndMissed(t *testing.T) {
+	bus := telemetry.NewBus(nil, 4)
+	for i := 0; i < 10; i++ {
+		bus.Publish(telemetry.StreamEvent{Type: telemetry.EventTrialFinished, Trial: i})
+	}
+	ts := testServer(t, nil, bus)
+	code, body := get(t, ts.URL+"/progress?since=0")
+	if code != http.StatusOK {
+		t.Fatalf("/progress = %d", code)
+	}
+	var poll struct {
+		Events  []telemetry.StreamEvent `json:"events"`
+		NextSeq uint64                  `json:"next_seq"`
+		Missed  uint64                  `json:"missed"`
+	}
+	if err := json.Unmarshal([]byte(body), &poll); err != nil {
+		t.Fatalf("decoding poll: %v\n%s", err, body)
+	}
+	if poll.NextSeq != 10 || poll.Missed != 6 || len(poll.Events) != 4 {
+		t.Fatalf("poll = next %d missed %d events %d; want 10, 6, 4", poll.NextSeq, poll.Missed, len(poll.Events))
+	}
+	if code, _ := get(t, ts.URL+"/progress?since=banana"); code != http.StatusBadRequest {
+		t.Fatalf("bad since = %d, want 400", code)
+	}
+}
+
+// readSSE collects data lines from an SSE stream until want events
+// arrived or the deadline passed.
+func readSSE(t *testing.T, body io.Reader, want int, out chan<- telemetry.StreamEvent) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	seen := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev telemetry.StreamEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Errorf("bad SSE data line %q: %v", line, err)
+			return
+		}
+		out <- ev
+		seen++
+		if seen == want {
+			return
+		}
+	}
+}
+
+// TestStreamUnderConcurrentPublish is the -race exercise the issue asks
+// for: four workers publish concurrently while an SSE reader streams and
+// a poller hammers the JSON endpoints. The reader must see every event
+// exactly once, in sequence order, with no race-detector findings.
+func TestStreamUnderConcurrentPublish(t *testing.T) {
+	bus := telemetry.NewBus(nil, 4096)
+	ts := testServer(t, nil, bus)
+
+	const workers, perWorker = 4, 25
+	const total = workers * perWorker
+
+	// Seed a small backlog so the stream exercises the replay + dedupe
+	// path, not just live delivery.
+	backlog := 5
+	for i := 0; i < backlog; i++ {
+		bus.Publish(telemetry.StreamEvent{Type: telemetry.EventTrialStarted, Trial: i})
+	}
+
+	req, err := http.NewRequest("GET", ts.URL+"/progress?stream=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+
+	events := make(chan telemetry.StreamEvent, total+backlog)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		readSSE(t, resp.Body, total+backlog, events)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				bus.Publish(telemetry.StreamEvent{Type: telemetry.EventTrialFinished, Worker: w, Trial: i})
+			}
+		}(w)
+	}
+	// Concurrent pollers on the read-side endpoints.
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				get(t, ts.URL+"/progress")
+				get(t, ts.URL+"/metrics")
+			}
+		}()
+	}
+	wg.Wait()
+
+	select {
+	case <-readerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE reader did not receive all events")
+	}
+	close(events)
+	last := int64(-1)
+	n := 0
+	for ev := range events {
+		if int64(ev.Seq) <= last {
+			t.Fatalf("SSE delivered seq %d after %d (duplicate or reorder)", ev.Seq, last)
+		}
+		last = int64(ev.Seq)
+		n++
+	}
+	if n != total+backlog {
+		t.Fatalf("SSE delivered %d events, want %d", n, total+backlog)
+	}
+}

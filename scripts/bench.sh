@@ -38,6 +38,19 @@ rm -f /tmp/shadowlint.bench
 lint_wall=$(awk -v a="$lint_start" -v b="$lint_end" 'BEGIN {printf "%.3f", b - a}')
 echo "shadowlint ./... took ${lint_wall}s"
 
+# Worker occupancy: where a real multi-worker campaign's wall time goes
+# (busy / idle / merge-wait per worker, per-trial wall histogram, slow
+# dumps). BenchmarkTrials measures throughput; this measures the Amdahl
+# shape behind it — a trials_speedup_w4 near 1 with high merge_wait
+# means stragglers, with high idle means queue starvation.
+echo "== worker occupancy (4 trials, 2 workers)"
+occ=$(mktemp)
+trap 'rm -f "$tmp" "$occ"' EXIT
+go build -o /tmp/shadowmeter.bench ./cmd/shadowmeter
+/tmp/shadowmeter.bench -seed 7 -trials "${BENCH_OCC_TRIALS:-4}" -workers 2 \
+    -occupancy-json "$occ" >/dev/null 2>&1
+rm -f /tmp/shadowmeter.bench
+
 awk -v date="$stamp" -v goversion="$(go version | awk '{print $3}')" -v lintwall="$lint_wall" '
 /^Benchmark/ {
     name = $1; ns = ""; bytes = "0"; allocs = "0"
@@ -61,5 +74,11 @@ END {
         speedup = sprintf(",\n  \"trials_speedup_w4\": %.3f", w1 / w4)
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"lint_wall_seconds\": %s%s,\n  \"benchmarks\": [\n%s\n  ]\n}\n", date, goversion, lintwall, speedup, body
 }' "$tmp" >"$out"
+
+# Fold the occupancy report in: the whole object under worker_occupancy,
+# plus slow_trial_dumps hoisted to the top level for cheap trending.
+jq --slurpfile occ "$occ" \
+    '. + {worker_occupancy: $occ[0], slow_trial_dumps: $occ[0].slow_trial_dumps}' \
+    "$out" >"$out.tmp" && mv "$out.tmp" "$out"
 
 echo "wrote $out"

@@ -133,6 +133,64 @@ echo "== shadowstore smoke"
 "$tmpdir/shadowstore" diff "$tmpdir/camp" "$tmpdir/camp" >/dev/null
 "$tmpdir/shadowstore" retention "$tmpdir/camp" >/dev/null
 
+echo "== watch plane smoke"
+# The observability contract, both halves: the plane is LIVE (its
+# endpoints answer over HTTP mid-campaign) and INERT (batch stdout is
+# byte-identical with the plane on and off). The watched run reuses the
+# multi-trial smoke's seeds, so its stdout must match batch2.json.
+"$tmpdir/shadowmeter" -seed 7 -trials 2 -workers 2 \
+    -watch 127.0.0.1:0 -progress 1 -occupancy-json "$tmpdir/occ.json" \
+    >"$tmpdir/watch.json" 2>"$tmpdir/watch.err" &
+watch_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(awk -F'http://' '/watch: serving on/ {print $2; exit}' "$tmpdir/watch.err")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "watch server never announced its address; stderr was:" >&2
+    cat "$tmpdir/watch.err" >&2
+    exit 1
+fi
+curl -fsS "http://$addr/healthz" | grep -q '^ok$'
+curl -fsS "http://$addr/campaign" | grep -q '"trials": 2'
+curl -fsS "http://$addr/metrics" | grep -q '^watch_trials_total 2$'
+curl -fsS "http://$addr/progress" | grep -q '"type": "campaign_started"'
+wait "$watch_pid"
+if ! cmp -s "$tmpdir/batch2.json" "$tmpdir/watch.json"; then
+    echo "-watch changed batch stdout (the plane must be inert):" >&2
+    diff "$tmpdir/batch2.json" "$tmpdir/watch.json" >&2 || true
+    exit 1
+fi
+if ! grep -q "progress: trials 2/2 (100%)" "$tmpdir/watch.err"; then
+    echo "batch -progress never reported completion; stderr was:" >&2
+    cat "$tmpdir/watch.err" >&2
+    exit 1
+fi
+if ! grep -q '"busy_fraction"' "$tmpdir/occ.json"; then
+    echo "-occupancy-json report is missing worker occupancy:" >&2
+    cat "$tmpdir/occ.json" >&2
+    exit 1
+fi
+
+echo "== watch merged-telemetry inertness smoke"
+# Same contract for the other stdout document: -metrics-json must be
+# byte-identical with and without the plane.
+"$tmpdir/shadowmeter" -seed 7 -trials 2 -workers 2 -metrics-json >"$tmpdir/mtj_bare.json" 2>/dev/null
+"$tmpdir/shadowmeter" -seed 7 -trials 2 -workers 2 -metrics-json -watch 127.0.0.1:0 >"$tmpdir/mtj_watch.json" 2>/dev/null
+if ! cmp -s "$tmpdir/mtj_bare.json" "$tmpdir/mtj_watch.json"; then
+    echo "-watch changed the merged telemetry export:" >&2
+    diff "$tmpdir/mtj_bare.json" "$tmpdir/mtj_watch.json" >&2 || true
+    exit 1
+fi
+
+echo "== shadowstore tail smoke"
+# Tail of a completed campaign prints every stored record and exits;
+# -follow=false on the same store takes the single-pass path.
+"$tmpdir/shadowstore" tail "$tmpdir/camp" | grep -q "campaign complete: 2/2"
+"$tmpdir/shadowstore" tail -follow=false "$tmpdir/camp" >/dev/null
+
 echo "== benchmark smoke (netsim, wire)"
 # -benchtime=1x compiles and runs each benchmark once: catches bitrot in
 # the registry-backed events/sec reporting without measuring anything.

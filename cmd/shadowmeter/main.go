@@ -5,7 +5,7 @@
 // Usage:
 //
 //	shadowmeter [-seed N] [-scale small|medium|full] [-intercepted N]
-//	            [-trials N] [-workers W] [-out DIR] [-resume]
+//	            [-trials N] [-workers W] [-out DIR] [-resume] [-compact]
 //	            [-phase1-only] [-json-stats] [-cold-topology]
 //	            [-metrics] [-metrics-json] [-progress N]
 //	            [-watch ADDR] [-occupancy-json PATH] [-flight-dir DIR]
@@ -40,6 +40,7 @@ type options struct {
 	metrics       bool
 	metricsJSON   bool
 	mitigations   bool
+	compact       bool
 	watch         string
 	occupancyJSON string
 	flightDir     string
@@ -58,6 +59,9 @@ func (o options) batch() bool { return o.trials > 1 || o.out != "" }
 func (o options) validate() error {
 	if o.resume && o.out == "" {
 		return fmt.Errorf("-resume requires -out DIR: there is no campaign to resume without a store")
+	}
+	if o.compact && o.out == "" {
+		return fmt.Errorf("-compact requires -out DIR: there is no campaign log to compact without a store")
 	}
 	if o.out != "" && o.mitigations {
 		return fmt.Errorf("-out is incompatible with -mitigations: only main-experiment trials are persisted")
@@ -103,6 +107,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent trial worlds (0 = one per trial); affects wall time only, never output")
 		out         = flag.String("out", "", "campaign directory: durably persist each completed trial (implies batch output, even for -trials 1)")
 		resume      = flag.Bool("resume", false, "serve trials already stored in the -out campaign instead of re-running them (byte-identical output)")
+		compact     = flag.Bool("compact", false, "compact the -out campaign log after the batch: newest record per trial, dead bytes dropped")
 		phase1Only  = flag.Bool("phase1-only", false, "stop after the Phase I landscape (skip tracerouting)")
 		jsonStats   = flag.Bool("json-stats", false, "append machine-readable summary statistics as JSON (single runs only)")
 		mitigations = flag.Bool("mitigations", false, "run the encryption mitigation study (ECH, DoH) instead of the main experiment")
@@ -117,7 +122,7 @@ func main() {
 	flag.Parse()
 
 	opts := options{
-		trials: *trials, out: *out, resume: *resume,
+		trials: *trials, out: *out, resume: *resume, compact: *compact,
 		phase1Only: *phase1Only, jsonStats: *jsonStats,
 		metrics: *metrics, metricsJSON: *metricsJSON,
 		mitigations: *mitigations,
@@ -149,7 +154,7 @@ func main() {
 		runBatch(batchParams{
 			trials: *trials, workers: *workers, baseSeed: *seed,
 			cfg: cfg, scaleName: *scale,
-			metricsJSON: *metricsJSON, outDir: *out, resume: *resume,
+			metricsJSON: *metricsJSON, outDir: *out, resume: *resume, compact: *compact,
 			coldTopo:  *coldTopo,
 			watchAddr: *watchAddr, occupancyPath: *occJSON,
 			flightDir: *flightDir, progress: *progressN > 0,
@@ -229,6 +234,7 @@ type batchParams struct {
 	metricsJSON bool
 	outDir      string
 	resume      bool
+	compact     bool
 	coldTopo    bool
 	// watchAddr, when non-empty, serves the observability plane there.
 	watchAddr string
@@ -393,6 +399,14 @@ func runBatch(p batchParams) {
 	if st != nil {
 		if res.StoreErr != nil {
 			log.Fatalf("persisting trials: %v", res.StoreErr)
+		}
+		if p.compact {
+			cs, err := st.Compact()
+			if err != nil {
+				log.Fatalf("compacting campaign store: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "store %s: compacted, kept %d records, %d -> %d bytes (reclaimed %d)\n",
+				p.outDir, cs.Kept, cs.BytesBefore, cs.BytesAfter, cs.Reclaimed)
 		}
 		if err := st.Close(); err != nil {
 			log.Fatalf("closing campaign store: %v", err)

@@ -6,13 +6,22 @@
 // Usage:
 //
 //	shadowstore list DIR...                     campaign summaries
-//	shadowstore show [-trial N] DIR             per-trial headlines, or one full record
+//	shadowstore show [-trial N] [-stats] DIR    per-trial headlines, or one full record
 //	shadowstore tail [-interval D] DIR          follow a (live) campaign's trial log
 //	shadowstore diff [-all] DIR_A DIR_B         headline deltas (Figure 3 ratios, Table 2/3 counts)
-//	shadowstore retention [-min-delay D] DIR... cross-campaign multi-use/delay analysis
+//	shadowstore retention [-min-delay D] [-from D] [-to D] DIR...
+//	                                            cross-campaign multi-use/delay analysis
+//	shadowstore compact DIR                     rewrite the log: newest record per trial, drop dead bytes
 //
-// All commands open campaigns read-only: inspecting a live campaign
-// never repairs (or otherwise touches) its log under the writer.
+// Every command except compact opens campaigns read-only: inspecting a
+// live campaign never repairs (or otherwise touches) its log under the
+// writer. compact is the one deliberate writer — never run it while the
+// campaign's batch runner is live.
+//
+// The summary commands (show's table, diff, windowed retention) are
+// served from the store's columnar headline sidecar, and show -trial
+// reads one record through the offset index: on an indexed campaign
+// they touch kilobytes, not the event log (verify with show -stats).
 package main
 
 import (
@@ -38,10 +47,12 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `shadowstore — inspect durable shadowmeter campaign stores
 
   shadowstore list DIR...                     campaign summaries
-  shadowstore show [-trial N] DIR             per-trial headlines, or one full record
+  shadowstore show [-trial N] [-stats] DIR    per-trial headlines, or one full record
   shadowstore tail [-interval D] DIR          follow a (live) campaign's trial log
   shadowstore diff [-all] DIR_A DIR_B         headline deltas between two campaigns
-  shadowstore retention [-min-delay D] DIR... cross-campaign multi-use/delay analysis
+  shadowstore retention [-min-delay D] [-from D] [-to D] DIR...
+                                              cross-campaign multi-use/delay analysis
+  shadowstore compact DIR                     rewrite the log: newest record per trial
 `)
 }
 
@@ -65,6 +76,8 @@ func main() {
 		err = cmdDiff(args)
 	case "retention":
 		err = cmdRetention(args)
+	case "compact":
+		err = cmdCompact(args)
 	case "help", "-h", "-help", "--help":
 		usage()
 	default:
@@ -105,9 +118,24 @@ func cmdList(dirs []string) error {
 	return nil
 }
 
+// printStoreStats emits one machine-greppable stderr line with the
+// store's read-side counters next to the log size, so CI can assert the
+// indexed paths stay O(record): an indexed `show -trial N` reads the
+// sidecars plus one frame, never the whole log.
+func printStoreStats(st *runstore.Store, dir string) {
+	stats := st.Stats()
+	var logSize int64
+	if fi, err := os.Stat(runstore.LogPath(dir)); err == nil {
+		logSize = fi.Size()
+	}
+	fmt.Fprintf(os.Stderr, "store stats: bytes_read %d log_size %d index_hits %d index_rebuilds %d records_read %d\n",
+		stats.BytesRead, logSize, stats.IndexHits, stats.IndexRebuilds, stats.RecordsRead)
+}
+
 func cmdShow(args []string) error {
 	fs := flag.NewFlagSet("show", flag.ExitOnError)
 	trial := fs.Int("trial", -1, "dump the full JSON record of one trial instead of the summary table")
+	showStats := fs.Bool("stats", false, "print store read counters (bytes_read, index_hits, ...) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,9 +147,15 @@ func cmdShow(args []string) error {
 		return err
 	}
 	defer st.Close()
+	if *showStats {
+		defer printStoreStats(st, fs.Arg(0))
+	}
 
 	if *trial >= 0 {
-		rec, ok := st.Get(*trial)
+		rec, ok, err := st.Get(*trial)
+		if err != nil {
+			return fmt.Errorf("show: %w", err)
+		}
 		if !ok {
 			return fmt.Errorf("show: trial %d is not stored in %s", *trial, fs.Arg(0))
 		}
@@ -139,12 +173,44 @@ func cmdShow(args []string) error {
 		man.BaseSeed, man.BaseSeed+int64(man.Trials)-1, st.Len(), man.Trials)
 	fmt.Printf("%5s %8s %12s %10s %12s %10s %8s\n",
 		"trial", "seed", "sent_decoys", "captures", "unsolicited", "observers", "events")
-	for _, rec := range st.Records() {
+	// The summary table is served from the columnar headline sidecar:
+	// no trial frame is ever decoded.
+	for _, row := range st.Headlines() {
 		fmt.Printf("%5d %8d %12.0f %10.0f %12.0f %10.0f %8d\n",
-			rec.Trial, rec.Seed,
-			rec.Headline["sent_decoys"], rec.Headline["captures"],
-			rec.Headline["unsolicited"], rec.Headline["observer_addrs"], len(rec.Events))
+			row.Trial, row.Seed,
+			row.Headline["sent_decoys"], row.Headline["captures"],
+			row.Headline["unsolicited"], row.Headline["observer_addrs"], row.Events)
 	}
+	return nil
+}
+
+// cmdCompact is the one shadowstore command that writes: it opens the
+// campaign writable and rewrites its log keeping the newest valid
+// record per trial, dropping torn bytes, superseded duplicates, and
+// foreign-config frames. Never run it under a live batch runner.
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("compact: need exactly one campaign directory")
+	}
+	dir := fs.Arg(0)
+	st, err := runstore.Open(dir, nil)
+	if err != nil {
+		return err
+	}
+	cs, err := st.Compact()
+	if err != nil {
+		st.Close() //shadowlint:ignore droppederr compaction error is the primary failure
+		return fmt.Errorf("compact: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s: kept %d records, dropped %d frames, %d -> %d bytes (reclaimed %d)\n",
+		dir, cs.Kept, cs.DroppedFrames, cs.BytesBefore, cs.BytesAfter, cs.Reclaimed)
 	return nil
 }
 
@@ -173,8 +239,8 @@ func cmdTail(args []string) error {
 	if err != nil {
 		return err
 	}
-	if man.Version != runstore.StoreVersion {
-		return fmt.Errorf("tail: campaign %s has store version %d; this build speaks version %d", dir, man.Version, runstore.StoreVersion)
+	if !runstore.VersionSupported(man.Version) {
+		return fmt.Errorf("tail: campaign %s has store version %d; this build speaks versions up to %d", dir, man.Version, runstore.StoreVersion)
 	}
 	fmt.Printf("tailing campaign %s\n  scale %s, config %.12s, seeds %d..%d, %d trials expected\n\n",
 		dir, man.Scale, man.ConfigHash, man.BaseSeed, man.BaseSeed+int64(man.Trials)-1, man.Trials)
@@ -209,18 +275,20 @@ func cmdTail(args []string) error {
 	}
 }
 
-// means folds stored records into one value per headline key.
-func means(recs []runstore.TrialRecord) map[string]float64 {
+// means folds headline rows into one value per headline key. Rows come
+// from the columnar sidecar, so diffing two campaigns reads kilobytes
+// of summaries, never the event logs.
+func means(rows []runstore.HeadlineRow) map[string]float64 {
 	sums := make(map[string]float64)
-	for _, rec := range recs {
-		for k, v := range rec.Headline {
+	for _, row := range rows {
+		for k, v := range row.Headline {
 			sums[k] += v
 		}
 	}
 	// Keys missing from some trials contribute 0, exactly like the batch
 	// runner's aggregate.
 	for k := range sums {
-		sums[k] /= float64(len(recs))
+		sums[k] /= float64(len(rows))
 	}
 	return sums
 }
@@ -256,7 +324,7 @@ func cmdDiff(args []string) error {
 		return fmt.Errorf("diff: both campaigns need at least one stored trial")
 	}
 
-	mA, mB := means(stA.Records()), means(stB.Records())
+	mA, mB := means(stA.Headlines()), means(stB.Headlines())
 	keys := make(map[string]bool, len(mA)+len(mB))
 	for k := range mA {
 		keys[k] = true
@@ -317,27 +385,48 @@ func protoFromName(name string) (decoy.Protocol, bool) {
 }
 
 // eventsOf reconstructs the minimal correlate.Unsolicited slice the
-// retention analyses consume from a campaign's stored event records.
-func eventsOf(st *runstore.Store) []correlate.Unsolicited {
-	var out []correlate.Unsolicited
-	for _, rec := range st.Records() {
+// retention analyses consume from a campaign's stored event records,
+// restricted to replay delays inside [from, to] (to <= 0 means
+// unbounded above). Trials whose delay range cannot intersect the
+// window are pruned from the columnar sidecar without reading their
+// log frames; events whose protocol names this build does not know
+// (e.g. a store written by a newer build) are counted, not dropped
+// silently.
+func eventsOf(st *runstore.Store, from, to time.Duration) (events []correlate.Unsolicited, skipped int, err error) {
+	fromNS, toNS := int64(from), int64(to)
+	for _, row := range st.Headlines() {
+		if !row.OverlapsDelayWindow(fromNS, toNS) {
+			continue
+		}
+		rec, ok, err := st.Get(row.Trial)
+		if err != nil {
+			return nil, skipped, err
+		}
+		if !ok {
+			continue
+		}
 		for _, ev := range rec.Events {
+			if ev.DelayNS < fromNS || (toNS > 0 && ev.DelayNS > toNS) {
+				continue
+			}
 			sp, ok := protoFromName(ev.SentProto)
 			if !ok {
+				skipped++
 				continue
 			}
 			cp, ok := protoFromName(ev.CaptureProto)
 			if !ok {
+				skipped++
 				continue
 			}
-			out = append(out, correlate.Unsolicited{
+			events = append(events, correlate.Unsolicited{
 				Sent:    &correlate.Sent{Label: ev.Label, Protocol: sp, DstName: ev.DstName},
 				Capture: honeypot.Capture{Protocol: cp},
 				Delay:   time.Duration(ev.DelayNS),
 			})
 		}
 	}
-	return out
+	return events, skipped, nil
 }
 
 func printRetention(label string, events []correlate.Unsolicited, minDelay time.Duration) {
@@ -359,21 +448,41 @@ func printRetention(label string, events []correlate.Unsolicited, minDelay time.
 func cmdRetention(args []string) error {
 	fs := flag.NewFlagSet("retention", flag.ExitOnError)
 	minDelay := fs.Duration("min-delay", time.Hour, "multi-use threshold: count decoys still replayed after this delay (paper: 1h)")
+	from := fs.Duration("from", 0, "only analyze events with replay delay >= this (delay-window slice, e.g. 1h)")
+	to := fs.Duration("to", 0, "only analyze events with replay delay <= this (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("retention: need at least one campaign directory")
 	}
+	if *from < 0 || *to < 0 {
+		return fmt.Errorf("retention: -from and -to must be non-negative durations")
+	}
+	if *to > 0 && *from > *to {
+		return fmt.Errorf("retention: -from %s is after -to %s", *from, *to)
+	}
+	if *from > 0 || *to > 0 {
+		fmt.Printf("delay window: %s .. %s\n\n", *from, windowTop(*to))
+	}
 	var combined []correlate.Unsolicited
+	totalSkipped := 0
 	for _, dir := range fs.Args() {
 		st, err := openCampaign(dir)
 		if err != nil {
 			return err
 		}
-		events := eventsOf(st)
+		events, skipped, err := eventsOf(st, *from, *to)
+		if err != nil {
+			st.Close() //shadowlint:ignore droppederr read error is the primary failure
+			return fmt.Errorf("retention: %s: %w", dir, err)
+		}
 		if err := st.Close(); err != nil {
 			return err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "shadowstore: warning: %s: skipped %d events with unknown protocol names (store written by a different build?)\n", dir, skipped)
+			totalSkipped += skipped
 		}
 		printRetention("campaign "+dir, events, *minDelay)
 		combined = append(combined, events...)
@@ -381,6 +490,17 @@ func cmdRetention(args []string) error {
 	if fs.NArg() > 1 {
 		fmt.Println()
 		printRetention(fmt.Sprintf("combined (%d campaigns)", fs.NArg()), combined, *minDelay)
+		if totalSkipped > 0 {
+			fmt.Fprintf(os.Stderr, "shadowstore: warning: %d events skipped in total; combined stats undercount\n", totalSkipped)
+		}
 	}
 	return nil
+}
+
+// windowTop renders the -to bound, where 0 means unbounded.
+func windowTop(to time.Duration) string {
+	if to <= 0 {
+		return "∞"
+	}
+	return to.String()
 }

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"shadowmeter/internal/runstore"
 	"shadowmeter/internal/telemetry"
 )
 
@@ -327,13 +328,17 @@ func (m *Monitor) attachWorld(trial int, tele *telemetry.Set) {
 	m.mu.Unlock()
 }
 
-// storeAppended reports a persisted trial record.
-func (m *Monitor) storeAppended(trial int, err error) {
+// storeAppended reports a persisted trial record, carrying where its
+// frame landed in the campaign log (zero ref on a failed append).
+func (m *Monitor) storeAppended(trial int, ref runstore.FrameRef, err error) {
 	detail := ""
 	if err != nil {
 		detail = err.Error()
 	}
-	m.publish(telemetry.StreamEvent{Type: telemetry.EventStoreAppended, Trial: trial, Worker: -1, Detail: detail})
+	m.publish(telemetry.StreamEvent{
+		Type: telemetry.EventStoreAppended, Trial: trial, Worker: -1, Detail: detail,
+		LogOffset: ref.Off, LogBytes: ref.Len,
+	})
 }
 
 // scalarHeadline keeps only the campaign-total keys (no '/'-separated

@@ -132,6 +132,121 @@ func TestResumeDeterminism(t *testing.T) {
 	}
 }
 
+// TestCompactedResumeDeterminism is the compaction acceptance contract:
+// a batch resumed over a compacted store must be byte-identical to the
+// cold run — both when compaction ran on a partial campaign before the
+// resume filled it, and when a complete campaign is compacted and then
+// served entirely from the store.
+func TestCompactedResumeDeterminism(t *testing.T) {
+	const trials, baseSeed = 3, 51
+	cfg := Config{Trials: trials, Workers: 2, BaseSeed: baseSeed, Core: tinyCore()}
+
+	cold := Run(cfg)
+	coldJSON, err := cold.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTele := cold.MergedTelemetryJSON()
+
+	dir := t.TempDir() + "/camp"
+	st, err := runstore.Create(dir, testStoreManifest(trials, baseSeed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := cfg
+	warmCfg.Store = st
+	if warm := Run(warmCfg); warm.StoreErr != nil {
+		t.Fatalf("persisting trials: %v", warm.StoreErr)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt the campaign (drop the last record), compact the partial
+	// store, then resume over the compacted log.
+	offs, err := runstore.LogOffsets(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(runstore.LogPath(dir), offs[2]); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := runstore.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Compact(); err != nil {
+		t.Fatalf("compacting partial campaign: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st3, err := runstore.Open(dir, telemetry.NewSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumeCfg := cfg
+	resumeCfg.Store = st3
+	resumeCfg.Resume = true
+	resumed := Run(resumeCfg)
+	if resumed.StoreErr != nil {
+		t.Fatalf("persisting re-run trials: %v", resumed.StoreErr)
+	}
+	resumedJSON, err := resumed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumedJSON, coldJSON) {
+		t.Error("batch resumed over a compacted partial store differs from the cold run")
+	}
+	if stats := st3.Stats(); stats.ResumeHits != 2 {
+		t.Errorf("resume hits over compacted partial store = %d, want 2", stats.ResumeHits)
+	}
+	if err := st3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compact the now-complete campaign and serve the whole batch from it.
+	st4, err := runstore.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st4.Compact(); err != nil {
+		t.Fatalf("compacting complete campaign: %v", err)
+	}
+	if err := st4.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st5, err := runstore.Open(dir, telemetry.NewSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCfg := cfg
+	fullCfg.Store = st5
+	fullCfg.Resume = true
+	full := Run(fullCfg)
+	if full.StoreErr != nil {
+		t.Fatalf("store error on fully resumed batch: %v", full.StoreErr)
+	}
+	fullJSON, err := full.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fullJSON, coldJSON) {
+		t.Error("batch served entirely from a compacted store differs from the cold run")
+	}
+	if tele := full.MergedTelemetryJSON(); !bytes.Equal(tele, coldTele) {
+		t.Error("merged telemetry served from a compacted store differs from the cold run")
+	}
+	if stats := st5.Stats(); stats.ResumeHits != trials {
+		t.Errorf("resume hits over compacted complete store = %d, want %d", stats.ResumeHits, trials)
+	}
+	if err := st5.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestResumeRejectsForeignRecords: a record whose seed or config hash
 // does not match the campaign plan must be re-run, not served.
 func TestResumeMismatchedSeedReruns(t *testing.T) {

@@ -209,7 +209,11 @@ func runTrial(cfg Config, worker, t int, hash string) Trial {
 		}()
 	}
 	if cfg.Store != nil && cfg.Resume {
-		if rec, ok := cfg.Store.Get(t); ok && rec.Seed == seed && rec.ConfigHash == hash {
+		// A Get error means the index points at a frame that no longer
+		// decodes; fall through and re-run — the Append collision below
+		// then surfaces the store corruption as StoreErr instead of
+		// silently dropping it.
+		if rec, ok, err := cfg.Store.Get(t); err == nil && ok && rec.Seed == seed && rec.ConfigHash == hash {
 			cfg.Store.NoteResumeHit()
 			if m := cfg.Monitor; m != nil {
 				m.trialFinished(worker, t, seed, true, rec.Headline, rec.Metrics, rec.Spans)
@@ -246,17 +250,23 @@ func runTrial(cfg Config, worker, t int, hash string) Trial {
 	}
 	if cfg.Store != nil {
 		tr.Events = eventRecords(e.EventsPhaseI)
-		tr.StoreErr = cfg.Store.Append(runstore.TrialRecord{
+		// VStart/VEnd bracket the trial's virtual time: the campaign
+		// epoch and the simulator clock at completion. They feed the
+		// store's columnar headline file for time-windowed analyses.
+		ref, err := cfg.Store.AppendIndexed(runstore.TrialRecord{
 			Trial:      t,
 			Seed:       seed,
 			ConfigHash: hash,
 			Headline:   tr.Headline,
+			VStartNS:   e.World.Cfg.Start.UnixNano(),
+			VEndNS:     e.World.Net.Now().UnixNano(),
 			Events:     tr.Events,
 			Metrics:    tr.Metrics,
 			Spans:      tr.Spans,
 		})
+		tr.StoreErr = err
 		if m := cfg.Monitor; m != nil {
-			m.storeAppended(t, tr.StoreErr)
+			m.storeAppended(t, ref, err)
 		}
 	}
 	if m := cfg.Monitor; m != nil {

@@ -1,0 +1,174 @@
+// Compaction: rewrite trials.log keeping the newest valid record per
+// trial, dropping superseded frames, torn bytes, and orphaned records,
+// then publish the result atomically and republish the sidecar index.
+//
+// The normal append path can no longer create mid-log garbage (failed
+// appends roll back to the durable end), but compaction still has to
+// assume the worst — logs written by older builds, logs concatenated by
+// hand, disks that lied — so its scan resynchronizes on the frame magic
+// after a bad frame instead of giving up, salvaging every record the
+// plain reader would strand.
+package runstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// CompactStats reports what one compaction pass did.
+type CompactStats struct {
+	// Kept is the number of records in the compacted log.
+	Kept int
+	// DroppedFrames counts decodable frames that were not kept:
+	// superseded duplicates of a trial and records from a foreign
+	// configuration.
+	DroppedFrames int
+	// BytesBefore/BytesAfter are the log sizes around the pass;
+	// Reclaimed is their difference (superseded frames plus torn or
+	// otherwise undecodable bytes).
+	BytesBefore int64
+	BytesAfter  int64
+	Reclaimed   int64
+}
+
+// Compact rewrites the campaign log keeping only the newest valid
+// record per trial, in trial order. Frame bytes are copied verbatim —
+// records are never re-encoded — and the new log is published exactly
+// like the manifest: tmp-file + fsync + rename + dir-fsync, so a crash
+// at any point leaves either the old log or the new one, never a mix.
+// Both sidecars are republished afterwards, so every read on the
+// compacted store is an indexed seek. Requires a writable store.
+func (s *Store) Compact() (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st CompactStats
+	if s.readonly {
+		return st, fmt.Errorf("runstore: campaign %s is open read-only", s.dir)
+	}
+	if s.log == nil {
+		return st, fmt.Errorf("runstore: campaign %s is closed", s.dir)
+	}
+	// Torn bytes from a failed append would read as "reclaimable" noise;
+	// drop them first so the scan sees the log the index describes.
+	if err := s.rollbackLocked(); err != nil {
+		return st, err
+	}
+
+	data, err := os.ReadFile(LogPath(s.dir))
+	if err != nil {
+		return st, fmt.Errorf("runstore: reading log for compaction: %w", err)
+	}
+	s.m.bytesRead.Add(int64(len(data)))
+	st.BytesBefore = int64(len(data))
+
+	kept, dropped := salvageFrames(data, s.manifest.ConfigHash)
+	st.DroppedFrames = dropped
+	st.Kept = len(kept)
+
+	// Assemble the compacted log in trial order and remember where each
+	// frame will land.
+	var out []byte
+	frames := make(map[int]FrameRef, len(kept))
+	rows := make(map[int]HeadlineRow, len(kept))
+	for _, f := range kept {
+		frames[f.rec.Trial] = FrameRef{Off: int64(len(out)), Len: f.ref.Len}
+		rows[f.rec.Trial] = rowFrom(f.rec)
+		out = append(out, data[f.ref.Off:f.ref.Off+f.ref.Len]...)
+	}
+	st.BytesAfter = int64(len(out))
+	st.Reclaimed = st.BytesBefore - st.BytesAfter
+
+	if err := publishFile(s.dir, logName, out); err != nil {
+		return st, err
+	}
+	// The open handles still point at the replaced inode; swap them for
+	// the published log before anything else reads or appends.
+	nf, err := os.OpenFile(LogPath(s.dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The store can no longer append safely; close it rather than
+		// leave handles on the dead inode.
+		s.closeHandlesLocked()
+		return st, fmt.Errorf("runstore: reopening compacted log: %w", err)
+	}
+	if err := s.log.Close(); err != nil {
+		s.log = nf
+		return st, fmt.Errorf("runstore: closing pre-compaction log handle: %w", err)
+	}
+	s.log = nf
+	if s.rd != nil {
+		if err := s.rd.Close(); err != nil {
+			s.rd = nil
+			return st, fmt.Errorf("runstore: closing pre-compaction read handle: %w", err)
+		}
+		s.rd = nil
+	}
+
+	s.frames = frames
+	s.rows = rows
+	s.end = st.BytesAfter
+	s.m.compactions.Inc()
+	s.m.compactedBytes.Add(st.Reclaimed)
+	if err := s.publishSidecarsLocked(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// closeHandlesLocked drops both file handles, marking the store closed.
+// Used on unrecoverable errors mid-compaction; close errors are
+// secondary to the one the caller is already returning.
+func (s *Store) closeHandlesLocked() {
+	if s.log != nil {
+		_ = s.log.Close() //shadowlint:ignore droppederr caller is returning the primary error
+		s.log = nil
+	}
+	if s.rd != nil {
+		_ = s.rd.Close() //shadowlint:ignore droppederr caller is returning the primary error
+		s.rd = nil
+	}
+	s.closed = true
+}
+
+// savedFrame is one salvageable record located in the old log.
+type savedFrame struct {
+	rec TrialRecord
+	ref FrameRef
+}
+
+// salvageFrames walks the whole log — resynchronizing on the frame
+// magic after any bad frame rather than stopping like the plain reader
+// — and returns the newest valid record per trial whose config hash
+// belongs to this campaign, in trial order. dropped counts decodable
+// frames not kept (superseded duplicates, foreign configurations);
+// undecodable bytes are dropped silently, they were never records.
+func salvageFrames(data []byte, wantHash string) (kept []savedFrame, dropped int) {
+	newest := make(map[int]savedFrame)
+	off := 0
+	for off+headerSize <= len(data) {
+		rec, n, ok := decodeFrame(data[off:])
+		if !ok {
+			// Not a frame boundary: resynchronize at the next magic.
+			next := indexOfMagic(data, off+1)
+			if next < 0 {
+				break
+			}
+			off = next
+			continue
+		}
+		if rec.ConfigHash != wantHash {
+			dropped++
+		} else {
+			if _, dup := newest[rec.Trial]; dup {
+				dropped++ // the earlier frame is superseded
+			}
+			// Later offset wins: appends only ever go forward, so file
+			// order is recency order.
+			newest[rec.Trial] = savedFrame{rec: rec, ref: FrameRef{Off: int64(off), Len: int64(n)}}
+		}
+		off += n
+	}
+	for _, t := range sortedTrials(newest) {
+		kept = append(kept, newest[t])
+	}
+	return kept, dropped
+}

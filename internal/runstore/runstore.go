@@ -7,14 +7,29 @@
 //
 //	<dir>/manifest.json   versioned manifest: config hash, seed range
 //	<dir>/trials.log      length-prefixed, CRC32-checksummed records
+//	<dir>/index.bin       per-trial frame offset/length index (cache)
+//	<dir>/headlines.col   columnar per-trial headline stats (cache)
 //
-// The manifest is written via tmp-file + rename (atomic on POSIX), so a
-// crash never leaves a half-written manifest. Trial records are appended
-// to the log and fsynced one at a time; a crash mid-append leaves at most
-// one torn record at the tail, which the reader detects by checksum and
-// (in writable mode) truncates away. Records before the torn tail are
-// never touched: the store loses at most the trial that was being
-// written, never a completed one.
+// The manifest is written via tmp-file + fsync + rename + dir-fsync
+// (atomic on POSIX), so a crash never leaves a half-written manifest.
+// Trial records are appended to the log and fsynced one at a time; a
+// crash mid-append leaves at most one torn record at the tail, which
+// the reader detects by checksum and (in writable mode) truncates away.
+// A *failed* append (ENOSPC, short write) is rolled back the same way:
+// the store tracks the durable end offset and truncates back to it
+// before the next append, so torn bytes can never land mid-log where
+// they would strand every later record (frames are not
+// self-synchronizing). Records before the torn tail are never touched:
+// the store loses at most the trial that was being written, never a
+// completed one.
+//
+// index.bin and headlines.col are derived caches, rebuilt from the log
+// whenever they are missing or stale (their recorded log size no longer
+// matches the file) and republished atomically on Close and Compact.
+// With a valid index, Open, resume existence checks and per-trial reads
+// are O(1) seeks instead of whole-log scans, and the columnar headline
+// file serves cross-campaign diff and time-windowed retention without
+// touching the event log at all — index once, O(1) lookups forever.
 //
 // The store assumes a single writing process per campaign directory (the
 // batch runner); readers (cmd/shadowstore) open read-only and repair
@@ -22,6 +37,7 @@
 package runstore
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -29,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -38,9 +55,22 @@ import (
 	"shadowmeter/internal/telemetry"
 )
 
-// StoreVersion is the on-disk format version. Manifests carry it; a
-// version mismatch is an error, never a silent reinterpretation.
-const StoreVersion = 1
+// StoreVersion is the on-disk layout version new campaigns are created
+// with. Store v2 added the sidecar index and columnar headline files;
+// the log frame format is unchanged, so v1 campaigns stay readable (see
+// VersionSupported). A version from the future is an error, never a
+// silent reinterpretation.
+const StoreVersion = 2
+
+// hashSchemaVersion tracks the TrialRecord JSON schema, which is what a
+// config fingerprint must be tied to — not the directory layout. Store
+// v2 changed the layout (sidecar caches) but not the record encoding,
+// so fingerprints, and with them resumability, survive the v1→v2 bump.
+const hashSchemaVersion = 1
+
+// VersionSupported reports whether this build can read a campaign with
+// the given manifest version.
+func VersionSupported(v int) bool { return v >= 1 && v <= StoreVersion }
 
 const (
 	manifestName = "manifest.json"
@@ -52,11 +82,19 @@ const (
 	recordMagic = 0x53485231
 	// headerSize is magic + payload length + payload CRC32, 4 bytes each.
 	headerSize = 12
+
+	// maxFramePayload bounds a frame's declared payload length. A
+	// corrupt length field must not turn into a multi-GiB allocation —
+	// or, where int is 32 bits, a negative slice bound and a panic. Real
+	// records are kilobytes to low megabytes; 64 MiB is generous.
+	maxFramePayload = 64 << 20
 )
 
 // Manifest identifies a campaign. Every field participates in the
 // compatibility check on resume: a campaign can only be continued by a
-// run with the identical configuration fingerprint and seed plan.
+// run with the identical configuration fingerprint and seed plan. (The
+// layout Version is carried but normalized in the check, so a v1
+// campaign can be resumed by a v2 build.)
 type Manifest struct {
 	Version    int    `json:"version"`
 	ConfigHash string `json:"config_hash"`
@@ -81,13 +119,80 @@ type EventRecord struct {
 // served from the store is indistinguishable in batch output from one
 // that just ran.
 type TrialRecord struct {
-	Trial      int                   `json:"trial"`
-	Seed       int64                 `json:"seed"`
-	ConfigHash string                `json:"config_hash"`
-	Headline   map[string]float64    `json:"headline"`
-	Events     []EventRecord         `json:"events,omitempty"`
-	Metrics    []telemetry.Metric    `json:"metrics,omitempty"`
-	Spans      []telemetry.SpanStats `json:"spans,omitempty"`
+	Trial      int                `json:"trial"`
+	Seed       int64              `json:"seed"`
+	ConfigHash string             `json:"config_hash"`
+	Headline   map[string]float64 `json:"headline"`
+	// VStartNS/VEndNS bracket the trial's virtual time (Unix
+	// nanoseconds): the campaign epoch and the simulator clock when the
+	// trial finished. They feed the columnar headline file so
+	// time-windowed analyses can place a trial without decoding it.
+	// Records written by store v1 carry zeros here.
+	VStartNS int64                 `json:"vstart_ns,omitempty"`
+	VEndNS   int64                 `json:"vend_ns,omitempty"`
+	Events   []EventRecord         `json:"events,omitempty"`
+	Metrics  []telemetry.Metric    `json:"metrics,omitempty"`
+	Spans    []telemetry.SpanStats `json:"spans,omitempty"`
+}
+
+// FrameRef locates one record's frame inside the trial log: Off is the
+// frame start and Len the full frame length including the header.
+type FrameRef struct {
+	Off int64
+	Len int64
+}
+
+// HeadlineRow is the columnar summary of one stored trial: everything
+// the summary table, cross-campaign diff and retention *pruning* need,
+// with the full record (events, metrics, spans) left in the log behind
+// an O(1) seek. MinDelayNS/MaxDelayNS bracket the trial's unsolicited
+// event delays (both zero when the trial has none).
+type HeadlineRow struct {
+	Trial      int
+	Seed       int64
+	VStartNS   int64
+	VEndNS     int64
+	Events     int
+	MinDelayNS int64
+	MaxDelayNS int64
+	Headline   map[string]float64
+}
+
+// OverlapsDelayWindow reports whether any of the row's unsolicited
+// events can have a replay delay inside [from, to] nanoseconds (to <= 0
+// means unbounded above). Rows that cannot are pruned from windowed
+// retention without reading their log frames.
+func (r HeadlineRow) OverlapsDelayWindow(from, to int64) bool {
+	if r.Events == 0 {
+		return false
+	}
+	if r.MaxDelayNS < from {
+		return false
+	}
+	if to > 0 && r.MinDelayNS > to {
+		return false
+	}
+	return true
+}
+
+func rowFrom(rec TrialRecord) HeadlineRow {
+	row := HeadlineRow{
+		Trial:    rec.Trial,
+		Seed:     rec.Seed,
+		VStartNS: rec.VStartNS,
+		VEndNS:   rec.VEndNS,
+		Events:   len(rec.Events),
+		Headline: rec.Headline,
+	}
+	for i, ev := range rec.Events {
+		if i == 0 || ev.DelayNS < row.MinDelayNS {
+			row.MinDelayNS = ev.DelayNS
+		}
+		if i == 0 || ev.DelayNS > row.MaxDelayNS {
+			row.MaxDelayNS = ev.DelayNS
+		}
+	}
+	return row
 }
 
 // Stats is a snapshot of the store's telemetry counters.
@@ -98,6 +203,10 @@ type Stats struct {
 	BytesRead           int64
 	ResumeHits          int64
 	TornTailTruncations int64
+	IndexHits           int64
+	IndexRebuilds       int64
+	Compactions         int64
+	CompactedBytes      int64
 }
 
 // storeMetrics holds the registered counter handles. Updates happen
@@ -109,16 +218,24 @@ type storeMetrics struct {
 	bytesRead      *telemetry.Counter
 	resumeHits     *telemetry.Counter
 	tornTails      *telemetry.Counter
+	indexHits      *telemetry.Counter
+	indexRebuilds  *telemetry.Counter
+	compactions    *telemetry.Counter
+	compactedBytes *telemetry.Counter
 }
 
 func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
 	return storeMetrics{
 		recordsWritten: reg.Counter("runstore_records_written_total", "trial records appended to the campaign log"),
-		recordsRead:    reg.Counter("runstore_records_read_total", "trial records decoded when opening the campaign log"),
+		recordsRead:    reg.Counter("runstore_records_read_total", "trial records decoded from the campaign log"),
 		bytesWritten:   reg.Counter("runstore_bytes_written_total", "bytes appended to the campaign log (frames incl. headers)"),
-		bytesRead:      reg.Counter("runstore_bytes_read_total", "bytes scanned when opening the campaign log"),
+		bytesRead:      reg.Counter("runstore_bytes_read_total", "log and sidecar bytes read (whole-log scans plus indexed record reads)"),
 		resumeHits:     reg.Counter("runstore_resume_hits_total", "trials served from the store instead of re-running"),
 		tornTails:      reg.Counter("runstore_torn_tail_total", "torn tail records detected on open (truncated in writable mode)"),
+		indexHits:      reg.Counter("runstore_index_hits_total", "opens and record lookups served by the offset index instead of a log scan"),
+		indexRebuilds:  reg.Counter("runstore_index_rebuilds_total", "opens that rebuilt the index by scanning the log (sidecars missing or stale)"),
+		compactions:    reg.Counter("runstore_compactions_total", "compaction passes over the campaign log"),
+		compactedBytes: reg.Counter("runstore_compacted_bytes_total", "log bytes reclaimed by compaction (superseded records, torn and orphaned bytes)"),
 	}
 }
 
@@ -127,10 +244,29 @@ type Store struct {
 	mu       sync.Mutex
 	dir      string
 	manifest Manifest
-	log      *os.File // nil when read-only or closed
+	log      *os.File // append handle; nil when read-only or closed
+	rd       *os.File // lazy read handle for indexed record reads
 	readonly bool
-	index    map[int]TrialRecord
-	m        storeMetrics
+	closed   bool
+
+	// end is the durable end of the log: the offset just past the last
+	// fsynced, index-acknowledged record. dirty marks that a failed
+	// append may have left torn bytes past end, to be truncated away
+	// before anything else is written.
+	end   int64
+	dirty bool
+
+	frames map[int]FrameRef
+	rows   map[int]HeadlineRow
+	// stale marks in-memory index state not yet published to the
+	// sidecar files (cleared by publishSidecarsLocked).
+	stale bool
+
+	// writeHook, when non-nil, replaces the log write in Append — a
+	// test seam for injecting short and failed writes.
+	writeHook func([]byte) (int, error)
+
+	m storeMetrics
 }
 
 func newStore(dir string, man Manifest, set *telemetry.Set, readonly bool) *Store {
@@ -141,7 +277,8 @@ func newStore(dir string, man Manifest, set *telemetry.Set, readonly bool) *Stor
 		dir:      dir,
 		manifest: man,
 		readonly: readonly,
-		index:    make(map[int]TrialRecord),
+		frames:   make(map[int]FrameRef),
+		rows:     make(map[int]HeadlineRow),
 		m:        newStoreMetrics(set.Registry),
 	}
 }
@@ -153,8 +290,9 @@ func ManifestPath(dir string) string { return filepath.Join(dir, manifestName) }
 func LogPath(dir string) string { return filepath.Join(dir, logName) }
 
 // Create initializes a fresh campaign directory: manifest via tmp-file +
-// rename, then an empty trial log. It fails if the directory already
-// holds a campaign. A nil telemetry set gets a private one.
+// rename, then an empty trial log, with the directory fsynced after each
+// so neither entry can vanish in a crash. It fails if the directory
+// already holds a campaign. A nil telemetry set gets a private one.
 func Create(dir string, man Manifest, set *telemetry.Set) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runstore: creating campaign dir: %w", err)
@@ -171,6 +309,15 @@ func Create(dir string, man Manifest, set *telemetry.Set) (*Store, error) {
 	f, err := os.OpenFile(LogPath(dir), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runstore: creating trial log: %w", err)
+	}
+	// The manifest publish synced the directory, but the log creation
+	// came after: without its own dir fsync a crash could leave a
+	// manifest whose promised log was never made durable.
+	if err := f.Sync(); err != nil {
+		return nil, closeOnErr(f, fmt.Errorf("runstore: syncing new trial log: %w", err))
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, closeOnErr(f, fmt.Errorf("runstore: syncing campaign dir after log creation: %w", err))
 	}
 	s.log = f
 	return s, nil
@@ -196,24 +343,49 @@ func open(dir string, set *telemetry.Set, readonly bool) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if man.Version != StoreVersion {
-		return nil, fmt.Errorf("runstore: campaign %s has store version %d; this build speaks version %d", dir, man.Version, StoreVersion)
+	if !VersionSupported(man.Version) {
+		return nil, fmt.Errorf("runstore: campaign %s has store version %d; this build speaks versions 1..%d", dir, man.Version, StoreVersion)
 	}
 	s := newStore(dir, man, set, readonly)
 
-	data, err := os.ReadFile(LogPath(dir))
-	if err != nil && !errors.Is(err, fs.ErrNotExist) {
-		return nil, fmt.Errorf("runstore: reading trial log: %w", err)
+	var logSize int64
+	if fi, err := os.Stat(LogPath(dir)); err == nil {
+		logSize = fi.Size()
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("runstore: stat trial log: %w", err)
 	}
-	recs, _, valid := scanRecords(data)
-	s.m.recordsRead.Add(int64(len(recs)))
-	s.m.bytesRead.Add(int64(len(data)))
-	torn := int64(len(data)) > valid
-	if torn {
-		s.m.tornTails.Inc()
-	}
-	for _, r := range recs {
-		s.index[r.Trial] = r
+
+	torn := false
+	if s.loadSidecars(logSize) {
+		// Sidecars current: the index tiles the log exactly, so there is
+		// no torn tail and nothing to scan.
+		s.end = logSize
+		s.m.indexHits.Inc()
+	} else {
+		// Missing or stale sidecars: one full scan rebuilds the index —
+		// the only whole-log read an intact campaign ever pays.
+		data, err := os.ReadFile(LogPath(dir))
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("runstore: reading trial log: %w", err)
+		}
+		recs, offs, valid := scanRecords(data)
+		s.m.recordsRead.Add(int64(len(recs)))
+		s.m.bytesRead.Add(int64(len(data)))
+		s.m.indexRebuilds.Inc()
+		for i, r := range recs {
+			next := valid
+			if i+1 < len(offs) {
+				next = offs[i+1]
+			}
+			s.frames[r.Trial] = FrameRef{Off: offs[i], Len: next - offs[i]}
+			s.rows[r.Trial] = rowFrom(r)
+		}
+		s.end = valid
+		s.stale = true
+		torn = int64(len(data)) > valid
+		if torn {
+			s.m.tornTails.Inc()
+		}
 	}
 	if readonly {
 		return s, nil
@@ -224,7 +396,7 @@ func open(dir string, set *telemetry.Set, readonly bool) (*Store, error) {
 	}
 	if torn {
 		// Drop the torn tail so the next append starts on a boundary.
-		if err := f.Truncate(valid); err != nil {
+		if err := f.Truncate(s.end); err != nil {
 			return nil, closeOnErr(f, fmt.Errorf("runstore: truncating torn tail: %w", err))
 		}
 		if err := f.Sync(); err != nil {
@@ -236,7 +408,10 @@ func open(dir string, set *telemetry.Set, readonly bool) (*Store, error) {
 }
 
 // OpenOrCreate opens the campaign in dir if one exists — verifying that
-// its manifest matches man exactly — and creates it otherwise.
+// its manifest matches man exactly — and creates it otherwise. The
+// layout version is normalized before the comparison: a v1 campaign is
+// resumable by a v2 build (the record format is unchanged), it just
+// keeps its v1 manifest.
 func OpenOrCreate(dir string, man Manifest, set *telemetry.Set) (*Store, error) {
 	if _, err := os.Stat(ManifestPath(dir)); errors.Is(err, fs.ErrNotExist) {
 		return Create(dir, man, set)
@@ -247,7 +422,9 @@ func OpenOrCreate(dir string, man Manifest, set *telemetry.Set) (*Store, error) 
 	if err != nil {
 		return nil, err
 	}
-	if s.manifest != man {
+	want := man
+	want.Version = s.manifest.Version
+	if s.manifest != want {
 		err := fmt.Errorf("runstore: campaign %s was created with a different configuration: stored %+v, requested %+v", dir, s.manifest, man)
 		return nil, closeOnErr(s.log, err)
 	}
@@ -272,54 +449,136 @@ func closeOnErr(f *os.File, primary error) error {
 // manifest, and each trial index can be stored only once — duplicates
 // mean the caller re-ran a trial that resume should have served.
 func (s *Store) Append(rec TrialRecord) error {
+	_, err := s.AppendIndexed(rec)
+	return err
+}
+
+// AppendIndexed is Append returning where the record's frame landed in
+// the log — the observability plane announces the offset on its
+// store_appended events. The returned ref is zero when err is non-nil.
+func (s *Store) AppendIndexed(rec TrialRecord) (FrameRef, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.readonly {
-		return fmt.Errorf("runstore: campaign %s is open read-only", s.dir)
+		return FrameRef{}, fmt.Errorf("runstore: campaign %s is open read-only", s.dir)
 	}
 	if s.log == nil {
-		return fmt.Errorf("runstore: campaign %s is closed", s.dir)
+		return FrameRef{}, fmt.Errorf("runstore: campaign %s is closed", s.dir)
 	}
 	if rec.ConfigHash != s.manifest.ConfigHash {
-		return fmt.Errorf("runstore: record config hash %s does not match campaign %s", rec.ConfigHash, s.manifest.ConfigHash)
+		return FrameRef{}, fmt.Errorf("runstore: record config hash %s does not match campaign %s", rec.ConfigHash, s.manifest.ConfigHash)
 	}
-	if _, dup := s.index[rec.Trial]; dup {
-		return fmt.Errorf("runstore: trial %d is already stored in %s", rec.Trial, s.dir)
+	if _, dup := s.frames[rec.Trial]; dup {
+		return FrameRef{}, fmt.Errorf("runstore: trial %d is already stored in %s", rec.Trial, s.dir)
+	}
+	if err := s.rollbackLocked(); err != nil {
+		return FrameRef{}, err
 	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("runstore: encoding trial %d: %w", rec.Trial, err)
+		return FrameRef{}, fmt.Errorf("runstore: encoding trial %d: %w", rec.Trial, err)
 	}
 	frame := make([]byte, headerSize+len(payload))
 	binary.BigEndian.PutUint32(frame[0:4], recordMagic)
 	binary.BigEndian.PutUint32(frame[4:8], uint32(len(payload)))
 	binary.BigEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(payload))
 	copy(frame[headerSize:], payload)
-	if _, err := s.log.Write(frame); err != nil {
-		return fmt.Errorf("runstore: appending trial %d: %w", rec.Trial, err)
+	write := s.log.Write
+	if s.writeHook != nil {
+		write = s.writeHook
+	}
+	if n, err := write(frame); err != nil || n != len(frame) {
+		// The frame may be partly on disk. Mark the log dirty so the
+		// next append truncates back to the durable end instead of
+		// writing after torn bytes — which would strand every record
+		// appended from here on behind an undecodable frame.
+		s.dirty = true
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return FrameRef{}, fmt.Errorf("runstore: appending trial %d (log rolls back to offset %d): %w", rec.Trial, s.end, err)
 	}
 	if err := s.log.Sync(); err != nil {
-		return fmt.Errorf("runstore: syncing trial %d: %w", rec.Trial, err)
+		// Durability unknown: treat the frame as not written.
+		s.dirty = true
+		return FrameRef{}, fmt.Errorf("runstore: syncing trial %d (log rolls back to offset %d): %w", rec.Trial, s.end, err)
 	}
-	s.index[rec.Trial] = rec
+	ref := FrameRef{Off: s.end, Len: int64(len(frame))}
+	s.frames[rec.Trial] = ref
+	s.rows[rec.Trial] = rowFrom(rec)
+	s.end += ref.Len
+	s.stale = true
 	s.m.recordsWritten.Inc()
-	s.m.bytesWritten.Add(int64(len(frame)))
+	s.m.bytesWritten.Add(ref.Len)
+	return ref, nil
+}
+
+// rollbackLocked truncates the log back to the durable end after a
+// failed append left (or may have left) torn bytes past it.
+func (s *Store) rollbackLocked() error {
+	if !s.dirty {
+		return nil
+	}
+	if err := s.log.Truncate(s.end); err != nil {
+		return fmt.Errorf("runstore: rolling back failed append (truncate to %d): %w", s.end, err)
+	}
+	if err := s.log.Sync(); err != nil {
+		return fmt.Errorf("runstore: syncing rollback to %d: %w", s.end, err)
+	}
+	s.dirty = false
 	return nil
 }
 
-// Get returns the stored record for a trial index.
-func (s *Store) Get(trial int) (TrialRecord, bool) {
+// Get returns the stored record for a trial index, read from the log
+// with one O(record) seek through the offset index. A non-nil error
+// means the index points at a frame that no longer decodes — store
+// corruption, not absence.
+func (s *Store) Get(trial int) (TrialRecord, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec, ok := s.index[trial]
-	return rec, ok
+	ref, ok := s.frames[trial]
+	if !ok {
+		return TrialRecord{}, false, nil
+	}
+	rec, err := s.readFrameLocked(ref)
+	if err != nil {
+		return TrialRecord{}, true, fmt.Errorf("runstore: reading trial %d: %w", trial, err)
+	}
+	return rec, true, nil
 }
 
-// Has reports whether a trial index is stored.
+// readFrameLocked reads and decodes one frame via the lazy read handle.
+func (s *Store) readFrameLocked(ref FrameRef) (TrialRecord, error) {
+	if s.closed {
+		return TrialRecord{}, fmt.Errorf("campaign %s is closed", s.dir)
+	}
+	if s.rd == nil {
+		f, err := os.Open(LogPath(s.dir))
+		if err != nil {
+			return TrialRecord{}, err
+		}
+		s.rd = f
+	}
+	buf := make([]byte, ref.Len)
+	if _, err := s.rd.ReadAt(buf, ref.Off); err != nil {
+		return TrialRecord{}, err
+	}
+	s.m.bytesRead.Add(ref.Len)
+	s.m.indexHits.Inc()
+	recs, _, valid := scanRecords(buf)
+	if len(recs) != 1 || valid != ref.Len {
+		return TrialRecord{}, fmt.Errorf("frame at %d+%d does not decode (log corrupted since indexing?)", ref.Off, ref.Len)
+	}
+	s.m.recordsRead.Inc()
+	return recs[0], nil
+}
+
+// Has reports whether a trial index is stored — an O(1) map probe, no
+// log read.
 func (s *Store) Has(trial int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.index[trial]
+	_, ok := s.frames[trial]
 	return ok
 }
 
@@ -327,19 +586,48 @@ func (s *Store) Has(trial int) bool {
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.index)
+	return len(s.frames)
 }
 
-// Records returns every stored record sorted by trial index.
-func (s *Store) Records() []TrialRecord {
+// Headlines returns the columnar summary of every stored trial sorted
+// by trial index, served entirely from the in-memory index — no log
+// reads. The headline maps are copies; callers may keep them.
+func (s *Store) Headlines() []HeadlineRow {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]TrialRecord, 0, len(s.index))
-	for _, rec := range s.index {
-		out = append(out, rec)
+	out := make([]HeadlineRow, 0, len(s.rows))
+	for _, row := range s.rows {
+		h := make(map[string]float64, len(row.Headline))
+		for k, v := range row.Headline {
+			h[k] = v
+		}
+		row.Headline = h
+		out = append(out, row)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Trial < out[j].Trial })
 	return out
+}
+
+// Records returns every stored record sorted by trial index. This reads
+// the whole log (one indexed seek per record); callers that only need
+// headline stats should use Headlines instead.
+func (s *Store) Records() ([]TrialRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	trials := make([]int, 0, len(s.frames))
+	for t := range s.frames {
+		trials = append(trials, t)
+	}
+	sort.Ints(trials)
+	out := make([]TrialRecord, 0, len(trials))
+	for _, t := range trials {
+		rec, err := s.readFrameLocked(s.frames[t])
+		if err != nil {
+			return nil, fmt.Errorf("runstore: reading trial %d: %w", t, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
 }
 
 // Manifest returns the campaign manifest.
@@ -368,56 +656,99 @@ func (s *Store) Stats() Stats {
 		BytesRead:           s.m.bytesRead.Value(),
 		ResumeHits:          s.m.resumeHits.Value(),
 		TornTailTruncations: s.m.tornTails.Value(),
+		IndexHits:           s.m.indexHits.Value(),
+		IndexRebuilds:       s.m.indexRebuilds.Value(),
+		Compactions:         s.m.compactions.Value(),
+		CompactedBytes:      s.m.compactedBytes.Value(),
 	}
 }
 
-// Close releases the log file handle. Safe to call on read-only and
-// already-closed stores.
+// Close publishes the sidecar index files (writable stores with
+// unpublished appends) and releases the file handles. Safe to call on
+// read-only and already-closed stores.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.log == nil {
-		return nil
+	var errs []error
+	if s.log != nil {
+		// A failed final append may have left torn bytes; drop them so
+		// the on-disk log ends on the durable boundary the sidecars
+		// describe.
+		if err := s.rollbackLocked(); err != nil {
+			errs = append(errs, err)
+		} else if s.stale {
+			if err := s.publishSidecarsLocked(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if err := s.log.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		s.log = nil
 	}
-	err := s.log.Close()
-	s.log = nil
-	return err
+	if s.rd != nil {
+		if err := s.rd.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		s.rd = nil
+	}
+	s.closed = true
+	return errors.Join(errs...)
 }
 
 // scanRecords decodes frames until the first torn or corrupt one,
 // reporting each record's start offset and how many bytes were valid.
 // Everything after the first bad frame is unreachable (frames are not
 // self-synchronizing), so a mid-file corruption costs the records behind
-// it — the crash model this store defends against only ever tears the
-// tail.
+// it — which is why Append rolls back failed writes instead of ever
+// letting torn bytes land mid-log, and why Compact exists to salvage
+// logs that predate that guarantee.
 func scanRecords(data []byte) (recs []TrialRecord, offs []int64, valid int64) {
 	off := 0
 	for {
-		if len(data)-off < headerSize {
-			break
-		}
-		if binary.BigEndian.Uint32(data[off:]) != recordMagic {
-			break
-		}
-		n := int(binary.BigEndian.Uint32(data[off+4:]))
-		sum := binary.BigEndian.Uint32(data[off+8:])
-		if len(data)-off-headerSize < n {
-			break
-		}
-		payload := data[off+headerSize : off+headerSize+n]
-		if crc32.ChecksumIEEE(payload) != sum {
-			break
-		}
-		var rec TrialRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
+		rec, n, ok := decodeFrame(data[off:])
+		if !ok {
 			break
 		}
 		recs = append(recs, rec)
 		offs = append(offs, int64(off))
-		off += headerSize + n
+		off += n
 	}
 	return recs, offs, int64(off)
 }
+
+// decodeFrame decodes the frame at the start of data, returning the
+// record and the frame's total length. ok is false when data does not
+// begin with a complete, well-formed frame — a corrupt length field
+// (negative on 32-bit ints, or absurdly large) is rejected by bound
+// before it can size an allocation or a slice expression.
+func decodeFrame(data []byte) (rec TrialRecord, frameLen int, ok bool) {
+	if len(data) < headerSize {
+		return rec, 0, false
+	}
+	if binary.BigEndian.Uint32(data) != recordMagic {
+		return rec, 0, false
+	}
+	n32 := binary.BigEndian.Uint32(data[4:])
+	if n32 > maxFramePayload {
+		return rec, 0, false
+	}
+	n := int(n32)
+	sum := binary.BigEndian.Uint32(data[8:])
+	if len(data)-headerSize < n {
+		return rec, 0, false
+	}
+	payload := data[headerSize : headerSize+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return rec, 0, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, 0, false
+	}
+	return rec, headerSize + n, true
+}
+
+var recordMagicBytes = binary.BigEndian.AppendUint32(nil, recordMagic)
 
 // DecodeRecords decodes every valid record frame at the start of data,
 // returning them in file order plus the number of valid bytes consumed.
@@ -457,22 +788,31 @@ func writeManifest(dir string, man Manifest) error {
 		return fmt.Errorf("runstore: encoding manifest: %w", err)
 	}
 	b = append(b, '\n')
-	tmp := ManifestPath(dir) + ".tmp"
+	return publishFile(dir, manifestName, b)
+}
+
+// publishFile atomically replaces <dir>/<name> with payload: tmp-file
+// write, fsync, rename, dir-fsync — the crash-safe publish every
+// non-log artifact in the campaign directory (manifest, sidecar index,
+// columnar headlines, compacted log) goes through.
+func publishFile(dir, name string, payload []byte) error {
+	path := filepath.Join(dir, name)
+	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("runstore: creating manifest tmp: %w", err)
+		return fmt.Errorf("runstore: creating %s tmp: %w", name, err)
 	}
-	if _, err := f.Write(b); err != nil {
-		return closeOnErr(f, fmt.Errorf("runstore: writing manifest: %w", err))
+	if _, err := f.Write(payload); err != nil {
+		return closeOnErr(f, fmt.Errorf("runstore: writing %s: %w", name, err))
 	}
 	if err := f.Sync(); err != nil {
-		return closeOnErr(f, fmt.Errorf("runstore: syncing manifest: %w", err))
+		return closeOnErr(f, fmt.Errorf("runstore: syncing %s: %w", name, err))
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("runstore: closing manifest tmp: %w", err)
+		return fmt.Errorf("runstore: closing %s tmp: %w", name, err)
 	}
-	if err := os.Rename(tmp, ManifestPath(dir)); err != nil {
-		return fmt.Errorf("runstore: publishing manifest: %w", err)
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("runstore: publishing %s: %w", name, err)
 	}
 	return syncDir(dir)
 }
@@ -515,9 +855,24 @@ func HashJSON(v any) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("runstore: hashing config: %w", err)
 	}
-	// The salt ties hashes to the record schema: bumping StoreVersion
-	// invalidates stored fingerprints even for identical configs.
-	salted := append([]byte(fmt.Sprintf("runstore/v%d\n", StoreVersion)), b...)
+	// The salt ties hashes to the record schema: bumping
+	// hashSchemaVersion invalidates stored fingerprints even for
+	// identical configs.
+	salted := append([]byte(fmt.Sprintf("runstore/v%d\n", hashSchemaVersion)), b...)
 	sum := sha256.Sum256(salted)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// indexOfMagic returns the offset of the next possible frame start at
+// or after from, or -1 — the resynchronization primitive compaction
+// uses to salvage records stranded behind a bad frame.
+func indexOfMagic(data []byte, from int) int {
+	if from > len(data) {
+		return -1
+	}
+	i := bytes.Index(data[from:], recordMagicBytes)
+	if i < 0 {
+		return -1
+	}
+	return from + i
 }

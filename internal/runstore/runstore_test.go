@@ -61,7 +61,10 @@ func TestRoundTrip(t *testing.T) {
 	if r.Manifest() != testManifest() {
 		t.Errorf("manifest = %+v, want %+v", r.Manifest(), testManifest())
 	}
-	recs := r.Records()
+	recs, err := r.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(recs) != 3 {
 		t.Fatalf("got %d records, want 3", len(recs))
 	}
@@ -82,14 +85,22 @@ func TestRoundTrip(t *testing.T) {
 			t.Errorf("record %d spans = %+v", i, rec.Spans)
 		}
 	}
-	if got, ok := r.Get(1); !ok || got.Seed != 101 {
-		t.Errorf("Get(1) = %+v, %v", got, ok)
+	if got, ok, err := r.Get(1); err != nil || !ok || got.Seed != 101 {
+		t.Errorf("Get(1) = %+v, %v, %v", got, ok, err)
 	}
 	if r.Has(3) {
 		t.Error("Has(3) = true for unstored trial")
 	}
-	if n := counterValue(t, set, "runstore_records_read_total"); n != 3 {
-		t.Errorf("records_read = %d, want 3", n)
+	// The reopen was served by the sidecar index (no open-time decode);
+	// Records() read 3 frames and Get(1) one more.
+	if n := counterValue(t, set, "runstore_records_read_total"); n != 4 {
+		t.Errorf("records_read = %d, want 4", n)
+	}
+	if n := counterValue(t, set, "runstore_index_rebuilds_total"); n != 0 {
+		t.Errorf("index_rebuilds = %d, want 0 (sidecars were published on Close)", n)
+	}
+	if n := counterValue(t, set, "runstore_index_hits_total"); n == 0 {
+		t.Error("index_hits = 0, want indexed open + lookups")
 	}
 	if n := counterValue(t, set, "runstore_torn_tail_total"); n != 0 {
 		t.Errorf("torn_tail = %d, want 0", n)

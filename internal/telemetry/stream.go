@@ -63,6 +63,11 @@ type StreamEvent struct {
 	// totals only — per-country/per-protocol families stay in the batch
 	// JSON) on trial_finished.
 	Headline map[string]float64 `json:"headline,omitempty"`
+	// LogOffset/LogBytes locate the persisted record's frame in the
+	// campaign log on store_appended events. LogBytes > 0 marks the
+	// pair as present (the first record legitimately lands at offset 0).
+	LogOffset int64 `json:"log_offset,omitempty"`
+	LogBytes  int64 `json:"log_bytes,omitempty"`
 	// Detail is a free-form annotation (flight-dump reason, store path).
 	Detail string `json:"detail,omitempty"`
 }

@@ -45,11 +45,31 @@ echo "shadowlint ./... took ${lint_wall}s"
 # means stragglers, with high idle means queue starvation.
 echo "== worker occupancy (4 trials, 2 workers)"
 occ=$(mktemp)
-trap 'rm -f "$tmp" "$occ"' EXIT
+campdir=$(mktemp -d)
+trap 'rm -f "$tmp" "$occ"; rm -rf "$campdir"' EXIT
 go build -o /tmp/shadowmeter.bench ./cmd/shadowmeter
+# -out persists the batch as a campaign so the store timings below run
+# against a real log; -compact leaves it in its steady state (indexed
+# sidecars published, no dead bytes).
 /tmp/shadowmeter.bench -seed 7 -trials "${BENCH_OCC_TRIALS:-4}" -workers 2 \
-    -occupancy-json "$occ" >/dev/null 2>&1
+    -occupancy-json "$occ" -out "$campdir/camp" -compact >/dev/null 2>&1
 rm -f /tmp/shadowmeter.bench
+
+# Store read-path wall time: an indexed open + summary table (sidecars
+# only) and an indexed open + single-record fetch (sidecars plus one
+# frame seek). Both are O(record), not O(log) — tracked here so an index
+# regression shows up as a wall-time step.
+echo "== store open/show wall time"
+go build -o /tmp/shadowstore.bench ./cmd/shadowstore
+t0=$(date +%s.%N)
+/tmp/shadowstore.bench show "$campdir/camp" >/dev/null
+t1=$(date +%s.%N)
+/tmp/shadowstore.bench show -trial 0 "$campdir/camp" >/dev/null
+t2=$(date +%s.%N)
+rm -f /tmp/shadowstore.bench
+store_show_wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN {printf "%.3f", b - a}')
+store_get_wall=$(awk -v a="$t1" -v b="$t2" 'BEGIN {printf "%.3f", b - a}')
+echo "shadowstore show took ${store_show_wall}s, show -trial 0 took ${store_get_wall}s"
 
 awk -v date="$stamp" -v goversion="$(go version | awk '{print $3}')" -v lintwall="$lint_wall" '
 /^Benchmark/ {
@@ -75,10 +95,14 @@ END {
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"lint_wall_seconds\": %s%s,\n  \"benchmarks\": [\n%s\n  ]\n}\n", date, goversion, lintwall, speedup, body
 }' "$tmp" >"$out"
 
-# Fold the occupancy report in: the whole object under worker_occupancy,
-# plus slow_trial_dumps hoisted to the top level for cheap trending.
+# Fold the occupancy report and store timings in: the whole occupancy
+# object under worker_occupancy, slow_trial_dumps hoisted to the top
+# level for cheap trending, and the store read-path wall times beside
+# the lint wall time.
 jq --slurpfile occ "$occ" \
-    '. + {worker_occupancy: $occ[0], slow_trial_dumps: $occ[0].slow_trial_dumps}' \
+    --argjson show "$store_show_wall" --argjson get "$store_get_wall" \
+    '. + {worker_occupancy: $occ[0], slow_trial_dumps: $occ[0].slow_trial_dumps,
+          store_show_seconds: $show, store_show_trial_seconds: $get}' \
     "$out" >"$out.tmp" && mv "$out.tmp" "$out"
 
 echo "wrote $out"

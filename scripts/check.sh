@@ -132,6 +132,7 @@ echo "== shadowstore smoke"
 "$tmpdir/shadowstore" show -trial 0 "$tmpdir/camp" >/dev/null
 "$tmpdir/shadowstore" diff "$tmpdir/camp" "$tmpdir/camp" >/dev/null
 "$tmpdir/shadowstore" retention "$tmpdir/camp" >/dev/null
+"$tmpdir/shadowstore" retention -from 1s -to 240h "$tmpdir/camp" >/dev/null
 
 echo "== watch plane smoke"
 # The observability contract, both halves: the plane is LIVE (its
@@ -182,6 +183,56 @@ echo "== watch merged-telemetry inertness smoke"
 if ! cmp -s "$tmpdir/mtj_bare.json" "$tmpdir/mtj_watch.json"; then
     echo "-watch changed the merged telemetry export:" >&2
     diff "$tmpdir/mtj_bare.json" "$tmpdir/mtj_watch.json" >&2 || true
+    exit 1
+fi
+
+echo "== compact-then-resume smoke"
+# The compaction contract: rewriting the log (newest valid record per
+# trial, dead bytes dropped) must not change what a resumed batch
+# prints — stdout and the merged telemetry export stay byte-identical
+# to the uninterrupted run, with every trial served from the store.
+"$tmpdir/shadowstore" compact "$tmpdir/camp" | grep -q "compacted"
+"$tmpdir/shadowmeter" -seed 7 -trials 2 -workers 2 -out "$tmpdir/camp" -resume \
+    >"$tmpdir/compacted_resume.json" 2>"$tmpdir/compact.err"
+if ! cmp -s "$tmpdir/cold.json" "$tmpdir/compacted_resume.json"; then
+    echo "batch resumed over a compacted store differs from cold run:" >&2
+    diff "$tmpdir/cold.json" "$tmpdir/compacted_resume.json" >&2 || true
+    exit 1
+fi
+if ! grep -q "resume hits 2" "$tmpdir/compact.err"; then
+    echo "expected 2 resume hits over the compacted store; stderr was:" >&2
+    cat "$tmpdir/compact.err" >&2
+    exit 1
+fi
+"$tmpdir/shadowmeter" -seed 7 -trials 2 -workers 2 -out "$tmpdir/camp" -resume -metrics-json \
+    >"$tmpdir/mtj_compacted.json" 2>/dev/null
+if ! cmp -s "$tmpdir/mtj_bare.json" "$tmpdir/mtj_compacted.json"; then
+    echo "merged telemetry resumed over a compacted store differs from bare run:" >&2
+    diff "$tmpdir/mtj_bare.json" "$tmpdir/mtj_compacted.json" >&2 || true
+    exit 1
+fi
+
+echo "== store O(1) indexed-read smoke"
+# The offset-index contract: `show -trial N` on an indexed campaign
+# reads the sidecar files plus one record frame, never the whole log.
+# An 8-trial campaign (persisted with -compact to exercise that flag)
+# makes one frame a small fraction of the log; -stats surfaces the
+# store's read counters on stderr for the assertion.
+"$tmpdir/shadowmeter" -seed 7 -trials 8 -out "$tmpdir/camp8" -compact >/dev/null 2>/dev/null
+"$tmpdir/shadowstore" show -trial 3 -stats "$tmpdir/camp8" >/dev/null 2>"$tmpdir/show.err"
+read -r bytes_read log_size index_hits index_rebuilds < \
+    <(awk '/^store stats:/ {print $4, $6, $8, $10}' "$tmpdir/show.err")
+if [ -z "${bytes_read:-}" ] || [ -z "${log_size:-}" ]; then
+    echo "show -stats printed no store stats line; stderr was:" >&2
+    cat "$tmpdir/show.err" >&2
+    exit 1
+fi
+if [ "$((bytes_read * 4))" -ge "$log_size" ]; then
+    echo "indexed show read $bytes_read bytes of a $log_size-byte log — not O(record)" >&2
+    exit 1
+fi
+if [ "$index_hits" -eq 0 ] || [ "$index_rebuilds" -ne 0 ]; then
+    echo "indexed show did not use the sidecar index (hits=$index_hits rebuilds=$index_rebuilds)" >&2
     exit 1
 fi
 

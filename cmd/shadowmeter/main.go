@@ -5,7 +5,8 @@
 // Usage:
 //
 //	shadowmeter [-seed N] [-scale small|medium|full] [-intercepted N]
-//	            [-trials N] [-workers W] [-out DIR] [-resume] [-compact]
+//	            [-trials N] [-workers W] [-out DIR] [-shard i/N]
+//	            [-resume] [-compact]
 //	            [-phase1-only] [-json-stats] [-cold-topology]
 //	            [-metrics] [-metrics-json] [-progress N]
 //	            [-watch ADDR] [-occupancy-json PATH] [-flight-dir DIR]
@@ -19,6 +20,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,6 +37,7 @@ import (
 type options struct {
 	trials        int
 	out           string
+	shard         string
 	resume        bool
 	phase1Only    bool
 	jsonStats     bool
@@ -56,7 +60,41 @@ func (o options) batch() bool { return o.trials > 1 || o.out != "" }
 // the merged telemetry export — so flags that would smuggle a second
 // document (or silently do nothing) are rejected rather than defined
 // by accident.
+// parseShard parses a -shard value "i/N" into a shard index and count.
+// The geometry must be well-formed here; whether it matches an existing
+// store is checked against the manifest when the store opens.
+func parseShard(s string) (index, count int, err error) {
+	is, ns, ok := strings.Cut(s, "/")
+	var ierr, nerr error
+	if ok {
+		index, ierr = strconv.Atoi(is)
+		count, nerr = strconv.Atoi(ns)
+	}
+	if !ok || ierr != nil || nerr != nil {
+		return 0, 0, fmt.Errorf("-shard %q is malformed: want i/N, e.g. -shard 0/4 for the first of four shards", s)
+	}
+	if count <= 0 {
+		return 0, 0, fmt.Errorf("-shard %q has no shards: the shard count N must be at least 1", s)
+	}
+	if index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("-shard %q is out of range: the shard index must be in 0..%d for %d shards", s, count-1, count)
+	}
+	return index, count, nil
+}
+
 func (o options) validate() error {
+	if o.shard != "" {
+		_, count, err := parseShard(o.shard)
+		if err != nil {
+			return err
+		}
+		if o.out == "" {
+			return fmt.Errorf("-shard requires -out DIR: a shard's slice of the campaign lands in its own store, to be folded with `shadowstore merge`")
+		}
+		if count > o.trials {
+			return fmt.Errorf("-shard %s splits %d trials across %d shards: at least one shard would be empty; use at most -trials shards", o.shard, o.trials, count)
+		}
+	}
 	if o.resume && o.out == "" {
 		return fmt.Errorf("-resume requires -out DIR: there is no campaign to resume without a store")
 	}
@@ -106,6 +144,7 @@ func main() {
 		trials      = flag.Int("trials", 1, "independent trials to run (seed, seed+1, ...); >1 prints the aggregate batch JSON")
 		workers     = flag.Int("workers", 0, "concurrent trial worlds (0 = one per trial); affects wall time only, never output")
 		out         = flag.String("out", "", "campaign directory: durably persist each completed trial (implies batch output, even for -trials 1)")
+		shard       = flag.String("shard", "", "run only slice i/N of the trial plan into the -out shard store (e.g. 0/2 and 1/2 partition the plan; fold with `shadowstore merge`)")
 		resume      = flag.Bool("resume", false, "serve trials already stored in the -out campaign instead of re-running them (byte-identical output)")
 		compact     = flag.Bool("compact", false, "compact the -out campaign log after the batch: newest record per trial, dead bytes dropped")
 		phase1Only  = flag.Bool("phase1-only", false, "stop after the Phase I landscape (skip tracerouting)")
@@ -122,7 +161,7 @@ func main() {
 	flag.Parse()
 
 	opts := options{
-		trials: *trials, out: *out, resume: *resume, compact: *compact,
+		trials: *trials, out: *out, shard: *shard, resume: *resume, compact: *compact,
 		phase1Only: *phase1Only, jsonStats: *jsonStats,
 		metrics: *metrics, metricsJSON: *metricsJSON,
 		mitigations: *mitigations,
@@ -151,9 +190,15 @@ func main() {
 	}
 
 	if opts.batch() {
+		shardIndex, shardCount := 0, 0
+		if *shard != "" {
+			// validate already vetted the geometry; re-parse for the values.
+			shardIndex, shardCount, _ = parseShard(*shard)
+		}
 		runBatch(batchParams{
 			trials: *trials, workers: *workers, baseSeed: *seed,
 			cfg: cfg, scaleName: *scale,
+			shardIndex: shardIndex, shardCount: shardCount,
 			metricsJSON: *metricsJSON, outDir: *out, resume: *resume, compact: *compact,
 			coldTopo:  *coldTopo,
 			watchAddr: *watchAddr, occupancyPath: *occJSON,
@@ -230,7 +275,11 @@ type batchParams struct {
 	baseSeed int64
 	cfg      core.Config
 	// scaleName annotates the store manifest and campaign snapshot.
-	scaleName   string
+	scaleName string
+	// shardIndex/shardCount select slice shardIndex/shardCount of the
+	// trial plan (shardCount 0 = unsharded: the whole plan).
+	shardIndex  int
+	shardCount  int
 	metricsJSON bool
 	outDir      string
 	resume      bool
@@ -275,6 +324,11 @@ const stalledCheckInterval = 2 * time.Second
 func runBatch(p batchParams) {
 	started := time.Now()
 	rcfg := runner.Config{Trials: p.trials, Workers: p.workers, BaseSeed: p.baseSeed, Core: p.cfg, ColdTopology: p.coldTopo}
+	span := runner.Slice{From: 0, To: p.trials}
+	if p.shardCount > 0 {
+		span = runner.ShardSlice(p.trials, p.shardIndex, p.shardCount)
+		rcfg.Slice = span
+	}
 
 	var st *runstore.Store
 	if p.outDir != "" {
@@ -284,6 +338,8 @@ func runBatch(p batchParams) {
 			BaseSeed:   p.baseSeed,
 			Trials:     p.trials,
 			Scale:      p.scaleName,
+			ShardIndex: p.shardIndex,
+			ShardCount: p.shardCount,
 		}
 		var err error
 		st, err = runstore.OpenOrCreate(p.outDir, man, telemetry.NewSet())
@@ -336,7 +392,7 @@ func runBatch(p batchParams) {
 			defer ln.Close()
 		}
 		if p.progress {
-			rep := &telemetry.Reporter{Bus: bus, Total: p.trials, W: os.Stderr, Clock: time.Now}
+			rep := &telemetry.Reporter{Bus: bus, Total: span.To - span.From, W: os.Stderr, Clock: time.Now}
 			repDone = make(chan struct{})
 			go func() {
 				defer close(repDone)
@@ -374,7 +430,13 @@ func runBatch(p batchParams) {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "running %d trials (seeds %d..%d)...\n", p.trials, p.baseSeed, p.baseSeed+int64(p.trials)-1)
+	if p.shardCount > 0 {
+		fmt.Fprintf(os.Stderr, "running shard %d/%d of %d trials: trials %d..%d (seeds %d..%d)...\n",
+			p.shardIndex, p.shardCount, p.trials, span.From, span.To-1,
+			p.baseSeed+int64(span.From), p.baseSeed+int64(span.To)-1)
+	} else {
+		fmt.Fprintf(os.Stderr, "running %d trials (seeds %d..%d)...\n", p.trials, p.baseSeed, p.baseSeed+int64(p.trials)-1)
+	}
 	res := runner.Run(rcfg)
 	close(stop)
 	if repDone != nil {

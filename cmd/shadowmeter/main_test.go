@@ -30,8 +30,23 @@ func TestFlagValidation(t *testing.T) {
 		{"batch with occupancy json", options{trials: 4, occupancyJSON: "occ.json"}, ""},
 		{"batch with flight dir", options{trials: 4, flightDir: "dumps"}, ""},
 		{"fully observed campaign", options{trials: 4, out: "camp", watch: ":0", occupancyJSON: "occ.json", flightDir: "dumps", metricsJSON: true}, ""},
+		{"shard campaign", options{trials: 4, out: "camp", shard: "0/2"}, ""},
+		{"last shard", options{trials: 4, out: "camp", shard: "1/2"}, ""},
+		{"one shard per trial", options{trials: 4, out: "camp", shard: "3/4"}, ""},
+		{"degenerate single shard", options{trials: 4, out: "camp", shard: "0/1"}, ""},
+		{"shard resume", options{trials: 4, out: "camp", shard: "1/2", resume: true}, ""},
 
 		{"resume without out", options{trials: 4, resume: true}, "-resume requires -out"},
+		{"shard without out", options{trials: 4, shard: "0/2"}, "-shard requires -out"},
+		{"shard not a fraction", options{trials: 4, out: "camp", shard: "2"}, "malformed"},
+		{"shard with garbage", options{trials: 4, out: "camp", shard: "0/2x"}, "malformed"},
+		{"shard empty halves", options{trials: 4, out: "camp", shard: "/"}, "malformed"},
+		{"shard zero shards", options{trials: 4, out: "camp", shard: "0/0"}, "at least 1"},
+		{"shard negative count", options{trials: 4, out: "camp", shard: "0/-2"}, "at least 1"},
+		{"shard index at count", options{trials: 4, out: "camp", shard: "2/2"}, "out of range"},
+		{"shard index past count", options{trials: 4, out: "camp", shard: "5/2"}, "out of range"},
+		{"shard negative index", options{trials: 4, out: "camp", shard: "-1/2"}, "out of range"},
+		{"more shards than trials", options{trials: 2, out: "camp", shard: "0/4"}, "at least one shard would be empty"},
 		{"compact without out", options{trials: 4, compact: true}, "-compact requires -out"},
 		{"single run with watch", options{trials: 1, watch: "127.0.0.1:0"}, "-watch requires batch mode"},
 		{"single run with occupancy json", options{trials: 1, occupancyJSON: "occ.json"}, "-occupancy-json requires batch mode"},

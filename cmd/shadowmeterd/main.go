@@ -1,0 +1,114 @@
+// Command shadowmeterd is the campaign control plane: a long-running
+// daemon that accepts measurement campaigns over HTTP/JSON, splits each
+// trial plan into worker-leased slices, runs them through the ordinary
+// deterministic data plane into per-campaign stores, and serves live
+// progress by re-exporting the `-watch` observability plane per
+// campaign.
+//
+//	shadowmeterd [-addr HOST:PORT] [-root DIR] [-workers N]
+//	             [-lease DUR] [-reap DUR]
+//
+// Endpoints:
+//
+//	GET  /healthz                  liveness
+//	GET  /campaigns                queue listing (JSON)
+//	POST /campaigns                submit {"seed","trials","scale","slice_size","workers"}
+//	GET  /campaigns/{id}           one campaign + slice states (JSON)
+//	POST /campaigns/{id}/extend    {"trials": N} grows the plan in place
+//	GET  /campaigns/{id}/progress  stream bus (JSON poll / SSE)
+//	GET  /campaigns/{id}/campaign  live slice snapshot
+//	GET  /campaigns/{id}/metrics   Prometheus text
+//
+// The queue lives in <root>/state.json (atomic-publish on every
+// transition), so restarting the daemon resumes exactly where it
+// stopped: done slices stay done, slices leased by the dead process
+// return to pending, and their already-persisted trials are served from
+// the campaign store on re-run. SIGINT/SIGTERM drains gracefully —
+// in-flight slices finish, stores close, the queue checkpoints — then
+// the daemon exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shadowmeter/internal/sched"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:0", "HTTP listen address (port 0 picks a free port, announced on stderr)")
+		root    = flag.String("root", "shadowmeterd-root", "state directory: queue state.json plus one store per campaign")
+		workers = flag.Int("workers", 2, "concurrent slice workers")
+		lease   = flag.Duration("lease", 10*time.Minute, "worker lease on a slice before it is requeued (0 disables expiry)")
+		reap    = flag.Duration("reap", 30*time.Second, "how often expired leases are swept back to pending")
+	)
+	flag.Parse()
+
+	sc, err := sched.NewScheduler(*root, time.Now, *lease)
+	if err != nil {
+		log.Fatalf("shadowmeterd: %v", err)
+	}
+	d, err := sched.NewDaemon(sched.DaemonOptions{
+		Sched:   sc,
+		Root:    *root,
+		Workers: *workers,
+		Clock:   time.Now,
+		Log:     os.Stderr,
+	})
+	if err != nil {
+		log.Fatalf("shadowmeterd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("shadowmeterd: listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "shadowmeterd: serving on http://%s (root %s, %d workers)\n", ln.Addr(), *root, *workers)
+
+	d.Start()
+	go func() {
+		if err := http.Serve(ln, d.Handler()); err != nil {
+			// Serve always returns non-nil; after the drain closes the
+			// listener this is the normal shutdown path.
+			fmt.Fprintf(os.Stderr, "shadowmeterd: http server stopped: %v\n", err)
+		}
+	}()
+
+	// The scheduler is wall-clock-free by design; the daemon owns the
+	// one real ticker that sweeps expired leases back to pending.
+	if *reap > 0 && *lease > 0 {
+		ticker := time.NewTicker(*reap)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				n, err := sc.Reap()
+				if n > 0 {
+					fmt.Fprintf(os.Stderr, "shadowmeterd: requeued %d expired lease(s)\n", n)
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "shadowmeterd: reap: %v\n", err)
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "shadowmeterd: %v: draining (in-flight slices finish, queue persists)\n", s)
+	if err := ln.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "shadowmeterd: closing listener: %v\n", err)
+	}
+	if err := d.Drain(); err != nil {
+		log.Fatalf("shadowmeterd: drain: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "shadowmeterd: drained, exiting")
+}

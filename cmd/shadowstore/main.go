@@ -12,11 +12,14 @@
 //	shadowstore retention [-min-delay D] [-from D] [-to D] DIR...
 //	                                            cross-campaign multi-use/delay analysis
 //	shadowstore compact DIR                     rewrite the log: newest record per trial, drop dead bytes
+//	shadowstore merge DST SRC...                fold shard stores into one fresh campaign
 //
-// Every command except compact opens campaigns read-only: inspecting a
-// live campaign never repairs (or otherwise touches) its log under the
-// writer. compact is the one deliberate writer — never run it while the
-// campaign's batch runner is live.
+// Every command except compact and merge opens campaigns read-only:
+// inspecting a live campaign never repairs (or otherwise touches) its
+// log under the writer. compact is the one deliberate in-place writer —
+// never run it while the campaign's batch runner is live. merge writes
+// only its fresh destination; sources are read without ever being
+// opened as stores.
 //
 // The summary commands (show's table, diff, windowed retention) are
 // served from the store's columnar headline sidecar, and show -trial
@@ -53,6 +56,7 @@ func usage() {
   shadowstore retention [-min-delay D] [-from D] [-to D] DIR...
                                               cross-campaign multi-use/delay analysis
   shadowstore compact DIR                     rewrite the log: newest record per trial
+  shadowstore merge DST SRC...                fold shard stores into one fresh campaign
 `)
 }
 
@@ -78,6 +82,8 @@ func main() {
 		err = cmdRetention(args)
 	case "compact":
 		err = cmdCompact(args)
+	case "merge":
+		err = cmdMerge(args)
 	case "help", "-h", "-help", "--help":
 		usage()
 	default:
@@ -104,13 +110,16 @@ func cmdList(dirs []string) error {
 			return err
 		}
 		man := st.Manifest()
-		torn := ""
+		extra := ""
+		if l := man.ShardLabel(); l != "" {
+			extra = "  [" + l + "]"
+		}
 		if st.Stats().TornTailTruncations > 0 {
-			torn = "  [torn tail]"
+			extra += "  [torn tail]"
 		}
 		fmt.Printf("%-30s v%d  scale=%-6s  seeds %d..%d  records %d/%d  config %.12s%s\n",
 			dir, man.Version, man.Scale, man.BaseSeed, man.BaseSeed+int64(man.Trials)-1,
-			st.Len(), man.Trials, man.ConfigHash, torn)
+			st.Len(), man.Trials, man.ConfigHash, extra)
 		if err := st.Close(); err != nil {
 			return err
 		}
@@ -168,8 +177,19 @@ func cmdShow(args []string) error {
 	}
 
 	man := st.Manifest()
-	fmt.Printf("campaign %s\n  store version %d, scale %s, config %s\n  seeds %d..%d, records %d/%d\n\n",
-		fs.Arg(0), man.Version, man.Scale, man.ConfigHash,
+	prov := ""
+	switch {
+	case man.ShardCount > 0:
+		// The shard's trial window, derived the same way the runner
+		// derives it: [i·T/N, (i+1)·T/N).
+		from := man.Trials * man.ShardIndex / man.ShardCount
+		to := man.Trials * (man.ShardIndex + 1) / man.ShardCount
+		prov = fmt.Sprintf("\n  shard %d/%d of the trial plan (trials %d..%d)", man.ShardIndex, man.ShardCount, from, to-1)
+	case man.MergedFrom > 0:
+		prov = fmt.Sprintf("\n  merged from %d shard stores", man.MergedFrom)
+	}
+	fmt.Printf("campaign %s\n  store version %d, scale %s, config %s%s\n  seeds %d..%d, records %d/%d\n\n",
+		fs.Arg(0), man.Version, man.Scale, man.ConfigHash, prov,
 		man.BaseSeed, man.BaseSeed+int64(man.Trials)-1, st.Len(), man.Trials)
 	fmt.Printf("%5s %8s %12s %10s %12s %10s %8s\n",
 		"trial", "seed", "sent_decoys", "captures", "unsolicited", "observers", "events")
@@ -211,6 +231,28 @@ func cmdCompact(args []string) error {
 	}
 	fmt.Printf("compacted %s: kept %d records, dropped %d frames, %d -> %d bytes (reclaimed %d)\n",
 		dir, cs.Kept, cs.DroppedFrames, cs.BytesBefore, cs.BytesAfter, cs.Reclaimed)
+	return nil
+}
+
+// cmdMerge folds shard stores into one fresh campaign directory — the
+// fan-in of the `shadowmeter -shard i/N` data plane. It writes only the
+// destination; sources are read as raw logs (never opened as stores),
+// so merging never mutates a shard, even one still being written.
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("merge: need a destination and at least one source: merge DST SRC...")
+	}
+	dst, srcs := fs.Arg(0), fs.Args()[1:]
+	man, ms, err := runstore.Merge(dst, srcs, nil)
+	if err != nil {
+		return fmt.Errorf("merge: %w", err)
+	}
+	fmt.Printf("merged %d shard store(s) into %s: %d/%d trials, %d bytes (superseded %d, dropped %d, torn bytes %d)\n",
+		ms.Sources, dst, ms.Records, man.Trials, ms.Bytes, ms.Superseded, ms.Dropped, ms.TornBytes)
 	return nil
 }
 

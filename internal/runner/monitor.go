@@ -60,7 +60,14 @@ var trialWallBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120
 
 // CampaignInfo identifies the campaign being observed.
 type CampaignInfo struct {
-	Trials     int    `json:"trials"`
+	// Trials counts the trials this run executes. For shard/slice runs
+	// that is the window length, not the campaign's full plan.
+	Trials int `json:"trials"`
+	// First is the absolute index of the first trial in this run's
+	// window — non-zero for shard runs, whose plan is
+	// [First, First+Trials). Bus events and the Inflight list carry
+	// absolute trial indexes; the bitmap covers only the window.
+	First      int    `json:"first_trial,omitempty"`
 	Workers    int    `json:"workers"`
 	BaseSeed   int64  `json:"base_seed"`
 	ConfigHash string `json:"config_hash,omitempty"`
@@ -302,8 +309,8 @@ func (m *Monitor) trialStarted(worker, trial int, seed int64) {
 	now := m.now()
 	m.mu.Lock()
 	m.started++
-	if trial < len(m.running) {
-		m.running[trial] = true
+	if i := trial - m.info.First; i >= 0 && i < len(m.running) {
+		m.running[i] = true
 	}
 	m.inflight[trial] = &inflightTrial{worker: worker, seed: seed, start: now}
 	if worker < len(m.workers) && m.workers[worker].started {
@@ -369,11 +376,9 @@ func (m *Monitor) trialFinished(worker, trial int, seed int64, resumed bool, hea
 	if t != nil && m.clock != nil {
 		dur = now.Sub(t.start).Seconds()
 	}
-	if trial < len(m.done) {
-		m.done[trial] = true
-	}
-	if trial < len(m.running) {
-		m.running[trial] = false
+	if i := trial - m.info.First; i >= 0 && i < len(m.done) {
+		m.done[i] = true
+		m.running[i] = false
 	}
 	m.completed++
 	if resumed {

@@ -49,6 +49,13 @@ type Config struct {
 	// output to a cold run. Requires Store.
 	Resume bool
 
+	// Slice restricts the run to a window of the trial plan — the shard
+	// data plane. The zero value means the full plan [0, Trials). Trial
+	// indexes and seeds stay absolute (trial t is still seeded
+	// BaseSeed + t), so the union of disjoint slices is byte-identical
+	// to one unsharded run.
+	Slice Slice
+
 	// ColdTopology disables the shared topology blueprint, rebuilding the
 	// full topology per trial. Output is byte-identical either way — the
 	// blueprint only shares seed-independent construction — so this exists
@@ -62,6 +69,36 @@ type Config struct {
 	// trial's own goroutine, so batch output is byte-identical with or
 	// without it (CI-enforced by the -watch on/off diff in check.sh).
 	Monitor *Monitor
+}
+
+// Slice is a half-open window [From, To) of a campaign's trial plan.
+// The zero value means "the whole plan".
+type Slice struct {
+	From int
+	To   int
+}
+
+// ShardSlice splits a trial plan of the given size into count balanced
+// contiguous slices and returns the index-th: [i·T/N, (i+1)·T/N). Every
+// trial belongs to exactly one shard, and slice sizes differ by at most
+// one, so any shard geometry partitions the plan.
+func ShardSlice(trials, index, count int) Slice {
+	return Slice{From: trials * index / count, To: trials * (index + 1) / count}
+}
+
+// window normalizes cfg.Slice against the trial count: the zero slice
+// (or any out-of-range bound) clamps to the full plan.
+func window(trials int, s Slice) Slice {
+	if s.From < 0 {
+		s.From = 0
+	}
+	if s.To <= 0 || s.To > trials {
+		s.To = trials
+	}
+	if s.From > s.To {
+		s.From = s.To
+	}
+	return s
 }
 
 // Trial is the outcome of one world.
@@ -114,15 +151,17 @@ func Run(cfg Config) *Result {
 	if trials <= 0 {
 		trials = 1
 	}
+	span := window(trials, cfg.Slice)
+	n := span.To - span.From
 	workers := cfg.Workers
-	if workers <= 0 || workers > trials {
-		workers = trials
+	if workers <= 0 || workers > n {
+		workers = n
 	}
 	hash := ""
 	if cfg.Store != nil {
 		hash = CampaignHash(cfg.Core)
 	}
-	if !cfg.ColdTopology && cfg.Core.Topo == nil && trials > 1 {
+	if !cfg.ColdTopology && cfg.Core.Topo == nil && n > 1 {
 		// One blueprint per campaign: trials share the read-only AS/router
 		// graph and geo trie, and instantiate only per-world mutable state.
 		// A single trial skips the snapshot — cold build is cheaper once.
@@ -130,14 +169,14 @@ func Run(cfg Config) *Result {
 	}
 
 	if m := cfg.Monitor; m != nil {
-		info := CampaignInfo{Trials: trials, Workers: workers, BaseSeed: cfg.BaseSeed, ConfigHash: hash}
+		info := CampaignInfo{Trials: n, First: span.From, Workers: workers, BaseSeed: cfg.BaseSeed, ConfigHash: hash}
 		if cfg.Store != nil {
 			info.StoreDir = cfg.Store.Dir()
 		}
 		m.campaignStarted(info)
 	}
 
-	results := make([]Trial, trials)
+	results := make([]Trial, n)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -149,11 +188,11 @@ func Run(cfg Config) *Result {
 				defer m.workerExited(w)
 			}
 			for t := range jobs {
-				results[t] = runTrial(cfg, w, t, hash)
+				results[t-span.From] = runTrial(cfg, w, t, hash)
 			}
 		}(w)
 	}
-	for t := 0; t < trials; t++ {
+	for t := span.From; t < span.To; t++ {
 		jobs <- t
 	}
 	close(jobs)

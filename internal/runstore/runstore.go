@@ -101,6 +101,33 @@ type Manifest struct {
 	BaseSeed   int64  `json:"base_seed"`
 	Trials     int    `json:"trials"`
 	Scale      string `json:"scale"`
+
+	// ShardIndex/ShardCount mark a shard store: one worker's slice
+	// [ShardIndex·Trials/ShardCount, (ShardIndex+1)·Trials/ShardCount)
+	// of the campaign plan, destined for `shadowstore merge`. Both zero
+	// for an unsharded campaign. Shard geometry participates in the
+	// resume compatibility check: resuming shard 0/2 as shard 0/4 would
+	// silently run the wrong trial window.
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
+
+	// MergedFrom counts the source stores this campaign was folded from
+	// by Merge (zero for stores written directly). It is provenance, not
+	// identity: the compatibility check normalizes it away, so a merged
+	// campaign resumes and extends exactly like a directly-written one.
+	MergedFrom int `json:"merged_from,omitempty"`
+}
+
+// ShardLabel renders the manifest's shard provenance for display:
+// "shard i/N", "merged from N shards", or "" for a plain campaign.
+func (m Manifest) ShardLabel() string {
+	if m.ShardCount > 0 {
+		return fmt.Sprintf("shard %d/%d", m.ShardIndex, m.ShardCount)
+	}
+	if m.MergedFrom > 0 {
+		return fmt.Sprintf("merged from %d shards", m.MergedFrom)
+	}
+	return ""
 }
 
 // EventRecord is one unsolicited request in compact, replayable form —
@@ -207,6 +234,7 @@ type Stats struct {
 	IndexRebuilds       int64
 	Compactions         int64
 	CompactedBytes      int64
+	ManifestExtensions  int64
 }
 
 // storeMetrics holds the registered counter handles. Updates happen
@@ -222,6 +250,7 @@ type storeMetrics struct {
 	indexRebuilds  *telemetry.Counter
 	compactions    *telemetry.Counter
 	compactedBytes *telemetry.Counter
+	extensions     *telemetry.Counter
 }
 
 func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
@@ -236,6 +265,7 @@ func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
 		indexRebuilds:  reg.Counter("runstore_index_rebuilds_total", "opens that rebuilt the index by scanning the log (sidecars missing or stale)"),
 		compactions:    reg.Counter("runstore_compactions_total", "compaction passes over the campaign log"),
 		compactedBytes: reg.Counter("runstore_compacted_bytes_total", "log bytes reclaimed by compaction (superseded records, torn and orphaned bytes)"),
+		extensions:     reg.Counter("runstore_manifest_extensions_total", "campaign extensions: manifest upgrades to a larger trial plan"),
 	}
 }
 
@@ -408,10 +438,15 @@ func open(dir string, set *telemetry.Set, readonly bool) (*Store, error) {
 }
 
 // OpenOrCreate opens the campaign in dir if one exists — verifying that
-// its manifest matches man exactly — and creates it otherwise. The
-// layout version is normalized before the comparison: a v1 campaign is
-// resumable by a v2 build (the record format is unchanged), it just
-// keeps its v1 manifest.
+// its manifest matches man — and creates it otherwise. The layout
+// version and merge provenance are normalized before the comparison: a
+// v1 campaign is resumable by a v2 build (the record format is
+// unchanged) and a merged campaign is continued like a directly-written
+// one. Two mismatches get special treatment: a different shard geometry
+// is refused with its own actionable error, and a *larger* trial count
+// over an otherwise identical manifest is a campaign extension — the
+// stored plan is upgraded in place (see ExtendTrials) and the open
+// succeeds.
 func OpenOrCreate(dir string, man Manifest, set *telemetry.Set) (*Store, error) {
 	if _, err := os.Stat(ManifestPath(dir)); errors.Is(err, fs.ErrNotExist) {
 		return Create(dir, man, set)
@@ -422,13 +457,71 @@ func OpenOrCreate(dir string, man Manifest, set *telemetry.Set) (*Store, error) 
 	if err != nil {
 		return nil, err
 	}
+	stored := s.manifest
 	want := man
-	want.Version = s.manifest.Version
-	if s.manifest != want {
-		err := fmt.Errorf("runstore: campaign %s was created with a different configuration: stored %+v, requested %+v", dir, s.manifest, man)
+	want.Version = stored.Version
+	want.MergedFrom = stored.MergedFrom
+	if stored == want {
+		return s, nil
+	}
+	if stored.ShardIndex != want.ShardIndex || stored.ShardCount != want.ShardCount {
+		err := fmt.Errorf("runstore: campaign %s is %s of its trial plan, requested %s: resuming across shard geometries would run the wrong trial window — rerun with the original -shard value, or fold shards with `shadowstore merge` first",
+			dir, geometryLabel(stored), geometryLabel(want))
 		return nil, closeOnErr(s.log, err)
 	}
-	return s, nil
+	probe := stored
+	probe.Trials = want.Trials
+	if probe == want {
+		// Only the trial count differs: growth is a campaign extension,
+		// shrinking is refused (ExtendTrials says why).
+		if err := s.ExtendTrials(want.Trials); err != nil {
+			return nil, closeOnErr(s.log, err)
+		}
+		return s, nil
+	}
+	err = fmt.Errorf("runstore: campaign %s was created with a different configuration: stored %+v, requested %+v", dir, stored, man)
+	return nil, closeOnErr(s.log, err)
+}
+
+// geometryLabel renders a manifest's shard geometry for error messages.
+func geometryLabel(m Manifest) string {
+	if m.ShardCount > 0 {
+		return fmt.Sprintf("shard %d/%d", m.ShardIndex, m.ShardCount)
+	}
+	return "unsharded"
+}
+
+// ExtendTrials upgrades the campaign to a larger trial plan — campaign
+// extension: same config hash, base seed, scale, and shard geometry,
+// more trials. Only the manifest changes (republished atomically);
+// stored records are untouched, so a resume after extension serves
+// every old trial from the store and runs only the new window.
+// Shrinking is refused: records past the smaller plan would become
+// unreachable by resume while still shaping merge and analysis output.
+func (s *Store) ExtendTrials(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readonly {
+		return fmt.Errorf("runstore: campaign %s is open read-only", s.dir)
+	}
+	if s.closed {
+		return fmt.Errorf("runstore: campaign %s is closed", s.dir)
+	}
+	if n < s.manifest.Trials {
+		return fmt.Errorf("runstore: campaign %s holds a %d-trial plan; refusing to shrink it to %d — extension only grows a plan (start a fresh campaign for a smaller one)",
+			s.dir, s.manifest.Trials, n)
+	}
+	if n == s.manifest.Trials {
+		return nil
+	}
+	man := s.manifest
+	man.Trials = n
+	if err := writeManifest(s.dir, man); err != nil {
+		return fmt.Errorf("runstore: extending campaign %s to %d trials: %w", s.dir, n, err)
+	}
+	s.manifest = man
+	s.m.extensions.Inc()
+	return nil
 }
 
 // closeOnErr closes f (when non-nil) while propagating the primary
@@ -660,6 +753,7 @@ func (s *Store) Stats() Stats {
 		IndexRebuilds:       s.m.indexRebuilds.Value(),
 		Compactions:         s.m.compactions.Value(),
 		CompactedBytes:      s.m.compactedBytes.Value(),
+		ManifestExtensions:  s.m.extensions.Value(),
 	}
 }
 
@@ -815,6 +909,14 @@ func publishFile(dir, name string, payload []byte) error {
 		return fmt.Errorf("runstore: publishing %s: %w", name, err)
 	}
 	return syncDir(dir)
+}
+
+// PublishFile atomically replaces <dir>/<name> with payload via the
+// store's crash-safe publish path (tmp-file, fsync, rename, dir-fsync).
+// Exported for the scheduler's queue-state persistence, which must
+// survive a daemon crash with the same guarantee the manifest enjoys.
+func PublishFile(dir, name string, payload []byte) error {
+	return publishFile(dir, name, payload)
 }
 
 func readManifest(dir string) (Manifest, error) {

@@ -2,6 +2,7 @@ package runstore
 
 import (
 	"os"
+	"strings"
 	"testing"
 
 	"shadowmeter/internal/telemetry"
@@ -271,10 +272,42 @@ func TestOpenOrCreate(t *testing.T) {
 	if _, err := OpenOrCreate(dir, drift, nil); err == nil {
 		t.Error("config-hash drift did not fail")
 	}
-	drift = man
-	drift.Trials = 8
-	if _, err := OpenOrCreate(dir, drift, nil); err == nil {
-		t.Error("trial-count drift did not fail")
+	// A larger trial plan over the same config is a campaign extension:
+	// the stored manifest upgrades in place instead of refusing.
+	grown := man
+	grown.Trials = 8
+	ext, err := OpenOrCreate(dir, grown, nil)
+	if err != nil {
+		t.Fatalf("campaign extension refused: %v", err)
+	}
+	if got := ext.Manifest().Trials; got != 8 {
+		t.Errorf("extended manifest trials = %d, want 8", got)
+	}
+	if ext.Stats().ManifestExtensions != 1 {
+		t.Errorf("extensions counter = %d, want 1", ext.Stats().ManifestExtensions)
+	}
+	if err := ext.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := ReadManifest(dir); err != nil || m.Trials != 8 {
+		t.Errorf("persisted manifest = %+v (%v), want trials 8", m, err)
+	}
+
+	// Shrinking the plan must refuse: the original 4-trial manifest no
+	// longer matches the extended campaign.
+	if _, err := OpenOrCreate(dir, man, nil); err == nil {
+		t.Error("trial-plan shrink did not fail")
+	}
+
+	// Shard geometry is identity, not provenance: a shard-flavored
+	// manifest over an unsharded campaign must refuse with the
+	// geometry-specific message.
+	sharded := grown
+	sharded.ShardIndex, sharded.ShardCount = 0, 2
+	if _, err := OpenOrCreate(dir, sharded, nil); err == nil {
+		t.Error("shard-geometry drift did not fail")
+	} else if !strings.Contains(err.Error(), "shard 0/2") || !strings.Contains(err.Error(), "unsharded") {
+		t.Errorf("shard-geometry error not actionable: %v", err)
 	}
 
 	// Create on an existing campaign must refuse too.

@@ -1,0 +1,436 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"shadowmeter/internal/core"
+	"shadowmeter/internal/runner"
+	"shadowmeter/internal/runstore"
+	"shadowmeter/internal/telemetry"
+	"shadowmeter/internal/watch"
+)
+
+// DaemonOptions configures a Daemon.
+type DaemonOptions struct {
+	// Sched is the campaign queue (required).
+	Sched *Scheduler
+	// Root is where campaign stores land: campaign cN runs in
+	// <Root>/cN (required).
+	Root string
+	// Workers is how many slices run concurrently; <= 0 means 1.
+	Workers int
+	// Clock stamps monitor occupancy and bus events. cmd/ passes
+	// time.Now; nil disables timing, keeping only completion tracking.
+	Clock telemetry.Clock
+	// Log receives one line per control-plane event; nil discards.
+	Log io.Writer
+	// CoreConfig maps a submitted spec onto the per-trial experiment
+	// template (its Seed is overwritten per trial). nil means
+	// DefaultCoreConfig — the CLI's scale-name mapping. Tests inject a
+	// tiny geometry here so daemon campaigns finish in milliseconds.
+	CoreConfig func(Spec) (core.Config, error)
+	// BusCapacity sizes each campaign's stream-bus ring; 0 means the
+	// telemetry default.
+	BusCapacity int
+}
+
+// DefaultCoreConfig maps a spec's scale name onto the experiment
+// geometry, mirroring shadowmeter's -scale flag.
+func DefaultCoreConfig(spec Spec) (core.Config, error) {
+	var cfg core.Config
+	switch spec.Scale {
+	case "", "small":
+		cfg.Scale = core.ScaleSmall
+	case "medium":
+		cfg.Scale = core.ScaleMedium
+	case "full":
+		cfg.Scale = core.ScaleFull
+	default:
+		return core.Config{}, fmt.Errorf("unknown scale %q (want small, medium or full)", spec.Scale)
+	}
+	return cfg, nil
+}
+
+// Daemon executes the queue: a worker pool that leases slices from the
+// scheduler and runs them through the ordinary runner data plane, plus
+// the HTTP control surface (submit, inspect, extend, live progress).
+//
+// Each campaign gets ONE shared store handle for the daemon's lifetime
+// — two handles on the same directory would fight over the append log's
+// durable end — and one stream bus, so GET /campaigns/{id}/progress is
+// the same observability plane `shadowmeter -watch` serves, re-exported
+// per campaign.
+type Daemon struct {
+	sched      *Scheduler
+	root       string
+	workers    int
+	clock      telemetry.Clock
+	coreConfig func(Spec) (core.Config, error)
+	busCap     int
+
+	logMu sync.Mutex
+	logw  io.Writer
+
+	mu     sync.Mutex
+	stores map[string]*runstore.Store
+	buses  map[string]*telemetry.Bus
+	mons   map[string]*runner.Monitor
+
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewDaemon wires a daemon over a scheduler. Call Start to launch the
+// worker pool and Handler for the HTTP surface.
+func NewDaemon(o DaemonOptions) (*Daemon, error) {
+	if o.Sched == nil {
+		return nil, errors.New("sched: daemon needs a scheduler")
+	}
+	if o.Root == "" {
+		return nil, errors.New("sched: daemon needs a campaign root directory")
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	logw := o.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	cc := o.CoreConfig
+	if cc == nil {
+		cc = DefaultCoreConfig
+	}
+	return &Daemon{
+		sched:      o.Sched,
+		root:       o.Root,
+		workers:    workers,
+		clock:      o.Clock,
+		coreConfig: cc,
+		busCap:     o.BusCapacity,
+		logw:       logw,
+		stores:     make(map[string]*runstore.Store),
+		buses:      make(map[string]*telemetry.Bus),
+		mons:       make(map[string]*runner.Monitor),
+	}, nil
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	d.logMu.Lock()
+	defer d.logMu.Unlock()
+	fmt.Fprintf(d.logw, format+"\n", args...)
+}
+
+// Start launches the worker pool. Idempotent.
+func (d *Daemon) Start() {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
+	for w := 0; w < d.workers; w++ {
+		d.wg.Add(1)
+		go d.runWorker(fmt.Sprintf("w%d", w))
+	}
+}
+
+func (d *Daemon) runWorker(name string) {
+	defer d.wg.Done()
+	for {
+		c, sl, ok := d.sched.WaitLease(name)
+		if !ok {
+			return // draining
+		}
+		d.logf("worker %s: leased campaign %s trials %d..%d", name, c.ID, sl.From, sl.To-1)
+		if err := d.runSlice(c, sl); err != nil {
+			d.logf("worker %s: campaign %s trials %d..%d failed: %v", name, c.ID, sl.From, sl.To-1, err)
+			if ferr := d.sched.Fail(c.ID, sl.From, err.Error()); ferr != nil {
+				d.logf("worker %s: recording failure: %v", name, ferr)
+			}
+			continue
+		}
+		if err := d.sched.Complete(c.ID, sl.From); err != nil {
+			d.logf("worker %s: completing slice: %v", name, err)
+			continue
+		}
+		d.logf("worker %s: campaign %s trials %d..%d done", name, c.ID, sl.From, sl.To-1)
+		if cur, found := d.sched.Get(c.ID); found && cur.State == StateDone {
+			d.finishCampaign(cur)
+		}
+	}
+}
+
+// runSlice runs one leased window through the runner against the
+// campaign's shared store. Resume is always on: a slice requeued after
+// a lease expiry (or a daemon restart) serves its already-persisted
+// trials from the store instead of re-running them.
+func (d *Daemon) runSlice(c Campaign, sl Slice) error {
+	cfg, err := d.coreConfig(c.Spec)
+	if err != nil {
+		return err
+	}
+	st, err := d.campaignStore(c)
+	if err != nil {
+		return err
+	}
+	mon := runner.NewMonitor(runner.MonitorOptions{
+		Clock: d.clock,
+		Bus:   d.busFor(c.ID),
+		Scale: c.Scale,
+	})
+	d.mu.Lock()
+	d.mons[c.ID] = mon
+	d.mu.Unlock()
+	res := runner.Run(runner.Config{
+		Trials:   c.Trials,
+		Workers:  c.Workers,
+		BaseSeed: c.Seed,
+		Core:     cfg,
+		Store:    st,
+		Resume:   true,
+		Slice:    runner.Slice{From: sl.From, To: sl.To},
+		Monitor:  mon,
+	})
+	return res.StoreErr
+}
+
+// campaignStore returns the campaign's shared store handle, opening it
+// on first use. When an extension grew the plan since the handle was
+// opened, the manifest is upgraded in place before more trials land.
+func (d *Daemon) campaignStore(c Campaign) (*runstore.Store, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if st, ok := d.stores[c.ID]; ok {
+		if st.Manifest().Trials < c.Trials {
+			if err := st.ExtendTrials(c.Trials); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+	st, err := runstore.OpenOrCreate(c.Dir, runstore.Manifest{
+		Version:    runstore.StoreVersion,
+		ConfigHash: c.ConfigHash,
+		BaseSeed:   c.Seed,
+		Trials:     c.Trials,
+		Scale:      c.Scale,
+	}, telemetry.NewSet())
+	if err != nil {
+		return nil, err
+	}
+	d.stores[c.ID] = st
+	return st, nil
+}
+
+// busFor returns (creating on first use) a campaign's stream bus.
+// Created at submission so a watcher can subscribe before the first
+// slice runs.
+func (d *Daemon) busFor(id string) *telemetry.Bus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if b, ok := d.buses[id]; ok {
+		return b
+	}
+	b := telemetry.NewBus(d.clock, d.busCap)
+	d.buses[id] = b
+	return b
+}
+
+// finishCampaign closes the completed campaign's store, publishing its
+// sidecars. The bus and monitor stay for late watchers.
+func (d *Daemon) finishCampaign(c Campaign) {
+	d.mu.Lock()
+	st := d.stores[c.ID]
+	delete(d.stores, c.ID)
+	d.mu.Unlock()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			d.logf("campaign %s: closing store: %v", c.ID, err)
+		}
+	}
+	d.logf("campaign %s: done (%d trials in %s)", c.ID, c.Trials, c.Dir)
+}
+
+// Drain is the SIGTERM path: stop handing out leases, let in-flight
+// slices finish, close every open store, and checkpoint the queue.
+// Blocks until the worker pool exits.
+func (d *Daemon) Drain() error {
+	d.sched.Drain()
+	d.wg.Wait()
+	d.mu.Lock()
+	stores := d.stores
+	d.stores = make(map[string]*runstore.Store)
+	d.mu.Unlock()
+	var errs []error
+	for id, st := range stores {
+		if err := st.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("campaign %s: closing store: %w", id, err))
+		}
+	}
+	if err := d.sched.Persist(); err != nil {
+		errs = append(errs, err)
+	}
+	d.logf("drained: in-flight slices finished, queue state persisted")
+	return errors.Join(errs...)
+}
+
+// campaignView is the JSON shape of a campaign in API responses:
+// the queue record plus derived progress.
+type campaignView struct {
+	Campaign
+	CompletedTrials int `json:"completed_trials"`
+}
+
+func view(c Campaign) campaignView {
+	return campaignView{Campaign: c, CompletedTrials: c.CompletedTrials()}
+}
+
+// Handler builds the control-plane route table:
+//
+//	GET  /healthz                  liveness ("ok")
+//	GET  /campaigns                the queue, submission order (JSON)
+//	POST /campaigns                submit a Spec; 202 + campaign (JSON)
+//	GET  /campaigns/{id}           one campaign (JSON)
+//	POST /campaigns/{id}/extend    {"trials": N} grows the plan
+//	GET  /campaigns/{id}/progress  stream bus: JSON poll or SSE
+//	GET  /campaigns/{id}/campaign  live slice snapshot (watch plane)
+//	GET  /campaigns/{id}/metrics   Prometheus text (watch plane)
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /campaigns", d.handleList)
+	mux.HandleFunc("POST /campaigns", d.handleSubmit)
+	mux.HandleFunc("GET /campaigns/{id}", d.handleGet)
+	mux.HandleFunc("POST /campaigns/{id}/extend", d.handleExtend)
+	mux.HandleFunc("GET /campaigns/{id}/progress", d.planeHandler("/progress"))
+	mux.HandleFunc("GET /campaigns/{id}/campaign", d.planeHandler("/campaign"))
+	mux.HandleFunc("GET /campaigns/{id}/metrics", d.planeHandler("/metrics"))
+	return mux
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// writeJSON sends a JSON document. A write error means the client hung
+// up mid-response; there is nowhere else to report it, so the handler
+// just stops.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		return
+	}
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, _ *http.Request) {
+	all := d.sched.Campaigns()
+	views := make([]campaignView, 0, len(all))
+	for _, c := range all {
+		views = append(views, view(c))
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, "bad campaign spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if spec.Scale == "" {
+		spec.Scale = "small"
+	}
+	cfg, err := d.coreConfig(spec)
+	if err != nil {
+		http.Error(w, "bad campaign spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	hash := runner.CampaignHash(cfg)
+	// The directory is keyed by config hash + seed, so re-submitting the
+	// same campaign resumes its store instead of colliding.
+	dir := filepath.Join(d.root, fmt.Sprintf("%s-seed%d", hash, spec.Seed))
+	c, err := d.sched.Submit(spec, hash, dir)
+	if err != nil {
+		code := http.StatusBadRequest
+		if d.sched.Draining() {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	d.busFor(c.ID)
+	d.logf("campaign %s: submitted (%d trials, seed %d, scale %s) -> %s", c.ID, c.Trials, c.Seed, c.Scale, c.Dir)
+	writeJSON(w, http.StatusAccepted, view(c))
+}
+
+func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
+	c, ok := d.sched.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such campaign", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, view(c))
+}
+
+// extendRequest is the JSON body of POST /campaigns/{id}/extend.
+type extendRequest struct {
+	Trials int `json:"trials"`
+}
+
+func (d *Daemon) handleExtend(w http.ResponseWriter, r *http.Request) {
+	var req extendRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad extension request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	id := r.PathValue("id")
+	c, err := d.sched.Extend(id, req.Trials)
+	if err != nil {
+		code := http.StatusBadRequest
+		if _, ok := d.sched.Get(id); !ok {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	d.logf("campaign %s: extended to %d trials", c.ID, c.Trials)
+	writeJSON(w, http.StatusOK, view(c))
+}
+
+// planeHandler re-exports one campaign's observability plane (the same
+// endpoints `shadowmeter -watch` serves) under /campaigns/{id}/...,
+// backed by that campaign's bus and its most recent slice monitor.
+func (d *Daemon) planeHandler(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := d.sched.Get(id); !ok {
+			http.Error(w, "no such campaign", http.StatusNotFound)
+			return
+		}
+		d.mu.Lock()
+		srv := &watch.Server{Monitor: d.mons[id], Bus: d.buses[id]}
+		d.mu.Unlock()
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = endpoint
+		srv.Handler().ServeHTTP(w, r2)
+	}
+}

@@ -1,0 +1,370 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shadowmeter/internal/core"
+	"shadowmeter/internal/runner"
+	"shadowmeter/internal/runstore"
+)
+
+// tinyCore mirrors the runner tests' fast-but-complete geometry so
+// daemon campaigns finish in milliseconds.
+func tinyCore() core.Config {
+	return core.Config{
+		VPsPerGlobalProvider: 2,
+		VPsPerCNProvider:     1,
+		WebSites:             30,
+		WebASes:              8,
+		DNSRounds:            1,
+		MaxSweepsPerProtocol: 40,
+	}
+}
+
+func tinyCoreConfig(s Spec) (core.Config, error) {
+	// Delegate scale-name validation, then swap in the fast geometry.
+	if _, err := DefaultCoreConfig(s); err != nil {
+		return core.Config{}, err
+	}
+	return tinyCore(), nil
+}
+
+func newTestDaemon(t *testing.T, root string, workers int, cc func(Spec) (core.Config, error)) (*Daemon, *httptest.Server) {
+	t.Helper()
+	sc, err := NewScheduler(root, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDaemon(DaemonOptions{Sched: sc, Root: root, Workers: workers, CoreConfig: cc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+	return d, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// waitState polls GET /campaigns/{id} until the campaign reaches want.
+// Polling lives in the test, not the daemon — the control plane itself
+// never sleeps.
+func waitState(t *testing.T, ts *httptest.Server, id string, want CampaignState) campaignView {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		code, b := getBody(t, ts.URL+"/campaigns/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET /campaigns/%s = %d: %s", id, code, b)
+		}
+		var v campaignView
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatalf("decoding campaign: %v\n%s", err, b)
+		}
+		if v.State == want {
+			return v
+		}
+		if v.State == StateFailed && want != StateFailed {
+			t.Fatalf("campaign %s failed: %s", id, v.Failure)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never reached %s", id, want)
+	return campaignView{}
+}
+
+func TestDaemonHTTPLifecycle(t *testing.T) {
+	root := t.TempDir()
+	d, ts := newTestDaemon(t, root, 2, tinyCoreConfig)
+	d.Start()
+	defer func() {
+		if err := d.Drain(); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	if code, b := getBody(t, ts.URL+"/healthz"); code != http.StatusOK || !strings.Contains(string(b), "ok") {
+		t.Fatalf("healthz = %d %q", code, b)
+	}
+
+	// Bad submissions are refused before touching the queue.
+	if code, _ := postJSON(t, ts.URL+"/campaigns", `{not json`); code != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/campaigns", `{"trials":2,"scale":"galactic"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown scale = %d, want 400", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/campaigns", `{"trials":2,"bogus":1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field = %d, want 400", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/campaigns", `{"trials":0}`); code != http.StatusBadRequest {
+		t.Errorf("zero trials = %d, want 400", code)
+	}
+
+	code, b := postJSON(t, ts.URL+"/campaigns", `{"seed":21,"trials":4,"slice_size":2,"workers":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, b)
+	}
+	var c campaignView
+	if err := json.Unmarshal(b, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.ID == "" || len(c.Slices) != 2 || c.ConfigHash == "" || c.Dir == "" {
+		t.Fatalf("submitted campaign = %+v", c)
+	}
+
+	done := waitState(t, ts, c.ID, StateDone)
+	if done.CompletedTrials != 4 {
+		t.Errorf("completed_trials = %d, want 4", done.CompletedTrials)
+	}
+
+	// The campaign store is complete, closed, and resumable.
+	st, err := runstore.OpenReadOnly(done.Dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 4 {
+		t.Errorf("store holds %d records, want 4", st.Len())
+	}
+	man := st.Manifest()
+	if man.ConfigHash != c.ConfigHash || man.BaseSeed != 21 || man.Trials != 4 {
+		t.Errorf("store manifest = %+v", man)
+	}
+
+	// Listing shows the campaign; unknown IDs are 404s on every route.
+	if code, b := getBody(t, ts.URL+"/campaigns"); code != http.StatusOK || !strings.Contains(string(b), c.ID) {
+		t.Errorf("list = %d %s", code, b)
+	}
+	if code, _ := getBody(t, ts.URL+"/campaigns/nope"); code != http.StatusNotFound {
+		t.Errorf("GET unknown campaign = %d, want 404", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/campaigns/nope/progress"); code != http.StatusNotFound {
+		t.Errorf("GET unknown progress = %d, want 404", code)
+	}
+
+	// The observability plane is live per campaign: the stream bus
+	// replays the trial events, and the watch metrics render.
+	code, b = getBody(t, ts.URL+"/campaigns/"+c.ID+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("progress = %d: %s", code, b)
+	}
+	var poll struct {
+		Events  []json.RawMessage `json:"events"`
+		NextSeq uint64            `json:"next_seq"`
+	}
+	if err := json.Unmarshal(b, &poll); err != nil {
+		t.Fatal(err)
+	}
+	if len(poll.Events) == 0 || poll.NextSeq == 0 {
+		t.Errorf("progress poll returned %d events next_seq=%d, want a replayed stream", len(poll.Events), poll.NextSeq)
+	}
+	if code, b := getBody(t, ts.URL+"/campaigns/"+c.ID+"/metrics"); code != http.StatusOK || !strings.Contains(string(b), "watch_bus_published_total") {
+		t.Errorf("metrics = %d %s", code, b)
+	}
+}
+
+// TestDaemonDrainRestart is satellite #3's contract: SIGTERM (whose
+// handler is exactly Drain) lets the in-flight slice finish and
+// persists the queue; a fresh daemon over the same root completes the
+// campaign, resuming the finished slice's trials from the store.
+func TestDaemonDrainRestart(t *testing.T) {
+	root := t.TempDir()
+
+	// The core-config hook doubles as a slice gate. It runs once per
+	// submit (for the config hash) and once per slice; with one worker
+	// and one submission, call #2 is slice 0 — park it there until the
+	// test has initiated the drain.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+	gated := func(Spec) (core.Config, error) {
+		if calls.Add(1) == 2 {
+			close(started)
+			<-release
+		}
+		return tinyCore(), nil
+	}
+
+	d1, ts1 := newTestDaemon(t, root, 1, gated)
+	d1.Start()
+	code, b := postJSON(t, ts1.URL+"/campaigns", `{"seed":9,"trials":4,"slice_size":2,"workers":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, b)
+	}
+	var c campaignView
+	if err := json.Unmarshal(b, &c); err != nil {
+		t.Fatal(err)
+	}
+
+	<-started // slice 0 is in flight
+	drained := make(chan error, 1)
+	go func() { drained <- d1.Drain() }()
+	close(release) // SIGTERM arrived mid-slice; let the slice finish
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// The drain finished the in-flight slice (graceful, not aborted) and
+	// left the rest pending on disk.
+	mid, ok := mustScheduler(t, root).Get(c.ID)
+	if !ok {
+		t.Fatalf("campaign %s not persisted", c.ID)
+	}
+	if mid.Slices[0].State != SliceDone {
+		t.Fatalf("in-flight slice after drain = %s, want done", mid.Slices[0].State)
+	}
+	if mid.Slices[1].State != SlicePending {
+		t.Fatalf("queued slice after drain = %s, want pending", mid.Slices[1].State)
+	}
+
+	// Restart: a fresh daemon over the same root completes the plan.
+	d2, ts2 := newTestDaemon(t, root, 1, tinyCoreConfig)
+	d2.Start()
+	defer func() {
+		if err := d2.Drain(); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	done := waitState(t, ts2, c.ID, StateDone)
+	if done.CompletedTrials != 4 {
+		t.Errorf("completed_trials after restart = %d, want 4", done.CompletedTrials)
+	}
+
+	st, err := runstore.OpenReadOnly(done.Dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 4 {
+		t.Errorf("store holds %d records, want 4", st.Len())
+	}
+}
+
+func mustScheduler(t *testing.T, root string) *Scheduler {
+	t.Helper()
+	sc, err := NewScheduler(root, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestDaemonExtendEndToEnd grows a finished campaign over HTTP and
+// checks the acceptance bar: the extended store serves a resumed batch
+// byte-identical to a cold run at the larger count.
+func TestDaemonExtendEndToEnd(t *testing.T) {
+	root := t.TempDir()
+	d, ts := newTestDaemon(t, root, 2, tinyCoreConfig)
+	d.Start()
+	defer func() {
+		if err := d.Drain(); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	code, b := postJSON(t, ts.URL+"/campaigns", `{"seed":33,"trials":2,"slice_size":1,"workers":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, b)
+	}
+	var c campaignView
+	if err := json.Unmarshal(b, &c); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ts, c.ID, StateDone)
+
+	// Refusals: shrink, no-op, unknown campaign, bad body.
+	if code, b := postJSON(t, ts.URL+"/campaigns/"+c.ID+"/extend", `{"trials":2}`); code != http.StatusBadRequest {
+		t.Errorf("no-op extension = %d: %s", code, b)
+	}
+	if code, _ := postJSON(t, ts.URL+"/campaigns/nope/extend", `{"trials":9}`); code != http.StatusNotFound {
+		t.Errorf("extending unknown campaign = %d, want 404", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/campaigns/"+c.ID+"/extend", `{oops`); code != http.StatusBadRequest {
+		t.Errorf("malformed extension = %d, want 400", code)
+	}
+
+	code, b = postJSON(t, ts.URL+"/campaigns/"+c.ID+"/extend", `{"trials":4}`)
+	if code != http.StatusOK {
+		t.Fatalf("extend = %d: %s", code, b)
+	}
+	done := waitState(t, ts, c.ID, StateDone)
+	if done.Trials != 4 || done.CompletedTrials != 4 {
+		t.Fatalf("extended campaign = trials %d completed %d, want 4/4", done.Trials, done.CompletedTrials)
+	}
+
+	man, err := runstore.ReadManifest(done.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Trials != 4 {
+		t.Errorf("store manifest trials = %d, want 4 (extension upgrades in place)", man.Trials)
+	}
+
+	// Byte-identity with the cold run at the larger count: resume the
+	// extended store and every trial must be a store hit.
+	cold := runner.Run(runner.Config{Trials: 4, Workers: 2, BaseSeed: 33, Core: tinyCore()})
+	coldJSON, err := cold.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := runstore.OpenOrCreate(done.Dir, runstore.Manifest{
+		Version:    runstore.StoreVersion,
+		ConfigHash: c.ConfigHash,
+		BaseSeed:   33,
+		Trials:     4,
+		Scale:      "small",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	resumed := runner.Run(runner.Config{Trials: 4, Workers: 2, BaseSeed: 33, Core: tinyCore(), Store: st, Resume: true})
+	if resumed.StoreErr != nil {
+		t.Fatal(resumed.StoreErr)
+	}
+	resumedJSON, err := resumed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, resumedJSON) {
+		t.Error("extended campaign store diverges from the cold run at the larger count")
+	}
+	if hits := st.Stats().ResumeHits; hits != 4 {
+		t.Errorf("resume hits = %d, want 4 (every trial served from the extended store)", hits)
+	}
+}

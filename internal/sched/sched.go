@@ -1,0 +1,536 @@
+// Package sched is the campaign control plane behind cmd/shadowmeterd:
+// a persistent campaign queue, a scheduler that splits each campaign's
+// trial plan into disjoint slices keyed by its config hash + base seed,
+// and worker-lease tracking with timeout → requeue.
+//
+// The scheduler is deliberately wall-clock-free: all timing comes from
+// an injected telemetry.Clock, and waiting workers block on a condition
+// variable rather than polling, so the package stays inside the
+// simclock determinism contract and tests can drive lease expiry with a
+// manual clock. The daemon (cmd/shadowmeterd) owns the real ticker that
+// calls Reap.
+//
+// Queue state is persisted to <dir>/state.json through the runstore
+// atomic-publish path on every transition, so a daemon restart — or a
+// SIGTERM drain — resumes exactly where it stopped: done slices stay
+// done (their trial records are in the campaign store; the runner
+// resumes them for free), and slices leased by the dead process return
+// to pending.
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"shadowmeter/internal/runstore"
+	"shadowmeter/internal/telemetry"
+)
+
+// Spec is a submitted campaign configuration — the JSON body of
+// POST /campaigns.
+type Spec struct {
+	// Seed is the campaign base seed; trial t runs with Seed + t.
+	Seed int64 `json:"seed"`
+	// Trials is the campaign trial plan size.
+	Trials int `json:"trials"`
+	// Scale names the experiment geometry (small, medium, full).
+	Scale string `json:"scale,omitempty"`
+	// SliceSize is the number of trials per worker lease; 0 leases the
+	// whole plan as one slice.
+	SliceSize int `json:"slice_size,omitempty"`
+	// Workers is the per-slice world parallelism (runner workers);
+	// 0 means 1.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SliceState is one slice's position in the lease lifecycle.
+type SliceState string
+
+const (
+	SlicePending SliceState = "pending"
+	SliceLeased  SliceState = "leased"
+	SliceDone    SliceState = "done"
+)
+
+// CampaignState is the campaign state machine: queued → running → done,
+// with failed as the absorbing error state.
+type CampaignState string
+
+const (
+	StateQueued  CampaignState = "queued"
+	StateRunning CampaignState = "running"
+	StateDone    CampaignState = "done"
+	StateFailed  CampaignState = "failed"
+)
+
+// Slice is one leasable window [From, To) of a campaign's trial plan.
+type Slice struct {
+	From  int        `json:"from"`
+	To    int        `json:"to"`
+	State SliceState `json:"state"`
+	// Worker names the current (or last) leaseholder.
+	Worker string `json:"worker,omitempty"`
+	// DeadlineNS is the lease expiry (unix nanoseconds on the
+	// scheduler's clock); past it, Reap returns the slice to pending.
+	DeadlineNS int64 `json:"lease_deadline_ns,omitempty"`
+	// Attempts counts leases handed out for this slice — more than one
+	// means a lease expired or a daemon died mid-slice.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// Campaign is one queued measurement campaign.
+type Campaign struct {
+	ID string `json:"id"`
+	Spec
+	// ConfigHash fingerprints the trial configuration — the same
+	// runstore hash the campaign store manifest carries, so slices of
+	// one campaign land in one store and foreign records are refused.
+	ConfigHash string `json:"config_hash"`
+	// Dir is the campaign store directory.
+	Dir   string        `json:"dir"`
+	State CampaignState `json:"state"`
+	// SubmittedNS stamps submission (scheduler clock).
+	SubmittedNS int64   `json:"submitted_ns,omitempty"`
+	Slices      []Slice `json:"slices"`
+	// Failure records why the campaign entered StateFailed.
+	Failure string `json:"failure,omitempty"`
+}
+
+// CompletedTrials sums the trials of done slices.
+func (c *Campaign) CompletedTrials() int {
+	n := 0
+	for _, s := range c.Slices {
+		if s.State == SliceDone {
+			n += s.To - s.From
+		}
+	}
+	return n
+}
+
+// stateFile is the persisted queue image.
+type stateFile struct {
+	NextID    int         `json:"next_id"`
+	Campaigns []*Campaign `json:"campaigns"`
+}
+
+const stateName = "state.json"
+
+// Scheduler owns the campaign queue. All methods are safe for
+// concurrent use.
+type Scheduler struct {
+	dir   string
+	clock telemetry.Clock
+	lease time.Duration
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	order    []string
+	byID     map[string]*Campaign
+	nextID   int
+	draining bool
+}
+
+// NewScheduler opens (or initializes) the queue persisted in dir.
+// clock supplies lease timestamps — cmd/ passes time.Now, tests a
+// manual clock; nil disables lease expiry (deadlines stay zero).
+// lease is how long a worker may hold a slice before Reap requeues it;
+// <= 0 also disables expiry.
+//
+// Slices left leased by a previous process return to pending here: the
+// leaseholder died with that process, and any trials it completed are
+// already in the campaign store, so the re-run resumes them for free.
+func NewScheduler(dir string, clock telemetry.Clock, lease time.Duration) (*Scheduler, error) {
+	if clock == nil {
+		clock = func() time.Time { return time.Time{} }
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sched: creating state dir: %w", err)
+	}
+	s := &Scheduler{dir: dir, clock: clock, lease: lease, byID: make(map[string]*Campaign)}
+	s.cond = sync.NewCond(&s.mu)
+	b, err := os.ReadFile(s.statePath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil
+		}
+		return nil, fmt.Errorf("sched: reading queue state: %w", err)
+	}
+	var st stateFile
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, fmt.Errorf("sched: corrupt queue state %s: %w", s.statePath(), err)
+	}
+	s.nextID = st.NextID
+	for _, c := range st.Campaigns {
+		for i := range c.Slices {
+			if c.Slices[i].State == SliceLeased {
+				c.Slices[i].State = SlicePending
+				c.Slices[i].DeadlineNS = 0
+			}
+		}
+		refreshStateLocked(c)
+		s.order = append(s.order, c.ID)
+		s.byID[c.ID] = c
+	}
+	return s, nil
+}
+
+func (s *Scheduler) statePath() string { return s.dir + "/" + stateName }
+
+// refreshStateLocked recomputes a campaign's state from its slices.
+// Failed is absorbing; done means every slice done; running means some
+// slice is leased; queued otherwise.
+func refreshStateLocked(c *Campaign) {
+	if c.State == StateFailed {
+		return
+	}
+	done, leased := 0, 0
+	for _, sl := range c.Slices {
+		switch sl.State {
+		case SliceDone:
+			done++
+		case SliceLeased:
+			leased++
+		}
+	}
+	switch {
+	case done == len(c.Slices):
+		c.State = StateDone
+	case leased > 0:
+		c.State = StateRunning
+	default:
+		c.State = StateQueued
+	}
+}
+
+// persistLocked publishes the queue image atomically. Every state
+// transition goes through it before the transition is visible to
+// callers, so the on-disk queue is never behind a decision a worker
+// already acted on.
+func (s *Scheduler) persistLocked() error {
+	st := stateFile{NextID: s.nextID}
+	for _, id := range s.order {
+		st.Campaigns = append(st.Campaigns, s.byID[id])
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sched: encoding queue state: %w", err)
+	}
+	b = append(b, '\n')
+	if err := runstore.PublishFile(s.dir, stateName, b); err != nil {
+		return fmt.Errorf("sched: persisting queue state: %w", err)
+	}
+	return nil
+}
+
+// Persist publishes the current queue image — the drain path's final
+// checkpoint (transitions already persist themselves).
+func (s *Scheduler) Persist() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistLocked()
+}
+
+// planSlices splits [0, trials) into contiguous slices of at most
+// sliceSize trials (0 = one slice for the whole plan).
+func planSlices(trials, sliceSize int) []Slice {
+	if sliceSize <= 0 || sliceSize > trials {
+		sliceSize = trials
+	}
+	var out []Slice
+	for from := 0; from < trials; from += sliceSize {
+		to := from + sliceSize
+		if to > trials {
+			to = trials
+		}
+		out = append(out, Slice{From: from, To: to, State: SlicePending})
+	}
+	return out
+}
+
+// Submit queues a campaign. configHash and dir come from the daemon
+// (which owns the core-config mapping); the scheduler records them so
+// every lease carries the full identity a worker needs.
+func (s *Scheduler) Submit(spec Spec, configHash, dir string) (Campaign, error) {
+	if spec.Trials < 1 {
+		return Campaign{}, fmt.Errorf("sched: campaign needs at least 1 trial, got %d", spec.Trials)
+	}
+	if spec.SliceSize < 0 || spec.Workers < 0 {
+		return Campaign{}, fmt.Errorf("sched: slice_size and workers must be non-negative")
+	}
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return Campaign{}, fmt.Errorf("sched: daemon is draining; not accepting campaigns")
+	}
+	s.nextID++
+	c := &Campaign{
+		ID:         fmt.Sprintf("c%d", s.nextID),
+		Spec:       spec,
+		ConfigHash: configHash,
+		Dir:        dir,
+		State:      StateQueued,
+		Slices:     planSlices(spec.Trials, spec.SliceSize),
+	}
+	if !now.IsZero() {
+		c.SubmittedNS = now.UnixNano()
+	}
+	s.order = append(s.order, c.ID)
+	s.byID[c.ID] = c
+	if err := s.persistLocked(); err != nil {
+		delete(s.byID, c.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.nextID--
+		return Campaign{}, err
+	}
+	s.cond.Broadcast()
+	return copyCampaign(c), nil
+}
+
+// Extend grows a campaign's trial plan — same config hash and base
+// seed, more trials. The new window [old, new) is queued as fresh
+// slices; a done (or failed) campaign goes back to queued and its
+// store manifest is upgraded by the worker's OpenOrCreate when the
+// first new slice runs.
+func (s *Scheduler) Extend(id string, trials int) (Campaign, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.byID[id]
+	if !ok {
+		return Campaign{}, fmt.Errorf("sched: no campaign %q", id)
+	}
+	if trials <= c.Trials {
+		return Campaign{}, fmt.Errorf("sched: campaign %s already plans %d trials; extension must grow the plan (got %d)", id, c.Trials, trials)
+	}
+	prevTrials, prevState, prevFailure := c.Trials, c.State, c.Failure
+	prevLen := len(c.Slices)
+	size := c.SliceSize
+	if size <= 0 {
+		size = trials - c.Trials // one slice for the whole new window
+	}
+	for from := c.Trials; from < trials; from += size {
+		to := from + size
+		if to > trials {
+			to = trials
+		}
+		c.Slices = append(c.Slices, Slice{From: from, To: to, State: SlicePending})
+	}
+	c.Trials = trials
+	// Extension un-fails a campaign: the operator is explicitly asking
+	// for more work, so the error state resets and the new (plus any
+	// still-pending) slices become leasable again.
+	c.State = StateQueued
+	c.Failure = ""
+	refreshStateLocked(c)
+	if err := s.persistLocked(); err != nil {
+		c.Trials, c.State, c.Failure = prevTrials, prevState, prevFailure
+		c.Slices = c.Slices[:prevLen]
+		return Campaign{}, err
+	}
+	s.cond.Broadcast()
+	return copyCampaign(c), nil
+}
+
+// expireLocked requeues leases whose deadline passed. Returns how many
+// it returned to pending.
+func (s *Scheduler) expireLocked(now time.Time) int {
+	if now.IsZero() {
+		return 0
+	}
+	n := 0
+	for _, id := range s.order {
+		c := s.byID[id]
+		for i := range c.Slices {
+			sl := &c.Slices[i]
+			if sl.State == SliceLeased && sl.DeadlineNS > 0 && now.UnixNano() > sl.DeadlineNS {
+				sl.State = SlicePending
+				sl.DeadlineNS = 0
+				n++
+			}
+		}
+		if n > 0 {
+			refreshStateLocked(c)
+		}
+	}
+	return n
+}
+
+// Reap requeues expired leases and wakes waiting workers. The daemon
+// calls it from a wall-clock ticker (the scheduler itself never
+// schedules time). Returns the number of slices requeued; the error is
+// a failed state persist — the requeue itself stands either way, since
+// a restart re-derives it (leased → pending).
+func (s *Scheduler) Reap() (int, error) {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.expireLocked(now)
+	if n == 0 {
+		return 0, nil
+	}
+	err := s.persistLocked()
+	s.cond.Broadcast()
+	return n, err
+}
+
+// Lease hands the first pending slice (campaign submission order, then
+// slice order) to worker, stamping the lease deadline. ok is false when
+// nothing is pending.
+func (s *Scheduler) Lease(worker string) (Campaign, Slice, bool) {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaseLocked(worker, now)
+}
+
+func (s *Scheduler) leaseLocked(worker string, now time.Time) (Campaign, Slice, bool) {
+	s.expireLocked(now)
+	for _, id := range s.order {
+		c := s.byID[id]
+		if c.State == StateFailed || c.State == StateDone {
+			continue
+		}
+		for i := range c.Slices {
+			sl := &c.Slices[i]
+			if sl.State != SlicePending {
+				continue
+			}
+			sl.State = SliceLeased
+			sl.Worker = worker
+			sl.Attempts++
+			sl.DeadlineNS = 0
+			if !now.IsZero() && s.lease > 0 {
+				sl.DeadlineNS = now.Add(s.lease).UnixNano()
+			}
+			refreshStateLocked(c)
+			if err := s.persistLocked(); err != nil {
+				// Roll the lease back rather than hand out work the
+				// on-disk queue does not know about.
+				sl.State = SlicePending
+				sl.Worker = ""
+				sl.Attempts--
+				sl.DeadlineNS = 0
+				refreshStateLocked(c)
+				return Campaign{}, Slice{}, false
+			}
+			return copyCampaign(c), *sl, true
+		}
+	}
+	return Campaign{}, Slice{}, false
+}
+
+// WaitLease blocks until a slice is available (returning it like Lease)
+// or the scheduler is draining (ok false) — the daemon worker loop's
+// entry point. Waking happens on submit, extend, requeue, and drain;
+// there is no polling.
+func (s *Scheduler) WaitLease(worker string) (Campaign, Slice, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.draining {
+			return Campaign{}, Slice{}, false
+		}
+		if c, sl, ok := s.leaseLocked(worker, s.clock()); ok {
+			return c, sl, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// Complete marks a leased slice done; when it was the campaign's last,
+// the campaign completes.
+func (s *Scheduler) Complete(id string, from int) error {
+	return s.finish(id, from, "")
+}
+
+// Fail returns a slice to pending and moves its campaign to failed,
+// recording why. The campaign stops leasing until an Extend (or daemon
+// operator intervention) requeues it; the failed slice itself stays
+// pending so a retry after the cause is fixed re-runs only it.
+func (s *Scheduler) Fail(id string, from int, reason string) error {
+	if reason == "" {
+		reason = "slice failed"
+	}
+	return s.finish(id, from, reason)
+}
+
+func (s *Scheduler) finish(id string, from int, failure string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("sched: no campaign %q", id)
+	}
+	for i := range c.Slices {
+		sl := &c.Slices[i]
+		if sl.From != from {
+			continue
+		}
+		if sl.State != SliceLeased {
+			return fmt.Errorf("sched: campaign %s slice %d..%d is %s, not leased", id, sl.From, sl.To, sl.State)
+		}
+		sl.DeadlineNS = 0
+		if failure == "" {
+			sl.State = SliceDone
+		} else {
+			sl.State = SlicePending
+			c.State = StateFailed
+			c.Failure = failure
+		}
+		refreshStateLocked(c)
+		if err := s.persistLocked(); err != nil {
+			return err
+		}
+		s.cond.Broadcast()
+		return nil
+	}
+	return fmt.Errorf("sched: campaign %s has no slice starting at trial %d", id, from)
+}
+
+// Drain stops handing out leases: every WaitLease returns ok=false once
+// its worker finishes the slice it holds. Submissions are refused while
+// draining.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Draining reports whether Drain was called.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Get returns a copy of one campaign.
+func (s *Scheduler) Get(id string) (Campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.byID[id]
+	if !ok {
+		return Campaign{}, false
+	}
+	return copyCampaign(c), true
+}
+
+// Campaigns returns a copy of the queue in submission order.
+func (s *Scheduler) Campaigns() []Campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Campaign, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, copyCampaign(s.byID[id]))
+	}
+	return out
+}
+
+func copyCampaign(c *Campaign) Campaign {
+	cp := *c
+	cp.Slices = append([]Slice(nil), c.Slices...)
+	return cp
+}

@@ -1,0 +1,371 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a race-safe settable clock for driving lease expiry.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestPlanSlices(t *testing.T) {
+	cases := []struct {
+		trials, size int
+		want         []Slice
+	}{
+		{4, 0, []Slice{{From: 0, To: 4, State: SlicePending}}},
+		{4, 4, []Slice{{From: 0, To: 4, State: SlicePending}}},
+		{4, 2, []Slice{{From: 0, To: 2, State: SlicePending}, {From: 2, To: 4, State: SlicePending}}},
+		{5, 2, []Slice{{From: 0, To: 2, State: SlicePending}, {From: 2, To: 4, State: SlicePending}, {From: 4, To: 5, State: SlicePending}}},
+		{1, 10, []Slice{{From: 0, To: 1, State: SlicePending}}},
+	}
+	for _, tc := range cases {
+		got := planSlices(tc.trials, tc.size)
+		if len(got) != len(tc.want) {
+			t.Errorf("planSlices(%d, %d) = %d slices, want %d", tc.trials, tc.size, len(got), len(tc.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("planSlices(%d, %d)[%d] = %+v, want %+v", tc.trials, tc.size, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestSubmitLeaseComplete(t *testing.T) {
+	s, err := NewScheduler(t.TempDir(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Submit(Spec{Seed: 7, Trials: 4, SliceSize: 2}, "hash-a", "dir-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID == "" || c.State != StateQueued || len(c.Slices) != 2 {
+		t.Fatalf("submitted campaign = %+v", c)
+	}
+
+	c1, sl1, ok := s.Lease("w0")
+	if !ok || c1.ID != c.ID || sl1.From != 0 || sl1.To != 2 {
+		t.Fatalf("first lease = %+v %+v %v", c1, sl1, ok)
+	}
+	if c1.State != StateRunning {
+		t.Errorf("campaign state after lease = %s, want running", c1.State)
+	}
+	c2, sl2, ok := s.Lease("w1")
+	if !ok || sl2.From != 2 {
+		t.Fatalf("second lease = %+v %v", sl2, ok)
+	}
+	if _, _, ok := s.Lease("w2"); ok {
+		t.Fatal("third lease succeeded with no pending slices")
+	}
+
+	if err := s.Complete(c1.ID, sl1.From); err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := s.Get(c.ID)
+	if mid.State != StateRunning || mid.CompletedTrials() != 2 {
+		t.Fatalf("mid-campaign = %s completed %d, want running/2", mid.State, mid.CompletedTrials())
+	}
+	if err := s.Complete(c2.ID, sl2.From); err != nil {
+		t.Fatal(err)
+	}
+	done, _ := s.Get(c.ID)
+	if done.State != StateDone || done.CompletedTrials() != 4 {
+		t.Fatalf("finished campaign = %s completed %d, want done/4", done.State, done.CompletedTrials())
+	}
+
+	// Completing a non-leased slice is a protocol error.
+	if err := s.Complete(c.ID, 0); err == nil {
+		t.Error("completing an already-done slice succeeded")
+	}
+	if err := s.Complete("nope", 0); err == nil {
+		t.Error("completing an unknown campaign succeeded")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, err := NewScheduler(t.TempDir(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Spec{Trials: 0}, "h", "d"); err == nil {
+		t.Error("zero-trial campaign accepted")
+	}
+	if _, err := s.Submit(Spec{Trials: 2, SliceSize: -1}, "h", "d"); err == nil {
+		t.Error("negative slice size accepted")
+	}
+}
+
+func TestLeaseExpiryReap(t *testing.T) {
+	clk := newManualClock()
+	s, err := NewScheduler(t.TempDir(), clk.Now, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Submit(Spec{Seed: 1, Trials: 2}, "h", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sl, ok := s.Lease("w0")
+	if !ok || sl.DeadlineNS == 0 || sl.Attempts != 1 {
+		t.Fatalf("lease = %+v ok=%v, want deadline stamped and 1 attempt", sl, ok)
+	}
+
+	// Within the lease: nothing to reap, nothing to lease.
+	if n, err := s.Reap(); n != 0 || err != nil {
+		t.Fatalf("early Reap = %d, %v", n, err)
+	}
+	if _, _, ok := s.Lease("w1"); ok {
+		t.Fatal("leased a slice that is already held")
+	}
+
+	// Past the lease: the slice returns to pending and re-leases with a
+	// second attempt.
+	clk.Advance(2 * time.Minute)
+	n, err := s.Reap()
+	if n != 1 || err != nil {
+		t.Fatalf("Reap = %d, %v, want 1 requeued", n, err)
+	}
+	got, _ := s.Get(c.ID)
+	if got.State != StateQueued || got.Slices[0].State != SlicePending {
+		t.Fatalf("after reap: campaign %s slice %s, want queued/pending", got.State, got.Slices[0].State)
+	}
+	_, sl2, ok := s.Lease("w1")
+	if !ok || sl2.Attempts != 2 || sl2.Worker != "w1" {
+		t.Fatalf("re-lease = %+v ok=%v, want attempt 2 by w1", sl2, ok)
+	}
+
+	// The original holder finishing after expiry is refused: its lease
+	// is gone (w1 holds the slice now, so Complete still works by From —
+	// the protocol error shows up as the slice being done twice).
+	if err := s.Complete(c.ID, sl2.From); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(c.ID, sl.From); err == nil {
+		t.Error("stale leaseholder completed a slice that already finished")
+	}
+}
+
+func TestZeroClockDisablesExpiry(t *testing.T) {
+	s, err := NewScheduler(t.TempDir(), nil, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Spec{Trials: 1}, "h", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, sl, ok := s.Lease("w0"); !ok || sl.DeadlineNS != 0 {
+		t.Fatalf("lease under zero clock = %+v ok=%v, want no deadline", sl, ok)
+	}
+	if n, err := s.Reap(); n != 0 || err != nil {
+		t.Fatalf("Reap under zero clock = %d, %v, want 0", n, err)
+	}
+}
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewScheduler(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s1.Submit(Spec{Seed: 3, Trials: 4, SliceSize: 2}, "hash-x", "dir-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sl, ok := s1.Lease("w0")
+	if !ok {
+		t.Fatal("lease failed")
+	}
+	if err := s1.Complete(c.ID, sl.From); err != nil {
+		t.Fatal(err)
+	}
+	// Second slice is leased when the process "dies".
+	if _, _, ok := s1.Lease("w0"); !ok {
+		t.Fatal("second lease failed")
+	}
+
+	// Restart: the done slice stays done, the leased slice returns to
+	// pending, identity and ID allocation survive.
+	s2, err := NewScheduler(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(c.ID)
+	if !ok {
+		t.Fatalf("campaign %s lost across restart", c.ID)
+	}
+	if got.ConfigHash != "hash-x" || got.Dir != "dir-x" || got.Seed != 3 {
+		t.Errorf("campaign identity drifted: %+v", got)
+	}
+	if got.Slices[0].State != SliceDone {
+		t.Errorf("done slice reloaded as %s", got.Slices[0].State)
+	}
+	if got.Slices[1].State != SlicePending || got.Slices[1].DeadlineNS != 0 {
+		t.Errorf("leased slice reloaded as %+v, want pending with no deadline", got.Slices[1])
+	}
+	if got.State != StateQueued {
+		t.Errorf("campaign state reloaded as %s, want queued", got.State)
+	}
+	c2, err := s2.Submit(Spec{Trials: 1}, "h2", "d2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.ID == c.ID {
+		t.Errorf("restart reused campaign ID %s", c2.ID)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	s, err := NewScheduler(t.TempDir(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Submit(Spec{Seed: 5, Trials: 2, SliceSize: 2}, "h", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sl, _ := s.Lease("w0")
+	if err := s.Complete(c.ID, sl.From); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(c.ID); got.State != StateDone {
+		t.Fatalf("campaign = %s, want done", got.State)
+	}
+
+	// Shrink and no-op extensions are refused.
+	if _, err := s.Extend(c.ID, 2); err == nil || !strings.Contains(err.Error(), "must grow") {
+		t.Errorf("same-size extension: %v", err)
+	}
+	if _, err := s.Extend(c.ID, 1); err == nil {
+		t.Error("shrinking extension accepted")
+	}
+	if _, err := s.Extend("nope", 4); err == nil {
+		t.Error("extending an unknown campaign succeeded")
+	}
+
+	// Growth re-queues the campaign with fresh slices over the new
+	// window, honoring the original slice size.
+	ext, err := s.Extend(c.ID, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Trials != 6 || ext.State != StateQueued || len(ext.Slices) != 3 {
+		t.Fatalf("extended campaign = %+v", ext)
+	}
+	if ext.Slices[1] != (Slice{From: 2, To: 4, State: SlicePending}) || ext.Slices[2] != (Slice{From: 4, To: 6, State: SlicePending}) {
+		t.Errorf("extension slices = %+v", ext.Slices[1:])
+	}
+	if ext.CompletedTrials() != 2 {
+		t.Errorf("completed trials after extension = %d, want 2 (original slice stays done)", ext.CompletedTrials())
+	}
+}
+
+func TestFailAndExtendRequeues(t *testing.T) {
+	s, err := NewScheduler(t.TempDir(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Submit(Spec{Trials: 2, SliceSize: 1}, "h", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sl, _ := s.Lease("w0")
+	if err := s.Fail(c.ID, sl.From, "store exploded"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(c.ID)
+	if got.State != StateFailed || got.Failure != "store exploded" {
+		t.Fatalf("failed campaign = %s %q", got.State, got.Failure)
+	}
+	if got.Slices[0].State != SlicePending {
+		t.Errorf("failed slice = %s, want pending (retryable)", got.Slices[0].State)
+	}
+	// Failed campaigns stop leasing — even though a slice is pending.
+	if _, _, ok := s.Lease("w0"); ok {
+		t.Fatal("leased a slice from a failed campaign")
+	}
+	// Extension un-fails: the operator asked for more work.
+	ext, err := s.Extend(c.ID, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.State != StateQueued || ext.Failure != "" {
+		t.Fatalf("extended-after-failure campaign = %s %q, want queued with no failure", ext.State, ext.Failure)
+	}
+	if _, _, ok := s.Lease("w0"); !ok {
+		t.Fatal("extension did not make the campaign leasable again")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s, err := NewScheduler(t.TempDir(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Spec{Trials: 1}, "h", "d"); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if !s.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	if _, _, ok := s.WaitLease("w0"); ok {
+		t.Fatal("WaitLease handed out a slice while draining")
+	}
+	if _, err := s.Submit(Spec{Trials: 1}, "h", "d"); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Errorf("submit while draining: %v", err)
+	}
+}
+
+func TestWaitLeaseWakesOnSubmit(t *testing.T) {
+	s, err := NewScheduler(t.TempDir(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type lease struct {
+		c  Campaign
+		ok bool
+	}
+	got := make(chan lease, 1)
+	go func() {
+		c, _, ok := s.WaitLease("w0")
+		got <- lease{c, ok}
+	}()
+	// The worker is (about to be) parked on the condition variable; a
+	// submission must wake it.
+	c, err := s.Submit(Spec{Trials: 1}, "h", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case l := <-got:
+		if !l.ok || l.c.ID != c.ID {
+			t.Fatalf("woken lease = %+v", l)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitLease never woke after submit")
+	}
+}

@@ -71,6 +71,29 @@ store_show_wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN {printf "%.3f", b - a}')
 store_get_wall=$(awk -v a="$t1" -v b="$t2" 'BEGIN {printf "%.3f", b - a}')
 echo "shadowstore show took ${store_show_wall}s, show -trial 0 took ${store_get_wall}s"
 
+# Shard data plane wall time: the same campaign run unsharded vs as two
+# shards run back-to-back plus a `shadowstore merge`. On this
+# single-process host the shards cannot overlap, so sharded-vs-unsharded
+# tracks pure fan-out overhead (two store opens, two blueprints);
+# shard_merge_seconds tracks the fold itself, which reads raw frames and
+# should stay well under a trial's wall time.
+echo "== shard fan-out / merge wall time"
+go build -o /tmp/shadowmeter.bench ./cmd/shadowmeter
+go build -o /tmp/shadowstore.bench ./cmd/shadowstore
+s0=$(date +%s.%N)
+/tmp/shadowmeter.bench -seed 7 -trials 4 -workers 2 -out "$campdir/unsharded" >/dev/null 2>&1
+s1=$(date +%s.%N)
+/tmp/shadowmeter.bench -seed 7 -trials 4 -workers 2 -shard 0/2 -out "$campdir/shard0" >/dev/null 2>&1
+/tmp/shadowmeter.bench -seed 7 -trials 4 -workers 2 -shard 1/2 -out "$campdir/shard1" >/dev/null 2>&1
+s2=$(date +%s.%N)
+/tmp/shadowstore.bench merge "$campdir/folded" "$campdir/shard0" "$campdir/shard1" >/dev/null
+s3=$(date +%s.%N)
+rm -f /tmp/shadowmeter.bench /tmp/shadowstore.bench
+unsharded_wall=$(awk -v a="$s0" -v b="$s1" 'BEGIN {printf "%.3f", b - a}')
+sharded_wall=$(awk -v a="$s1" -v b="$s2" 'BEGIN {printf "%.3f", b - a}')
+merge_wall=$(awk -v a="$s2" -v b="$s3" 'BEGIN {printf "%.3f", b - a}')
+echo "unsharded 4 trials took ${unsharded_wall}s, 2 shards took ${sharded_wall}s, merge took ${merge_wall}s"
+
 awk -v date="$stamp" -v goversion="$(go version | awk '{print $3}')" -v lintwall="$lint_wall" '
 /^Benchmark/ {
     name = $1; ns = ""; bytes = "0"; allocs = "0"
@@ -95,14 +118,18 @@ END {
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"lint_wall_seconds\": %s%s,\n  \"benchmarks\": [\n%s\n  ]\n}\n", date, goversion, lintwall, speedup, body
 }' "$tmp" >"$out"
 
-# Fold the occupancy report and store timings in: the whole occupancy
+# Fold the occupancy report and wall timings in: the whole occupancy
 # object under worker_occupancy, slow_trial_dumps hoisted to the top
-# level for cheap trending, and the store read-path wall times beside
-# the lint wall time.
+# level for cheap trending, and the store read-path and shard data-plane
+# wall times beside the lint wall time.
 jq --slurpfile occ "$occ" \
     --argjson show "$store_show_wall" --argjson get "$store_get_wall" \
+    --argjson unsharded "$unsharded_wall" --argjson sharded "$sharded_wall" \
+    --argjson merge "$merge_wall" \
     '. + {worker_occupancy: $occ[0], slow_trial_dumps: $occ[0].slow_trial_dumps,
-          store_show_seconds: $show, store_show_trial_seconds: $get}' \
+          store_show_seconds: $show, store_show_trial_seconds: $get,
+          unsharded_campaign_seconds: $unsharded, sharded_campaign_seconds: $sharded,
+          shard_merge_seconds: $merge}' \
     "$out" >"$out.tmp" && mv "$out.tmp" "$out"
 
 echo "wrote $out"

@@ -242,6 +242,119 @@ echo "== shadowstore tail smoke"
 "$tmpdir/shadowstore" tail "$tmpdir/camp" | grep -q "campaign complete: 2/2"
 "$tmpdir/shadowstore" tail -follow=false "$tmpdir/camp" >/dev/null
 
+echo "== shard fan-out / merge determinism smoke"
+# The shard-union invariant: run a campaign as two shards, fold them
+# with `shadowstore merge`, and a batch resumed from the merged store
+# must be byte-identical to the unsharded run — stdout and the merged
+# telemetry export alike — with every trial served from the store.
+"$tmpdir/shadowmeter" -seed 7 -trials 4 -workers 2 >"$tmpdir/cold4.json" 2>/dev/null
+"$tmpdir/shadowmeter" -seed 7 -trials 4 -workers 2 -shard 0/2 -out "$tmpdir/shard0" >/dev/null 2>/dev/null
+"$tmpdir/shadowmeter" -seed 7 -trials 4 -workers 2 -shard 1/2 -out "$tmpdir/shard1" >/dev/null 2>/dev/null
+"$tmpdir/shadowstore" list "$tmpdir/shard0" | grep -q 'shard 0/2'
+"$tmpdir/shadowstore" merge "$tmpdir/mergedcamp" "$tmpdir/shard0" "$tmpdir/shard1" | grep -q "merged 2 shard"
+"$tmpdir/shadowstore" show "$tmpdir/mergedcamp" | grep -q "merged from 2 shard stores"
+"$tmpdir/shadowmeter" -seed 7 -trials 4 -workers 2 -out "$tmpdir/mergedcamp" -resume \
+    >"$tmpdir/sharded.json" 2>"$tmpdir/sharded.err"
+if ! cmp -s "$tmpdir/cold4.json" "$tmpdir/sharded.json"; then
+    echo "batch resumed from merged shards differs from the unsharded run:" >&2
+    diff "$tmpdir/cold4.json" "$tmpdir/sharded.json" >&2 || true
+    exit 1
+fi
+if ! grep -q "resume hits 4" "$tmpdir/sharded.err"; then
+    echo "expected all 4 trials served from the merged store; stderr was:" >&2
+    cat "$tmpdir/sharded.err" >&2
+    exit 1
+fi
+"$tmpdir/shadowmeter" -seed 7 -trials 4 -workers 2 -metrics-json >"$tmpdir/mtj_cold4.json" 2>/dev/null
+"$tmpdir/shadowmeter" -seed 7 -trials 4 -workers 2 -out "$tmpdir/mergedcamp" -resume -metrics-json \
+    >"$tmpdir/mtj_sharded.json" 2>/dev/null
+if ! cmp -s "$tmpdir/mtj_cold4.json" "$tmpdir/mtj_sharded.json"; then
+    echo "merged telemetry from merged shards differs from the unsharded run:" >&2
+    diff "$tmpdir/mtj_cold4.json" "$tmpdir/mtj_sharded.json" >&2 || true
+    exit 1
+fi
+
+echo "== campaign extension smoke"
+# The extension contract: re-running the merged campaign with a larger
+# -trials upgrades the manifest in place (no mismatch error) and the
+# result is byte-identical to a cold run at the larger count, with the
+# original trials served from the store.
+"$tmpdir/shadowmeter" -seed 7 -trials 6 -workers 2 >"$tmpdir/cold6.json" 2>/dev/null
+"$tmpdir/shadowmeter" -seed 7 -trials 6 -workers 2 -out "$tmpdir/mergedcamp" -resume \
+    >"$tmpdir/extended.json" 2>"$tmpdir/extend.err"
+if ! cmp -s "$tmpdir/cold6.json" "$tmpdir/extended.json"; then
+    echo "extended campaign differs from the cold run at the larger count:" >&2
+    diff "$tmpdir/cold6.json" "$tmpdir/extended.json" >&2 || true
+    exit 1
+fi
+if ! grep -q "resume hits 4" "$tmpdir/extend.err"; then
+    echo "expected the 4 pre-extension trials served from the store; stderr was:" >&2
+    cat "$tmpdir/extend.err" >&2
+    exit 1
+fi
+
+echo "== shadowmeterd control-plane smoke"
+# The daemon contract: submit a campaign over HTTP, watch it complete,
+# then SIGTERM drains gracefully (exit 0, queue persisted as done).
+go build -o "$tmpdir/shadowmeterd" ./cmd/shadowmeterd
+"$tmpdir/shadowmeterd" -addr 127.0.0.1:0 -root "$tmpdir/fleet" -workers 1 \
+    2>"$tmpdir/daemon.err" &
+daemon_pid=$!
+daddr=""
+for _ in $(seq 1 100); do
+    daddr=$(awk -F'http://' '/shadowmeterd: serving on/ {split($2, a, " "); print a[1]; exit}' "$tmpdir/daemon.err")
+    [ -n "$daddr" ] && break
+    sleep 0.1
+done
+if [ -z "$daddr" ]; then
+    echo "shadowmeterd never announced its address; stderr was:" >&2
+    cat "$tmpdir/daemon.err" >&2
+    exit 1
+fi
+curl -fsS "http://$daddr/healthz" | grep -q '^ok$'
+cid=$(curl -fsS -X POST -d '{"seed":7,"trials":2,"slice_size":1}' "http://$daddr/campaigns" | jq -r .id)
+if [ -z "$cid" ] || [ "$cid" = "null" ]; then
+    echo "campaign submission returned no id" >&2
+    exit 1
+fi
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -fsS "http://$daddr/campaigns/$cid" | jq -r .state)
+    [ "$state" = "done" ] && break
+    [ "$state" = "failed" ] && break
+    sleep 0.2
+done
+if [ "$state" != "done" ]; then
+    echo "campaign $cid ended as '$state', want done; daemon stderr was:" >&2
+    cat "$tmpdir/daemon.err" >&2
+    exit 1
+fi
+curl -fsS "http://$daddr/campaigns/$cid/progress" | grep -q '"type": "campaign_started"'
+curl -fsS "http://$daddr/campaigns" | grep -q "\"$cid\""
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    echo "shadowmeterd exited non-zero after SIGTERM; stderr was:" >&2
+    cat "$tmpdir/daemon.err" >&2
+    exit 1
+fi
+grep -q "drained" "$tmpdir/daemon.err"
+grep -q '"state": "done"' "$tmpdir/fleet/state.json"
+# The daemon's campaign store is an ordinary campaign: resumable,
+# byte-identical to the same seeds run by hand.
+fleet_dir=$(jq -r '.campaigns[0].dir' "$tmpdir/fleet/state.json")
+"$tmpdir/shadowmeter" -seed 7 -trials 2 -workers 2 -out "$fleet_dir" -resume \
+    >"$tmpdir/fleet_resume.json" 2>"$tmpdir/fleet_resume.err"
+if ! cmp -s "$tmpdir/batch2.json" "$tmpdir/fleet_resume.json"; then
+    echo "daemon-run campaign differs from the same seeds run by hand:" >&2
+    diff "$tmpdir/batch2.json" "$tmpdir/fleet_resume.json" >&2 || true
+    exit 1
+fi
+if ! grep -q "resume hits 2" "$tmpdir/fleet_resume.err"; then
+    echo "expected both daemon-run trials served from its store; stderr was:" >&2
+    cat "$tmpdir/fleet_resume.err" >&2
+    exit 1
+fi
+
 echo "== benchmark smoke (netsim, wire)"
 # -benchtime=1x compiles and runs each benchmark once: catches bitrot in
 # the registry-backed events/sec reporting without measuring anything.

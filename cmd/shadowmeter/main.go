@@ -430,12 +430,16 @@ func runBatch(p batchParams) {
 		}()
 	}
 
+	// Report the effective pool, not the requested one: -workers larger
+	// than the window clamps, and every speedup series divides by this.
+	effWorkers := runner.EffectiveWorkers(span.To-span.From, p.workers)
 	if p.shardCount > 0 {
-		fmt.Fprintf(os.Stderr, "running shard %d/%d of %d trials: trials %d..%d (seeds %d..%d)...\n",
+		fmt.Fprintf(os.Stderr, "running shard %d/%d of %d trials: trials %d..%d (seeds %d..%d), %d worker(s)...\n",
 			p.shardIndex, p.shardCount, p.trials, span.From, span.To-1,
-			p.baseSeed+int64(span.From), p.baseSeed+int64(span.To)-1)
+			p.baseSeed+int64(span.From), p.baseSeed+int64(span.To)-1, effWorkers)
 	} else {
-		fmt.Fprintf(os.Stderr, "running %d trials (seeds %d..%d)...\n", p.trials, p.baseSeed, p.baseSeed+int64(p.trials)-1)
+		fmt.Fprintf(os.Stderr, "running %d trials (seeds %d..%d), %d worker(s)...\n",
+			p.trials, p.baseSeed, p.baseSeed+int64(p.trials)-1, effWorkers)
 	}
 	res := runner.Run(rcfg)
 	close(stop)
@@ -480,7 +484,7 @@ func runBatch(p batchParams) {
 
 	if p.metricsJSON {
 		os.Stdout.Write(res.MergedTelemetryJSON())
-		fmt.Fprintf(os.Stderr, "total wall time: %.1fs\n", time.Since(started).Seconds())
+		printBatchFooter(started, res)
 		return
 	}
 	out, err := res.JSON()
@@ -489,5 +493,13 @@ func runBatch(p batchParams) {
 	}
 	os.Stdout.Write(out)
 	fmt.Println()
-	fmt.Fprintf(os.Stderr, "total wall time: %.1fs\n", time.Since(started).Seconds())
+	printBatchFooter(started, res)
+}
+
+// printBatchFooter closes the batch's stderr narrative: wall time plus
+// the streaming consumer's peak-heap high-water, the number the
+// memory-flat gate tracks (also exported via -occupancy-json).
+func printBatchFooter(started time.Time, res *runner.Result) {
+	fmt.Fprintf(os.Stderr, "total wall time: %.1fs, peak heap %.1f MB\n",
+		time.Since(started).Seconds(), float64(res.PeakHeapBytes)/(1<<20))
 }

@@ -8,6 +8,7 @@ package core
 import (
 	"time"
 
+	"shadowmeter/internal/netsim"
 	"shadowmeter/internal/topology"
 )
 
@@ -37,6 +38,12 @@ type Config struct {
 	// construction cost is shared. Excluded from campaign hashes: it is an
 	// execution strategy, not configuration.
 	Topo *topology.Blueprint `json:"-"`
+
+	// Arena, when non-nil, recycles the previous world's netsim event and
+	// flight pools into this one (the campaign runner keeps one per
+	// worker). Like Topo it is an execution strategy with no behavioral
+	// effect, so it is excluded from campaign hashes.
+	Arena *netsim.Arena `json:"-"`
 
 	// Start anchors the virtual clock and the identifier epoch; zero means
 	// 2024-03-01 UTC (the paper's campaign start).

@@ -91,7 +91,7 @@ func BuildWorld(cfg Config) *World {
 	w.Net = netsim.New(netsim.Config{
 		Start: cfg.Start, Path: w.Topo.PathFunc(),
 		LossRate: cfg.LossRate, LossSeed: cfg.Seed ^ 0x10553,
-		Telemetry: w.Telemetry,
+		Telemetry: w.Telemetry, Arena: cfg.Arena,
 	})
 
 	w.deployHoneypots()

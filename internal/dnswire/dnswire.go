@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"shadowmeter/internal/identifier"
 	"shadowmeter/internal/wire"
 )
 
@@ -101,6 +102,17 @@ func NewQuery(id uint16, name string, qtype uint16) *Message {
 	}
 }
 
+// QueryInto is NewQuery for senders that own a scratch Message: m is
+// overwritten in place with its Questions array reused. Safe whenever the
+// message is fully serialized before the scratch's next use.
+func QueryInto(m *Message, id uint16, name string, qtype uint16) {
+	*m = Message{
+		Header:    Header{ID: id, RD: true, QDCount: 1},
+		Questions: append(m.Questions[:0], Question{Name: name, Type: qtype, Class: ClassIN}),
+		Answers:   m.Answers[:0], Authority: m.Authority[:0], Additional: m.Additional[:0],
+	}
+}
+
 // NewResponse builds a response skeleton for q with the given rcode.
 func NewResponse(q *Message, rcode uint8) *Message {
 	resp := &Message{
@@ -111,6 +123,23 @@ func NewResponse(q *Message, rcode uint8) *Message {
 	}
 	resp.Questions = append(resp.Questions, q.Questions...)
 	return resp
+}
+
+// ResponseInto is NewResponse for reply loops that own a scratch Message:
+// resp is overwritten in place, its section slices truncated and reused.
+// The questions (and their name strings) are copied out of q, so resp
+// remains valid when q is itself scratch and reused for the next decode.
+func ResponseInto(resp *Message, q *Message, rcode uint8) {
+	*resp = Message{
+		Header: Header{
+			ID: q.Header.ID, QR: true, Opcode: q.Header.Opcode,
+			RD: q.Header.RD, RA: true, Rcode: rcode,
+		},
+		Questions:  append(resp.Questions[:0], q.Questions...),
+		Answers:    resp.Answers[:0],
+		Authority:  resp.Authority[:0],
+		Additional: resp.Additional[:0],
+	}
 }
 
 // QName returns the first question name, or "" if none.
@@ -307,12 +336,32 @@ func (e *Encoder) rr(r *RR) error {
 	return nil
 }
 
-// Decode parses a wire-format DNS message.
+// Decode parses a wire-format DNS message into a fresh Message the caller
+// owns outright.
 func Decode(data []byte) (*Message, error) {
-	if len(data) < 12 {
-		return nil, ErrTruncated
-	}
 	var m Message
+	if err := DecodeInto(&m, data); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// DecodeInto parses a wire-format DNS message into m, reusing m's section
+// slices (truncated and refilled in place). Decoded names and TXT payloads
+// are freshly allocated strings, so nothing in m aliases data — but the
+// section backing arrays are recycled across calls, so DecodeInto is only
+// for call sites that fully consume (or copy out of) one message before
+// decoding the next. Everyone else should use Decode.
+func DecodeInto(m *Message, data []byte) error {
+	*m = Message{
+		Questions:  m.Questions[:0],
+		Answers:    m.Answers[:0],
+		Authority:  m.Authority[:0],
+		Additional: m.Additional[:0],
+	}
+	if len(data) < 12 {
+		return ErrTruncated
+	}
 	h := &m.Header
 	h.ID = binary.BigEndian.Uint16(data[0:2])
 	flags := binary.BigEndian.Uint16(data[2:4])
@@ -332,11 +381,11 @@ func Decode(data []byte) (*Message, error) {
 	for i := 0; i < int(h.QDCount); i++ {
 		name, n, err := decodeName(data, off)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		off = n
 		if off+4 > len(data) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		m.Questions = append(m.Questions, Question{
 			Name:  name,
@@ -346,23 +395,27 @@ func Decode(data []byte) (*Message, error) {
 		off += 4
 	}
 	var err error
-	if m.Answers, off, err = decodeRRs(data, off, int(h.ANCount)); err != nil {
-		return nil, err
+	if m.Answers, off, err = decodeRRs(m.Answers, data, off, int(h.ANCount)); err != nil {
+		return err
 	}
-	if m.Authority, off, err = decodeRRs(data, off, int(h.NSCount)); err != nil {
-		return nil, err
+	if m.Authority, off, err = decodeRRs(m.Authority, data, off, int(h.NSCount)); err != nil {
+		return err
 	}
-	if m.Additional, _, err = decodeRRs(data, off, int(h.ARCount)); err != nil {
-		return nil, err
+	if m.Additional, _, err = decodeRRs(m.Additional, data, off, int(h.ARCount)); err != nil {
+		return err
 	}
-	return &m, nil
+	return nil
 }
 
-func decodeRRs(data []byte, off, count int) ([]RR, int, error) {
+// decodeRRs appends count records onto dst, reusing its backing array.
+func decodeRRs(dst []RR, data []byte, off, count int) ([]RR, int, error) {
 	if count == 0 {
-		return nil, off, nil
+		return dst, off, nil
 	}
-	rrs := make([]RR, 0, count)
+	rrs := dst
+	if rrs == nil {
+		rrs = make([]RR, 0, count)
+	}
 	for i := 0; i < count; i++ {
 		name, n, err := decodeName(data, off)
 		if err != nil {
@@ -542,8 +595,15 @@ func QueryNameInterned(data []byte, in Interner) (string, bool) {
 			if off+5 > len(data) {
 				return "", false // QTYPE/QCLASS missing
 			}
+			// Devirtualize the common interner: a static call to the
+			// concrete InternBytes (whose parameter does not escape)
+			// keeps buf on the stack, where the interface call would
+			// force it to the heap on every packet sniffed.
+			if ci, ok := in.(*identifier.Interner); ok && ci != nil {
+				return ci.InternBytes(buf[:n]), true
+			}
 			if in != nil {
-				return in.InternBytes(buf[:n]), true
+				return in.Intern(string(buf[:n])), true
 			}
 			return string(buf[:n]), true
 		case b&0xC0 == 0xC0:

@@ -109,6 +109,16 @@ type Deployment struct {
 	//
 	//shadowlint:eventloop
 	enc dnswire.Encoder
+	// dec and resp are decode/reply scratch under the same single-
+	// goroutine contract: handleDNS fully consumes the query (the name
+	// strings it retains in Captures are fresh allocations) and encodes
+	// the reply before returning, so both messages are dead by the time
+	// the next query arrives and their section arrays can be recycled.
+	//
+	//shadowlint:eventloop
+	dec dnswire.Message
+	//shadowlint:eventloop
+	resp dnswire.Message
 
 	m deploymentMetrics
 }
@@ -193,15 +203,15 @@ func Deploy(n *netsim.Network, cfg Config, sites []*Site, registry interface {
 // wildcard A records pointing at the honey web servers, logging every
 // arrival.
 func (d *Deployment) handleDNS(n *netsim.Network, s *Site, from wire.Endpoint, payload []byte) []byte {
-	q, err := dnswire.Decode(payload)
-	if err != nil || q.Header.QR || len(q.Questions) == 0 {
+	q := &d.dec
+	if err := dnswire.DecodeInto(q, payload); err != nil || q.Header.QR || len(q.Questions) == 0 {
 		d.countUnparseable()
 		return nil
 	}
 	name := q.QName()
 	if !dnswire.IsSubdomain(name, d.Zone) {
-		resp := dnswire.NewResponse(q, dnswire.RcodeRefused)
-		raw, err := resp.AppendEncode(&d.enc)
+		dnswire.ResponseInto(&d.resp, q, dnswire.RcodeRefused)
+		raw, err := d.resp.AppendEncode(&d.enc)
 		if err != nil {
 			return nil
 		}
@@ -213,7 +223,8 @@ func (d *Deployment) handleDNS(n *netsim.Network, s *Site, from wire.Endpoint, p
 		DNSType: q.QType(),
 	})
 	d.m.capturesDNS.Inc()
-	resp := dnswire.NewResponse(q, dnswire.RcodeNoError)
+	resp := &d.resp
+	dnswire.ResponseInto(resp, q, dnswire.RcodeNoError)
 	resp.Header.AA = true
 	if q.QType() == dnswire.TypeA || q.QType() == dnswire.TypeANY {
 		// Rotate the answer order by name hash so probe traffic spreads

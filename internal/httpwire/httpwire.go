@@ -267,14 +267,59 @@ func parseHeaders(head []byte) (map[string]string, error) {
 			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, line)
 		}
 		key := lowerString(bytes.TrimSpace(line[:i]))
-		h[key] = string(bytes.TrimSpace(line[i+1:]))
+		val := bytes.TrimSpace(line[i+1:])
+		if s, ok := valueAtom(val); ok {
+			h[key] = s
+		} else {
+			h[key] = string(val)
+		}
 	}
 	return h, nil
 }
 
-// lowerString converts b to a lowercase string, skipping the extra copy
-// bytes.ToLower would make when b is already lower-case ASCII.
+// headerAtoms and valueAtoms form a static table (the idea behind HPACK's)
+// of the header strings this package's own encoders emit. Nearly every
+// message on the simulated wire is built by NewGET/NewResponse, so the
+// parse hot path resolves almost all of its keys and values to these
+// canonical instances instead of allocating a fresh string per header.
+var headerAtoms = [...]string{
+	"host", "accept", "server", "connection", "user-agent",
+	"content-type", "content-length",
+}
+
+var valueAtoms = [...]string{
+	"close", "*/*", "shadowmeter/1.0", "shadowmeter-honeypot/1.0",
+	"text/html; charset=utf-8",
+}
+
+// headerAtom case-insensitively matches a raw key against the static
+// table, returning its canonical lowercase instance.
+func headerAtom(b []byte) (string, bool) {
+	for _, s := range &headerAtoms {
+		if len(b) == len(s) && asciiEqualFold(b, s) {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// valueAtom matches a raw value (exact bytes) against the static table.
+func valueAtom(b []byte) (string, bool) {
+	for _, s := range &valueAtoms {
+		if string(b) == s {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// lowerString converts b to a lowercase string: through the static atom
+// table when possible (no allocation, any input case), else skipping the
+// extra copy bytes.ToLower would make when b is already lower-case ASCII.
 func lowerString(b []byte) string {
+	if s, ok := headerAtom(b); ok {
+		return s
+	}
 	for i := 0; i < len(b); i++ {
 		if c := b[i]; 'A' <= c && c <= 'Z' || c >= 0x80 {
 			return strings.ToLower(string(b))

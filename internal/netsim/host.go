@@ -22,6 +22,13 @@ type Host struct {
 	udpWaiters    map[udpWaiterKey]*udpWaiter
 	tcpFlows      map[tcpFlowKey]*clientFlow
 
+	// freeWaiters recycles udpWaiter structs. A waiter returns to the
+	// pool only when its (single, typed) timeout event fires — each
+	// generation schedules exactly one — so the pool can never hold a
+	// waiter that a queued event still refers to under its current
+	// generation.
+	freeWaiters []*udpWaiter
+
 	// OnUnmatched, if set, sees packets no service or client flow claimed.
 	OnUnmatched func(n *Network, pkt *wire.Packet)
 }
@@ -93,11 +100,16 @@ func (h *Host) handleUDP(n *Network, pkt *wire.Packet) bool {
 		}
 		return true
 	}
-	// Client side: a reply to an outstanding request?
+	// Client side: a reply to an outstanding request? The waiter leaves
+	// the map now but returns to the pool only when its timeout event
+	// fires (see udpTimeout); the callbacks are dropped here so the event
+	// queue is not what keeps request closures alive.
 	if w, ok := h.udpWaiters[udpWaiterKey{dst: from, sport: pkt.UDP.DstPort}]; ok {
 		delete(h.udpWaiters, udpWaiterKey{dst: from, sport: pkt.UDP.DstPort})
-		if w.onReply != nil {
-			w.onReply(n, append([]byte(nil), pkt.UDP.Payload()...))
+		cb := w.onReply
+		w.onReply, w.onTimeout = nil, nil
+		if cb != nil {
+			cb(n, append([]byte(nil), pkt.UDP.Payload()...))
 		}
 		return true
 	}
@@ -112,10 +124,56 @@ type udpWaiterKey struct {
 	sport uint16
 }
 
+// udpWaiter is pooled per host. gen increments on every acquisition, so a
+// timeout event carrying (waiter, gen) can tell whether it belongs to the
+// request it was armed for or to a later reuse of the same struct.
 type udpWaiter struct {
 	onReply   func(n *Network, payload []byte)
 	onTimeout func(n *Network)
-	expired   bool
+	key       udpWaiterKey
+	gen       uint64
+}
+
+// newWaiter takes a waiter from the pool (or allocates one) and bumps its
+// generation.
+func (h *Host) newWaiter() *udpWaiter {
+	var w *udpWaiter
+	if k := len(h.freeWaiters); k > 0 {
+		w = h.freeWaiters[k-1]
+		h.freeWaiters = h.freeWaiters[:k-1]
+	} else {
+		w = &udpWaiter{}
+	}
+	w.gen++
+	return w
+}
+
+// releaseWaiter drops the waiter's callback references and pools it.
+func (h *Host) releaseWaiter(w *udpWaiter) {
+	w.onReply, w.onTimeout = nil, nil
+	h.freeWaiters = append(h.freeWaiters, w)
+}
+
+// udpTimeout is the dispatch target of a waiter's typed timeout event: the
+// sole release point of generation gen. If the generation is stale the
+// waiter was already reclaimed and re-armed — nothing to do. If the waiter
+// still sits in the map this generation timed out for real; otherwise its
+// reply was consumed and the event only needs to return the struct to the
+// pool.
+func (h *Host) udpTimeout(n *Network, w *udpWaiter, gen uint64) {
+	if w.gen != gen {
+		return
+	}
+	if cur, ok := h.udpWaiters[w.key]; ok && cur == w {
+		delete(h.udpWaiters, w.key)
+		cb := w.onTimeout
+		h.releaseWaiter(w)
+		if cb != nil {
+			cb(n)
+		}
+		return
+	}
+	h.releaseWaiter(w)
 }
 
 // UDPRequestOpts parameterizes SendUDPRequest.
@@ -141,23 +199,18 @@ func (h *Host) SendUDPRequest(n *Network, dst wire.Endpoint, payload []byte, opt
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
-	w := &udpWaiter{onReply: opts.OnReply, onTimeout: opts.OnTimeout}
-	key := udpWaiterKey{dst: dst, sport: sport}
-	h.udpWaiters[key] = w
+	w := h.newWaiter()
+	w.onReply, w.onTimeout = opts.OnReply, opts.OnTimeout
+	w.key = udpWaiterKey{dst: dst, sport: sport}
+	h.udpWaiters[w.key] = w
 	src := wire.Endpoint{Addr: h.Addr, Port: sport}
 	raw, err := wire.BuildUDP(src, dst, ttl, h.ipID(opts.IPID), payload)
 	if err == nil {
 		n.InjectOwned(raw)
 	}
-	n.Schedule(timeout, func() {
-		if cur, ok := h.udpWaiters[key]; ok && cur == w && !w.expired {
-			w.expired = true
-			delete(h.udpWaiters, key)
-			if w.onTimeout != nil {
-				w.onTimeout(n)
-			}
-		}
-	})
+	e := n.newEvent()
+	e.udpHost, e.udpW, e.udpGen = h, w, w.gen
+	n.scheduleEvent(timeout, e)
 	return sport
 }
 

@@ -106,6 +106,10 @@ type Config struct {
 	// Telemetry receives the simulator's metrics and progress ticks. Nil
 	// creates a private set, so the hot path never nil-checks.
 	Telemetry *telemetry.Set
+	// Arena, when non-nil, seeds the event/flight pools from a previous
+	// world's harvest (see Arena). Purely an allocation amortization: a
+	// world behaves identically with or without one.
+	Arena *Arena
 }
 
 // DefaultHopLatency approximates a wide-area per-hop delay.
@@ -210,6 +214,9 @@ func New(cfg Config) *Network {
 	if cfg.LossRate > 0 {
 		n.lossRNG = rand.New(rand.NewSource(cfg.LossSeed))
 	}
+	if cfg.Arena != nil {
+		cfg.Arena.attach(n)
+	}
 	return n
 }
 
@@ -278,6 +285,7 @@ func (n *Network) newEvent() *event {
 // releaseEvent clears an event's references and returns it to the pool.
 func (n *Network) releaseEvent(e *event) {
 	e.fn, e.flight = nil, nil
+	e.udpHost, e.udpW = nil, nil
 	n.freeEvents = append(n.freeEvents, e)
 }
 
@@ -300,6 +308,47 @@ func (n *Network) newFlight(pkt []byte, origin wire.Addr, path []*Router) *fligh
 func (n *Network) releaseFlight(f *flight) {
 	f.pkt, f.path = nil, nil
 	n.freeFlights = append(n.freeFlights, f)
+}
+
+// Arena carries a Network's recyclable scratch — the event and flight free
+// lists plus the drained event-heap backing array — across Network
+// lifetimes. A campaign worker running many single-trial worlds in
+// sequence attaches one arena to each world in turn, so the event loop's
+// steady-state pool is grown once per worker instead of once per trial.
+// Pooled objects are fully re-initialized on acquisition and hold no
+// references after release, so reuse cannot leak state between worlds. An
+// arena belongs to one goroutine at a time; hand-off between worlds must
+// be externally ordered (the runner keeps one per worker).
+type Arena struct {
+	events      []*event
+	flights     []*flight
+	heapBacking eventHeap
+}
+
+// attach seeds n's pools from the arena, leaving the arena empty. New
+// calls it before any event is scheduled.
+func (a *Arena) attach(n *Network) {
+	n.freeEvents, a.events = a.events, nil
+	n.freeFlights, a.flights = a.flights, nil
+	if cap(a.heapBacking) > 0 {
+		n.events, a.heapBacking = a.heapBacking[:0], nil
+	}
+}
+
+// Harvest reclaims n's pools into the arena once the world has drained
+// (every event dispatched, every flight landed). The Network must not be
+// run again afterwards. Undispatched events left behind by a truncated
+// run stay with the Network — only the released free lists move — so
+// harvesting a truncated world is safe, just less fruitful.
+func (a *Arena) Harvest(n *Network) {
+	if a == nil || n == nil {
+		return
+	}
+	a.events, n.freeEvents = n.freeEvents, nil
+	a.flights, n.freeFlights = n.freeFlights, nil
+	if len(n.events) == 0 {
+		a.heapBacking, n.events = n.events[:0], nil
+	}
 }
 
 // SendPacket injects a serialized IPv4 packet at its source address. The
@@ -499,9 +548,14 @@ func (n *Network) deliver(pkt []byte) {
 //shadowlint:eventloop
 func (n *Network) dispatch(e *event) {
 	f, fn := e.flight, e.fn
+	uh, uw, ugen := e.udpHost, e.udpW, e.udpGen
 	n.releaseEvent(e)
 	if f != nil {
 		n.stepFlight(f)
+		return
+	}
+	if uw != nil {
+		uh.udpTimeout(n, uw, ugen)
 		return
 	}
 	fn()
@@ -566,16 +620,23 @@ func (n *Network) RunUntilIdle() int64 {
 // Pending reports the number of queued events.
 func (n *Network) Pending() int { return n.events.Len() }
 
-// event is one queued occurrence: either a generic callback (fn) or a
-// packet-flight step (flight). Exactly one of the two is set. Events are
-// pooled by the Network; they live only between scheduleEvent and
-// dispatch.
+// event is one queued occurrence: a generic callback (fn), a packet-flight
+// step (flight), or a typed UDP request timeout (udpW). Exactly one of the
+// three is set. The typed timeout exists because SendUDPRequest fires on
+// every probe: carrying the waiter and its generation in plain fields
+// costs nothing, where the equivalent closure allocated once per request.
+// Events are pooled by the Network; they live only between scheduleEvent
+// and dispatch.
 type event struct {
 	at     time.Time
 	atNS   int64 // at.UnixNano(), precomputed: heap sifts compare plain ints
 	seq    int64 // FIFO tiebreak for simultaneous events
 	fn     func()
 	flight *flight
+
+	udpHost *Host
+	udpW    *udpWaiter
+	udpGen  uint64
 }
 
 type eventHeap []*event

@@ -151,6 +151,12 @@ type Service struct {
 	//
 	//shadowlint:eventloop
 	enc dnswire.Encoder
+	// upq is upstream-query scratch under the same single-goroutine
+	// contract: the Message is serialized (into a fresh, ownable payload
+	// buffer) before recurse/recurseDoH return, so nothing retains it.
+	//
+	//shadowlint:eventloop
+	upq dnswire.Message
 }
 
 // ServiceStats counts resolver activity.
@@ -257,7 +263,8 @@ func (s *Service) recurseDoH(n *netsim.Network, inst *Instance, q *dnswire.Messa
 	s.stats.Upstream++
 	s.mu.Unlock()
 	egress := inst.Egress[int(q.Header.ID)%len(inst.Egress)]
-	upstream := dnswire.NewQuery(q.Header.ID, q.QName(), q.QType())
+	upstream := &s.upq
+	dnswire.QueryInto(upstream, q.Header.ID, q.QName(), q.QType())
 	upstream.Header.RD = false
 	upPayload, err := upstream.Encode()
 	if err != nil {
@@ -417,7 +424,8 @@ func (s *Service) recurse(n *netsim.Network, inst *Instance, q *dnswire.Message,
 	s.mu.Unlock()
 
 	egress := inst.Egress[int(q.Header.ID)%len(inst.Egress)]
-	upstream := dnswire.NewQuery(q.Header.ID, q.QName(), q.QType())
+	upstream := &s.upq
+	dnswire.QueryInto(upstream, q.Header.ID, q.QName(), q.QType())
 	upstream.Header.RD = false
 	upPayload, err := upstream.Encode()
 	if err != nil {

@@ -67,12 +67,19 @@ type CampaignInfo struct {
 	// window — non-zero for shard runs, whose plan is
 	// [First, First+Trials). Bus events and the Inflight list carry
 	// absolute trial indexes; the bitmap covers only the window.
-	First      int    `json:"first_trial,omitempty"`
-	Workers    int    `json:"workers"`
-	BaseSeed   int64  `json:"base_seed"`
-	ConfigHash string `json:"config_hash,omitempty"`
-	Scale      string `json:"scale,omitempty"`
-	StoreDir   string `json:"store_dir,omitempty"`
+	First int `json:"first_trial,omitempty"`
+	// Workers is the effective pool size: the requested count clamped to
+	// the window's trial count (a pool larger than the plan would idle).
+	Workers int `json:"workers"`
+	// RequestedWorkers is the -workers value as configured, before the
+	// clamp; 0 means "one per trial". When it differs from Workers the
+	// clamp fired — visible here and in the occupancy report so speedup
+	// series never divide by a phantom worker count.
+	RequestedWorkers int    `json:"requested_workers,omitempty"`
+	BaseSeed         int64  `json:"base_seed"`
+	ConfigHash       string `json:"config_hash,omitempty"`
+	Scale            string `json:"scale,omitempty"`
+	StoreDir         string `json:"store_dir,omitempty"`
 }
 
 // CampaignSnapshot is the /campaign view: identity plus live progress.
@@ -136,6 +143,16 @@ type OccupancyReport struct {
 	TrialWallSeconds    Distribution      `json:"trial_wall_seconds"`
 	CampaignWallSeconds float64           `json:"campaign_wall_seconds"`
 	SlowTrialDumps      int               `json:"slow_trial_dumps"`
+	// EffectiveWorkers is the clamped pool size the campaign actually ran
+	// with (see CampaignInfo.RequestedWorkers for the pre-clamp value).
+	EffectiveWorkers int `json:"effective_workers"`
+	// RequestedWorkers echoes the configured -workers value (0 = one per
+	// trial) so the occupancy JSON is self-describing about the clamp.
+	RequestedWorkers int `json:"requested_workers"`
+	// PeakHeapBytes is the streaming consumer's HeapAlloc high-water mark
+	// over the campaign — the memory-flat number bench.sh normalizes into
+	// peak_heap_mb_per_trial.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 // FlightDump is the flight recorder's crash/slow-trial artifact: what a
@@ -207,11 +224,15 @@ type Monitor struct {
 	durations []float64 // completed trial wall seconds, completion order
 	wallHist  []int64   // len(trialWallBounds)+1
 	wallSum   float64
-	metrics   [][]telemetry.Metric
-	spans     [][]telemetry.SpanStats
-	workers   []workerClock
-	slowDumps int
-	flightErr error // first flight-write failure, surfaced via FlightErr
+	// mergedMetrics/mergedSpans are the completed trials' telemetry,
+	// folded incrementally in completion order as each trial finishes —
+	// O(metric universe) retained, not O(trials) snapshots.
+	mergedMetrics []telemetry.Metric
+	mergedSpans   []telemetry.SpanStats
+	peakHeap      uint64
+	workers       []workerClock
+	slowDumps     int
+	flightErr     error // first flight-write failure, surfaced via FlightErr
 }
 
 // NewMonitor creates a Monitor. The zero MonitorOptions is valid (no
@@ -397,8 +418,11 @@ func (m *Monitor) trialFinished(worker, trial int, seed int64, resumed bool, hea
 	m.durations = append(m.durations, dur)
 	m.wallSum += dur
 	m.wallHist[bucketOf(dur)]++
-	m.metrics = append(m.metrics, metrics)
-	m.spans = append(m.spans, spans)
+	// Fold this trial's snapshot into the running merge and let the
+	// snapshot go — retaining every per-trial copy until scrape time is
+	// exactly the O(trials) growth the streaming pipeline removed.
+	m.mergedMetrics = telemetry.MergeSnapshots(m.mergedMetrics, metrics)
+	m.mergedSpans = telemetry.MergeSpans(m.mergedSpans, spans)
 	if worker < len(m.workers) && m.workers[worker].started {
 		wc := &m.workers[worker]
 		wc.busy += now.Sub(wc.lastTransition).Seconds()
@@ -618,16 +642,23 @@ func (m *Monitor) Campaign() CampaignSnapshot {
 	return s
 }
 
-// MergedMetrics folds the completed trials' telemetry into one
-// merged-so-far view — the /metrics payload. Only snapshots taken by
-// each trial's own goroutine at completion are merged, so scraping a
-// live campaign never races a running world.
+// MergedMetrics returns the completed trials' telemetry merged so far —
+// the /metrics payload. Only snapshots taken by each trial's own
+// goroutine at completion ever enter the fold, so scraping a live
+// campaign never races a running world; the single-argument re-merge
+// deep-copies the accumulators so callers cannot alias monitor state.
 func (m *Monitor) MergedMetrics() ([]telemetry.Metric, []telemetry.SpanStats) {
 	m.mu.Lock()
-	snaps := append([][]telemetry.Metric(nil), m.metrics...)
-	spans := append([][]telemetry.SpanStats(nil), m.spans...)
+	defer m.mu.Unlock()
+	return telemetry.MergeSnapshots(m.mergedMetrics), telemetry.MergeSpans(m.mergedSpans)
+}
+
+// setPeakHeap records the consumer's HeapAlloc high-water mark at
+// campaign end, surfacing it through the occupancy report.
+func (m *Monitor) setPeakHeap(bytes uint64) {
+	m.mu.Lock()
+	m.peakHeap = bytes
 	m.mu.Unlock()
-	return telemetry.MergeSnapshots(snaps...), telemetry.MergeSpans(spans...)
 }
 
 // Occupancy renders the worker-occupancy report. Call it after the
@@ -648,7 +679,10 @@ func (m *Monitor) Occupancy() *OccupancyReport {
 			Sum:    m.wallSum,
 			Count:  int64(len(m.durations)),
 		},
-		SlowTrialDumps: m.slowDumps,
+		SlowTrialDumps:   m.slowDumps,
+		EffectiveWorkers: m.info.Workers,
+		RequestedWorkers: m.info.RequestedWorkers,
+		PeakHeapBytes:    m.peakHeap,
 	}
 	if m.clock != nil && !m.startWall.IsZero() {
 		rep.CampaignWallSeconds = end.Sub(m.startWall).Seconds()

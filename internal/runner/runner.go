@@ -7,18 +7,28 @@
 // Each trial is a complete core experiment world with its own seed,
 // telemetry set, and virtual clock, executed on a single goroutine
 // exactly as a solo run would be — per-seed determinism is untouched.
-// Parallelism exists only *between* worlds: a bounded worker pool picks
-// trials off a queue, and results land in a slice indexed by trial
-// number, so the merged output is byte-identical for any worker count.
+// Parallelism exists only *between* worlds.
+//
+// The batch is a streaming pipeline, not collect-then-aggregate: workers
+// hand each completed trial over a channel to a single consumer, which
+// reorders by trial index, persists the record, folds the headline into
+// the online aggregate and the telemetry into the running merge, then
+// drops the trial's heavy artifacts. Peak memory is O(workers), not
+// O(trials), and because the consumer folds in strict trial order the
+// batch output is byte-identical for any worker count. A ticket
+// semaphore (released per fold) keeps the producer from racing ahead of
+// a straggling trial, bounding the reorder buffer the same way.
 package runner
 
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"shadowmeter/internal/core"
 	"shadowmeter/internal/correlate"
+	"shadowmeter/internal/netsim"
 	"shadowmeter/internal/runstore"
 	"shadowmeter/internal/telemetry"
 	"shadowmeter/internal/topology"
@@ -39,9 +49,8 @@ type Config struct {
 
 	// Store, when non-nil, persists each completed trial as it finishes —
 	// the batch becomes a checkpointed campaign that survives
-	// interruption. Records land in completion order (worker-dependent),
-	// but the store indexes by trial number, so resume and the batch
-	// output stay deterministic.
+	// interruption. The streaming consumer persists trials as it folds
+	// them, so records land in trial order regardless of worker count.
 	Store *runstore.Store
 	// Resume serves trials whose (trial, seed, config-hash) record is
 	// already in Store instead of re-running them. Because trials are
@@ -86,6 +95,18 @@ func ShardSlice(trials, index, count int) Slice {
 	return Slice{From: trials * index / count, To: trials * (index + 1) / count}
 }
 
+// EffectiveWorkers is the pool size a batch of trials actually runs
+// with: the requested count clamped to one worker per trial (a larger
+// pool would only idle). Zero or negative requests one worker per trial.
+// Exported so cmd/ can report the real pool without re-deriving the
+// clamp.
+func EffectiveWorkers(trials, workers int) int {
+	if workers <= 0 || workers > trials {
+		return trials
+	}
+	return workers
+}
+
 // window normalizes cfg.Slice against the trial count: the zero slice
 // (or any out-of-range bound) clamps to the full plan.
 func window(trials int, s Slice) Slice {
@@ -101,7 +122,10 @@ func window(trials int, s Slice) Slice {
 	return s
 }
 
-// Trial is the outcome of one world.
+// Trial is the outcome of one world. In a Result only the identity and
+// Headline survive: the heavy artifacts below ride the worker→consumer
+// channel and are dropped once persisted and folded, so a batch's memory
+// does not grow with its trial count.
 type Trial struct {
 	Trial int   `json:"trial"`
 	Seed  int64 `json:"seed"`
@@ -111,17 +135,18 @@ type Trial struct {
 	// "table3_observers/<proto>", and campaign totals.
 	Headline map[string]float64 `json:"headline"`
 
-	// Full per-trial artifacts, retained for callers but kept out of the
-	// batch JSON (a Report does not round-trip compactly). Report is nil
-	// for trials served from the store on resume.
-	Report  *core.Report          `json:"-"`
+	// Metrics and Spans are the trial's telemetry snapshot. They are the
+	// worker→consumer payload; in a Result they are nil (the consumer
+	// folds them into the batch-wide merge and drops them).
 	Metrics []telemetry.Metric    `json:"-"`
 	Spans   []telemetry.SpanStats `json:"-"`
 
 	// Events is the compact unsolicited-event log persisted for
 	// cross-campaign retention analysis. Populated only when the batch
-	// runs against a store.
+	// runs against a store; nil in a Result (read it back from the store).
 	Events []runstore.EventRecord `json:"-"`
+	// Resumed marks a trial served from the campaign store instead of run.
+	Resumed bool `json:"-"`
 	// StoreErr records a failed persist of this trial.
 	StoreErr error `json:"-"`
 }
@@ -131,6 +156,10 @@ type Stat struct {
 	Mean float64 `json:"mean"`
 	Min  float64 `json:"min"`
 	Max  float64 `json:"max"`
+	// Count is the number of trials whose headline carries the key. A
+	// Count below the batch's trial count means the documented
+	// missing-keys-contribute-0 quirk applied to this aggregate.
+	Count int `json:"count"`
 }
 
 // Result is a completed batch.
@@ -143,6 +172,21 @@ type Result struct {
 	// output is still complete — every trial ran — but the campaign on
 	// disk is missing records and must not be trusted for resume.
 	StoreErr error `json:"-"`
+	// PeakHeapBytes is the consumer's HeapAlloc high-water mark, sampled
+	// once per folded trial — the number the memory-flat gate tracks.
+	PeakHeapBytes uint64 `json:"-"`
+
+	mergedMetrics []telemetry.Metric
+	mergedSpans   []telemetry.SpanStats
+}
+
+// finishedTrial is the worker→consumer hand-off: the trial plus the
+// store-record fields that only exist while the world is alive.
+type finishedTrial struct {
+	Trial
+	vStartNS int64
+	vEndNS   int64
+	ran      bool // false when served from the store on resume
 }
 
 // Run executes the batch and blocks until every trial completes.
@@ -153,10 +197,7 @@ func Run(cfg Config) *Result {
 	}
 	span := window(trials, cfg.Slice)
 	n := span.To - span.From
-	workers := cfg.Workers
-	if workers <= 0 || workers > n {
-		workers = n
-	}
+	workers := EffectiveWorkers(n, cfg.Workers)
 	hash := ""
 	if cfg.Store != nil {
 		hash = CampaignHash(cfg.Core)
@@ -169,15 +210,25 @@ func Run(cfg Config) *Result {
 	}
 
 	if m := cfg.Monitor; m != nil {
-		info := CampaignInfo{Trials: n, First: span.From, Workers: workers, BaseSeed: cfg.BaseSeed, ConfigHash: hash}
+		info := CampaignInfo{Trials: n, First: span.From, Workers: workers, RequestedWorkers: cfg.Workers, BaseSeed: cfg.BaseSeed, ConfigHash: hash}
 		if cfg.Store != nil {
 			info.StoreDir = cfg.Store.Dir()
 		}
 		m.campaignStarted(info)
 	}
 
-	results := make([]Trial, n)
+	// The pipeline. A producer goroutine issues trial indexes, workers run
+	// worlds and hand finished trials to the consumer below, which runs on
+	// this goroutine and folds in strict trial-index order. The ticket
+	// semaphore — acquired per issue, released per fold — bounds
+	// issued-but-unfolded trials at 2·workers, so a straggling trial
+	// stalls the producer instead of growing the reorder buffer. No
+	// deadlock: the oldest outstanding trial is never parked in pending
+	// (the consumer folds it on arrival), so it is always either queued or
+	// running, and folding it releases a ticket.
 	jobs := make(chan int)
+	completed := make(chan finishedTrial, workers)
+	tickets := make(chan struct{}, 2*workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -187,28 +238,90 @@ func Run(cfg Config) *Result {
 				m.workerStarted(w)
 				defer m.workerExited(w)
 			}
+			// One arena per worker: consecutive worlds on this goroutine
+			// recycle event and flight allocations. Arenas are never
+			// shared between live worlds, so determinism is untouched.
+			arena := &netsim.Arena{}
 			for t := range jobs {
-				results[t-span.From] = runTrial(cfg, w, t, hash)
+				completed <- runTrial(cfg, w, t, hash, arena)
 			}
 		}(w)
 	}
-	for t := span.From; t < span.To; t++ {
-		jobs <- t
-	}
-	close(jobs)
-	wg.Wait()
-	if m := cfg.Monitor; m != nil {
-		m.campaignFinished()
-	}
+	go func() {
+		for t := span.From; t < span.To; t++ {
+			tickets <- struct{}{}
+			jobs <- t
+		}
+		close(jobs)
+		wg.Wait()
+		close(completed)
+	}()
 
-	res := &Result{Trials: results, Aggregate: aggregate(results)}
-	for _, tr := range results {
-		if tr.StoreErr != nil {
-			res.StoreErr = fmt.Errorf("trial %d: %w", tr.Trial, tr.StoreErr)
-			break
+	res := &Result{Trials: make([]Trial, n)}
+	agg := newHeadlineAgg()
+	pending := make(map[int]finishedTrial, 2*workers)
+	next := span.From
+	var ms runtime.MemStats
+	for ft := range completed {
+		pending[ft.Trial.Trial] = ft
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			foldTrial(cfg, hash, res, agg, cur, next-span.From)
+			next++
+			// HeapAlloc high-water, sampled once per fold — the number
+			// the memory-flat gate in runner tests and check.sh tracks.
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > res.PeakHeapBytes {
+				res.PeakHeapBytes = ms.HeapAlloc
+			}
+			<-tickets
 		}
 	}
+	res.Aggregate = agg.finalize(n)
+	if m := cfg.Monitor; m != nil {
+		m.setPeakHeap(res.PeakHeapBytes)
+		m.campaignFinished()
+	}
 	return res
+}
+
+// foldTrial is the consumer's per-trial step: persist the record, fold
+// the headline and telemetry into the running batch state, then drop the
+// heavy artifacts so only the headline-bearing Trial survives.
+func foldTrial(cfg Config, hash string, res *Result, agg *headlineAgg, ft finishedTrial, i int) {
+	tr := ft.Trial
+	if cfg.Store != nil && ft.ran {
+		// VStart/VEnd bracket the trial's virtual time: the campaign
+		// epoch and the simulator clock at completion. They feed the
+		// store's columnar headline file for time-windowed analyses.
+		ref, err := cfg.Store.AppendIndexed(runstore.TrialRecord{
+			Trial:      tr.Trial,
+			Seed:       tr.Seed,
+			ConfigHash: hash,
+			Headline:   tr.Headline,
+			VStartNS:   ft.vStartNS,
+			VEndNS:     ft.vEndNS,
+			Events:     tr.Events,
+			Metrics:    tr.Metrics,
+			Spans:      tr.Spans,
+		})
+		tr.StoreErr = err
+		if m := cfg.Monitor; m != nil {
+			m.storeAppended(tr.Trial, ref, err)
+		}
+		if err != nil && res.StoreErr == nil {
+			res.StoreErr = fmt.Errorf("trial %d: %w", tr.Trial, err)
+		}
+	}
+	agg.fold(tr.Headline)
+	res.mergedMetrics = telemetry.MergeSnapshots(res.mergedMetrics, tr.Metrics)
+	res.mergedSpans = telemetry.MergeSpans(res.mergedSpans, tr.Spans)
+	tr.Metrics, tr.Spans, tr.Events = nil, nil, nil
+	res.Trials[i] = tr
 }
 
 // CampaignHash fingerprints the per-trial configuration: everything in
@@ -234,7 +347,7 @@ func CampaignHash(cfg core.Config) string {
 // monitor hooks hand copies outward, never reach inward.
 //
 //shadowlint:trialpath
-func runTrial(cfg Config, worker, t int, hash string) Trial {
+func runTrial(cfg Config, worker, t int, hash string, arena *netsim.Arena) finishedTrial {
 	seed := cfg.BaseSeed + int64(t)
 	if m := cfg.Monitor; m != nil {
 		m.trialStarted(worker, t, seed)
@@ -257,19 +370,23 @@ func runTrial(cfg Config, worker, t int, hash string) Trial {
 			if m := cfg.Monitor; m != nil {
 				m.trialFinished(worker, t, seed, true, rec.Headline, rec.Metrics, rec.Spans)
 			}
-			return Trial{
+			return finishedTrial{Trial: Trial{
 				Trial:    t,
 				Seed:     seed,
 				Headline: rec.Headline,
 				Metrics:  rec.Metrics,
 				Spans:    rec.Spans,
-				Events:   rec.Events,
-			}
+				Resumed:  true,
+			}}
 		}
 	}
 
 	coreCfg := cfg.Core
 	coreCfg.Seed = seed
+	// The worker's arena rides the core config (hash-excluded) down to
+	// the world's network, recycling the previous trial's event and
+	// flight allocations.
+	coreCfg.Arena = arena
 	e := core.NewExperiment(coreCfg)
 	if m := cfg.Monitor; m != nil {
 		m.attachWorld(t, e.Telemetry())
@@ -279,39 +396,28 @@ func runTrial(cfg Config, worker, t int, hash string) Trial {
 	e.RunPhaseII()
 	report := e.Compile()
 	tele := e.Telemetry()
-	tr := Trial{
-		Trial:    t,
-		Seed:     seed,
-		Headline: headlineFrom(report),
-		Report:   report,
-		Metrics:  tele.Registry.Snapshot(),
-		Spans:    tele.Tracer.Summary(),
+	ft := finishedTrial{
+		Trial: Trial{
+			Trial:    t,
+			Seed:     seed,
+			Headline: headlineFrom(report),
+			Metrics:  tele.Registry.Snapshot(),
+			Spans:    tele.Tracer.Summary(),
+		},
+		vStartNS: e.World.Cfg.Start.UnixNano(),
+		vEndNS:   e.World.Net.Now().UnixNano(),
+		ran:      true,
 	}
 	if cfg.Store != nil {
-		tr.Events = eventRecords(e.EventsPhaseI)
-		// VStart/VEnd bracket the trial's virtual time: the campaign
-		// epoch and the simulator clock at completion. They feed the
-		// store's columnar headline file for time-windowed analyses.
-		ref, err := cfg.Store.AppendIndexed(runstore.TrialRecord{
-			Trial:      t,
-			Seed:       seed,
-			ConfigHash: hash,
-			Headline:   tr.Headline,
-			VStartNS:   e.World.Cfg.Start.UnixNano(),
-			VEndNS:     e.World.Net.Now().UnixNano(),
-			Events:     tr.Events,
-			Metrics:    tr.Metrics,
-			Spans:      tr.Spans,
-		})
-		tr.StoreErr = err
-		if m := cfg.Monitor; m != nil {
-			m.storeAppended(t, ref, err)
-		}
+		ft.Events = eventRecords(e.EventsPhaseI)
 	}
 	if m := cfg.Monitor; m != nil {
-		m.trialFinished(worker, t, seed, false, tr.Headline, tr.Metrics, tr.Spans)
+		m.trialFinished(worker, t, seed, false, ft.Headline, ft.Metrics, ft.Spans)
 	}
-	return tr
+	// The world is finished: reclaim its event/flight allocations for
+	// this worker's next trial.
+	arena.Harvest(e.World.Net)
+	return ft
 }
 
 // eventRecords compacts the Phase I unsolicited events into the
@@ -361,34 +467,78 @@ func headlineFrom(r *core.Report) map[string]float64 {
 	return h
 }
 
-// aggregate folds per-trial headlines into mean/min/max per key. The
-// mean sums in trial order, so the result is bit-identical across runs
-// and worker counts.
-func aggregate(trials []Trial) map[string]Stat {
-	keys := make(map[string]bool)
-	for _, t := range trials {
-		for k := range t.Headline {
-			keys[k] = true
+// headlineAgg folds per-trial headlines into the cross-trial aggregate
+// one trial at a time — the streaming replacement for the historical
+// whole-batch pass, with bit-identical output. Keys absent from a trial
+// contribute 0 to mean, min, and max: adding 0.0 is an exact identity
+// for the running sum, so only the present values need summing (in trial
+// order, since float addition is not associative), and finalize clamps
+// min/max toward 0 for any key missing from at least one trial.
+type headlineAgg struct {
+	acc map[string]*statAcc
+}
+
+// statAcc is one key's running state: exact sum, observed extrema, and
+// how many trials carried the key.
+type statAcc struct {
+	sum, min, max float64
+	count         int
+}
+
+func newHeadlineAgg() *headlineAgg {
+	return &headlineAgg{acc: make(map[string]*statAcc)}
+}
+
+// fold merges one trial's headline. Trials must be folded in trial order
+// for the sums to be bit-identical across worker counts.
+//
+//shadowlint:hotpath
+func (a *headlineAgg) fold(h map[string]float64) {
+	for k, v := range h {
+		st := a.acc[k]
+		if st == nil {
+			a.acc[k] = &statAcc{sum: v, min: v, max: v, count: 1}
+			continue
+		}
+		st.sum += v
+		st.count++
+		if v < st.min {
+			st.min = v
+		}
+		if v > st.max {
+			st.max = v
 		}
 	}
-	out := make(map[string]Stat, len(keys))
-	for k := range keys {
-		var sum float64
-		st := Stat{}
-		for i, t := range trials {
-			v := t.Headline[k] // missing key contributes 0
-			sum += v
-			if i == 0 || v < st.Min {
-				st.Min = v
+}
+
+// finalize produces the aggregate for a batch of n folded trials.
+func (a *headlineAgg) finalize(n int) map[string]Stat {
+	out := make(map[string]Stat, len(a.acc))
+	for k, st := range a.acc {
+		s := Stat{Mean: st.sum / float64(n), Min: st.min, Max: st.max, Count: st.count}
+		if st.count < n {
+			// Some trial lacked the key and contributed an implicit 0.
+			if s.Min > 0 {
+				s.Min = 0
 			}
-			if i == 0 || v > st.Max {
-				st.Max = v
+			if s.Max < 0 {
+				s.Max = 0
 			}
 		}
-		st.Mean = sum / float64(len(trials))
-		out[k] = st
+		out[k] = s
 	}
 	return out
+}
+
+// aggregate folds per-trial headlines into mean/min/max per key — the
+// batch-shaped wrapper over the streaming fold, kept as the reference
+// implementation the determinism tests compare against.
+func aggregate(trials []Trial) map[string]Stat {
+	agg := newHeadlineAgg()
+	for _, t := range trials {
+		agg.fold(t.Headline)
+	}
+	return agg.finalize(len(trials))
 }
 
 // JSON renders the batch — per-trial headlines plus the cross-trial
@@ -401,13 +551,18 @@ func (r *Result) JSON() ([]byte, error) {
 
 // MergedTelemetryJSON folds every trial's telemetry into one export in
 // the shape of telemetry.Set.ExportJSON: counters and histogram buckets
-// sum across worlds, gauges keep their high-water mark, spans sum.
+// sum across worlds, gauges keep their high-water mark, spans sum. A
+// Run-built Result serves the consumer's incrementally merged
+// accumulators (the per-trial snapshots are gone); a hand-built Result
+// falls back to folding whatever the Trials still carry — pairwise
+// left-folds and the whole-batch merge are byte-identical.
 func (r *Result) MergedTelemetryJSON() []byte {
-	snaps := make([][]telemetry.Metric, 0, len(r.Trials))
-	spans := make([][]telemetry.SpanStats, 0, len(r.Trials))
-	for _, t := range r.Trials {
-		snaps = append(snaps, t.Metrics)
-		spans = append(spans, t.Spans)
+	metrics, spans := r.mergedMetrics, r.mergedSpans
+	if metrics == nil && spans == nil {
+		for _, t := range r.Trials {
+			metrics = telemetry.MergeSnapshots(metrics, t.Metrics)
+			spans = telemetry.MergeSpans(spans, t.Spans)
+		}
 	}
-	return telemetry.ExportMergedJSON(telemetry.MergeSnapshots(snaps...), telemetry.MergeSpans(spans...))
+	return telemetry.ExportMergedJSON(metrics, spans)
 }

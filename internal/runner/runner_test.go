@@ -2,6 +2,7 @@ package runner
 
 import (
 	"bytes"
+	"runtime"
 	"testing"
 
 	"shadowmeter/internal/core"
@@ -21,8 +22,9 @@ func tinyCore() core.Config {
 
 // TestRunnerDeterminism is the batch-level determinism contract: the
 // same seeds must produce byte-identical merged output at any worker
-// count. Worker scheduling decides only who runs a trial, never what it
-// computes or where its result lands.
+// count. Worker scheduling decides only who runs a trial; the streaming
+// consumer folds strictly in trial order, so neither what a trial
+// computes nor where its result lands can depend on the pool size.
 func TestRunnerDeterminism(t *testing.T) {
 	run := func(workers int) (*Result, []byte, []byte) {
 		res := Run(Config{Trials: 4, Workers: workers, BaseSeed: 11, Core: tinyCore()})
@@ -33,23 +35,34 @@ func TestRunnerDeterminism(t *testing.T) {
 		return res, js, res.MergedTelemetryJSON()
 	}
 	serial, serialJSON, serialTele := run(1)
-	parallel, parallelJSON, parallelTele := run(4)
-
-	if !bytes.Equal(serialJSON, parallelJSON) {
-		t.Errorf("batch JSON differs between workers=1 and workers=4:\n--- 1\n%s\n--- 4\n%s", serialJSON, parallelJSON)
+	if len(serial.Trials) != 4 {
+		t.Fatalf("trial count = %d, want 4", len(serial.Trials))
 	}
-	if !bytes.Equal(serialTele, parallelTele) {
-		t.Error("merged telemetry differs between workers=1 and workers=4")
-	}
-	if len(serial.Trials) != 4 || len(parallel.Trials) != 4 {
-		t.Fatalf("trial counts = %d/%d, want 4", len(serial.Trials), len(parallel.Trials))
-	}
-	for i, tr := range parallel.Trials {
-		if tr.Trial != i || tr.Seed != 11+int64(i) {
-			t.Errorf("trial %d: got trial=%d seed=%d", i, tr.Trial, tr.Seed)
+	for _, workers := range []int{4, 16} {
+		parallel, parallelJSON, parallelTele := run(workers)
+		if !bytes.Equal(serialJSON, parallelJSON) {
+			t.Errorf("batch JSON differs between workers=1 and workers=%d:\n--- 1\n%s\n--- %d\n%s", workers, serialJSON, workers, parallelJSON)
 		}
-		if tr.Report == nil || len(tr.Metrics) == 0 {
-			t.Errorf("trial %d missing report or metrics", i)
+		if !bytes.Equal(serialTele, parallelTele) {
+			t.Errorf("merged telemetry differs between workers=1 and workers=%d", workers)
+		}
+		if len(parallel.Trials) != 4 {
+			t.Fatalf("workers=%d trial count = %d, want 4", workers, len(parallel.Trials))
+		}
+		for i, tr := range parallel.Trials {
+			if tr.Trial != i || tr.Seed != 11+int64(i) {
+				t.Errorf("trial %d: got trial=%d seed=%d", i, tr.Trial, tr.Seed)
+			}
+			if len(tr.Headline) == 0 || tr.Resumed {
+				t.Errorf("trial %d missing headline or wrongly marked resumed", i)
+			}
+			// The streaming consumer must have dropped the heavy artifacts.
+			if tr.Metrics != nil || tr.Spans != nil || tr.Events != nil {
+				t.Errorf("trial %d retained heavy artifacts after fold", i)
+			}
+		}
+		if parallel.PeakHeapBytes == 0 {
+			t.Errorf("workers=%d recorded no peak heap high-water", workers)
 		}
 	}
 }
@@ -98,11 +111,84 @@ func TestAggregateStats(t *testing.T) {
 		{Headline: map[string]float64{"a": 3}}, // "b" missing -> 0
 	}
 	agg := aggregate(trials)
-	if a := agg["a"]; a.Mean != 2 || a.Min != 1 || a.Max != 3 {
+	if a := agg["a"]; a.Mean != 2 || a.Min != 1 || a.Max != 3 || a.Count != 2 {
 		t.Errorf("a = %+v", a)
 	}
-	if b := agg["b"]; b.Mean != 2 || b.Min != 0 || b.Max != 4 {
+	if b := agg["b"]; b.Mean != 2 || b.Min != 0 || b.Max != 4 || b.Count != 1 {
 		t.Errorf("b = %+v", b)
+	}
+}
+
+// TestAggregateStreamingMatchesBatch drives the online fold through the
+// awkward shapes — keys first seen mid-batch, keys vanishing, negative
+// values, a key missing everywhere but one trial — and checks it against
+// the semantics the batch pass always had.
+func TestAggregateStreamingMatchesBatch(t *testing.T) {
+	trials := []Trial{
+		{Headline: map[string]float64{"pos": 2}},
+		{Headline: map[string]float64{"pos": 6, "late": 5, "neg": -3}},
+		{Headline: map[string]float64{"pos": 1, "neg": -1}},
+	}
+	agg := aggregate(trials)
+	if p := agg["pos"]; p.Mean != 3 || p.Min != 1 || p.Max != 6 || p.Count != 3 {
+		t.Errorf("pos = %+v", p)
+	}
+	// "late" first appears at trial 1: trials 0 and 2 contribute 0, so the
+	// min clamps to 0 even though every observed value is positive.
+	if l := agg["late"]; l.Mean != 5.0/3 || l.Min != 0 || l.Max != 5 || l.Count != 1 {
+		t.Errorf("late = %+v", l)
+	}
+	// "neg" is negative where present: the implicit 0 becomes the max.
+	if n := agg["neg"]; n.Mean != -4.0/3 || n.Min != -3 || n.Max != 0 || n.Count != 2 {
+		t.Errorf("neg = %+v", n)
+	}
+}
+
+// TestMemoryFlatBatch is the memory-flat acceptance gate: quadrupling the
+// trial count must not quadruple the consumer's peak heap, because each
+// trial's report, snapshots, and events are dropped as soon as they are
+// folded. The 2× margin absorbs GC timing noise while still failing
+// decisively if per-trial artifacts are ever retained again (which
+// scales the peak roughly linearly in trials).
+func TestMemoryFlatBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial batches are slow")
+	}
+	peak := func(trials int) uint64 {
+		runtime.GC() // level the floor so high-waters are comparable
+		res := Run(Config{Trials: trials, Workers: 1, BaseSeed: 101, Core: tinyCore()})
+		if res.PeakHeapBytes == 0 {
+			t.Fatalf("%d-trial batch recorded no peak heap", trials)
+		}
+		return res.PeakHeapBytes
+	}
+	peak2 := peak(2)
+	peak8 := peak(8)
+	if peak8 > 2*peak2 {
+		t.Errorf("peak heap grew with trial count: 2 trials = %d bytes, 8 trials = %d bytes (limit 2x)", peak2, peak8)
+	}
+}
+
+// TestWorkerClampReported: a pool larger than the plan clamps to one
+// worker per trial, and both the campaign snapshot and the occupancy
+// report must say so — speedup series divide wall times by the worker
+// count, so a phantom pool size would corrupt the whole series.
+func TestWorkerClampReported(t *testing.T) {
+	m := NewMonitor(MonitorOptions{})
+	Run(Config{Trials: 2, Workers: 16, BaseSeed: 41, Core: tinyCore(), Monitor: m})
+	snap := m.Campaign()
+	if snap.Workers != 2 || snap.RequestedWorkers != 16 {
+		t.Errorf("campaign workers = %d (requested %d), want 2 (requested 16)", snap.Workers, snap.RequestedWorkers)
+	}
+	occ := m.Occupancy()
+	if occ.EffectiveWorkers != 2 || occ.RequestedWorkers != 16 {
+		t.Errorf("occupancy workers = %d effective (requested %d), want 2 (requested 16)", occ.EffectiveWorkers, occ.RequestedWorkers)
+	}
+	if len(occ.Workers) != 2 {
+		t.Errorf("occupancy lists %d workers, want 2", len(occ.Workers))
+	}
+	if occ.PeakHeapBytes == 0 {
+		t.Error("occupancy report missing peak heap high-water")
 	}
 }
 
@@ -128,8 +214,8 @@ func TestDistinctSeedsDiverge(t *testing.T) {
 // Note: per-op numbers are for the whole 8-trial batch; divide by 8 to
 // compare against snapshots taken when the benchmark ran 4 trials.
 func BenchmarkTrials(b *testing.B) {
-	for _, workers := range []int{1, 4} {
-		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "workers=1", 2: "workers=2", 4: "workers=4"}[workers], func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				Run(Config{Trials: 8, Workers: workers, BaseSeed: int64(i * 8), Core: tinyCore()})

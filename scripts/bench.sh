@@ -94,7 +94,14 @@ sharded_wall=$(awk -v a="$s1" -v b="$s2" 'BEGIN {printf "%.3f", b - a}')
 merge_wall=$(awk -v a="$s2" -v b="$s3" 'BEGIN {printf "%.3f", b - a}')
 echo "unsharded 4 trials took ${unsharded_wall}s, 2 shards took ${sharded_wall}s, merge took ${merge_wall}s"
 
-awk -v date="$stamp" -v goversion="$(go version | awk '{print $3}')" -v lintwall="$lint_wall" '
+# Host shape: speedup series are meaningless without knowing how many
+# cores the batch had to spread over, so record both the physical count
+# and the scheduler's view.
+num_cpu=$(nproc)
+gomaxprocs=${GOMAXPROCS:-$num_cpu}
+
+awk -v date="$stamp" -v goversion="$(go version | awk '{print $3}')" -v lintwall="$lint_wall" \
+    -v numcpu="$num_cpu" -v maxprocs="$gomaxprocs" '
 /^Benchmark/ {
     name = $1; ns = ""; bytes = "0"; allocs = "0"
     for (i = 2; i <= NF; i++) {
@@ -104,29 +111,36 @@ awk -v date="$stamp" -v goversion="$(go version | awk '{print $3}')" -v lintwall
     }
     if (ns == "") next
     if (name ~ /^BenchmarkTrials\/workers=1/) w1 = ns
+    if (name ~ /^BenchmarkTrials\/workers=2/) w2 = ns
     if (name ~ /^BenchmarkTrials\/workers=4/) w4 = ns
     row = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs)
     body = (body == "" ? row : body ",\n" row)
 }
 END {
-    # trials_speedup_w4: how much faster the 4-worker batch runs the same
+    # trials_speedup_wN: how much faster the N-worker batch runs the same
     # trials than the serial one (>1 means parallelism pays; ~1 on a
-    # single-CPU host no matter how clean the runner is).
+    # single-CPU host no matter how clean the runner is). The per-worker-
+    # count series makes scaling curvature visible, not just the endpoint.
     speedup = ""
+    if (w1 != "" && w2 != "" && w2 + 0 > 0)
+        speedup = speedup sprintf(",\n  \"trials_speedup_w2\": %.3f", w1 / w2)
     if (w1 != "" && w4 != "" && w4 + 0 > 0)
-        speedup = sprintf(",\n  \"trials_speedup_w4\": %.3f", w1 / w4)
-    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"lint_wall_seconds\": %s%s,\n  \"benchmarks\": [\n%s\n  ]\n}\n", date, goversion, lintwall, speedup, body
+        speedup = speedup sprintf(",\n  \"trials_speedup_w4\": %.3f", w1 / w4)
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"num_cpu\": %s,\n  \"gomaxprocs\": %s,\n  \"lint_wall_seconds\": %s%s,\n  \"benchmarks\": [\n%s\n  ]\n}\n", date, goversion, numcpu, maxprocs, lintwall, speedup, body
 }' "$tmp" >"$out"
 
 # Fold the occupancy report and wall timings in: the whole occupancy
 # object under worker_occupancy, slow_trial_dumps hoisted to the top
-# level for cheap trending, and the store read-path and shard data-plane
-# wall times beside the lint wall time.
+# level for cheap trending, the streaming consumer's peak heap normalized
+# per trial (the memory-flat trajectory number), and the store read-path
+# and shard data-plane wall times beside the lint wall time.
 jq --slurpfile occ "$occ" \
+    --argjson trials "${BENCH_OCC_TRIALS:-4}" \
     --argjson show "$store_show_wall" --argjson get "$store_get_wall" \
     --argjson unsharded "$unsharded_wall" --argjson sharded "$sharded_wall" \
     --argjson merge "$merge_wall" \
     '. + {worker_occupancy: $occ[0], slow_trial_dumps: $occ[0].slow_trial_dumps,
+          peak_heap_mb_per_trial: (($occ[0].peak_heap_bytes // 0) / ($trials * 1048576) * 1000 | round / 1000),
           store_show_seconds: $show, store_show_trial_seconds: $get,
           unsharded_campaign_seconds: $unsharded, sharded_campaign_seconds: $sharded,
           shard_merge_seconds: $merge}' \

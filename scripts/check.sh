@@ -372,18 +372,38 @@ if [ -z "$allocs" ] || [ "$allocs" -gt 7 ]; then
     exit 1
 fi
 
-echo "== trials allocation gate"
-# The multi-trial runner went through a campaign-scale allocation sweep
-# (owned-buffer injection, single-allocation packet builders, sniff fast
-# paths, per-world encode scratch, interning): an 8-trial batch sits
-# around 4.6M allocs, down from ~9.8M before the sweep. The ceiling
-# leaves ~20% headroom for noise while catching any real regression.
-allocs=$(go test -run '^$' -bench 'BenchmarkTrials/workers=1$' -benchmem -benchtime 1x ./internal/runner |
-    awk '/BenchmarkTrials/ {print $(NF-1)}')
+echo "== trials allocation + multi-core speedup gates"
+# The multi-trial runner went through two campaign-scale allocation
+# sweeps (owned-buffer injection, single-allocation packet builders,
+# sniff fast paths, per-world encode scratch, interning — then scratch
+# DNS decode/response reuse, pooled UDP waiters, per-worker netsim
+# arenas, and static HTTP header atoms): an 8-trial batch sits around
+# 3.35M allocs, down from ~9.8M before the sweeps. The ceiling leaves
+# a few percent headroom for noise while catching any real regression.
+bench_out=$(go test -run '^$' -bench 'BenchmarkTrials/workers=(1|4)$' -benchmem -benchtime 1x ./internal/runner)
+allocs=$(echo "$bench_out" | awk '/workers=1/ {print $(NF-1)}')
 echo "BenchmarkTrials/workers=1: $allocs allocs/op"
-if [ -z "$allocs" ] || [ "$allocs" -gt 5500000 ]; then
-    echo "trial-loop allocations regressed: $allocs allocs/op (gate: 5500000)" >&2
+if [ -z "$allocs" ] || [ "$allocs" -gt 3500000 ]; then
+    echo "trial-loop allocations regressed: $allocs allocs/op (gate: 3500000)" >&2
     exit 1
+fi
+
+# Multi-core speedup: the streaming consumer must not serialize the
+# worker pool. Gated only where parallelism can physically pay — on a
+# single-CPU host w4/w1 hovers around 1.0 by construction and the gate
+# would measure the scheduler, not the runner.
+num_cpu=$(nproc)
+w1=$(echo "$bench_out" | awk '/workers=1/ {print $3}')
+w4=$(echo "$bench_out" | awk '/workers=4/ {print $3}')
+if [ "$num_cpu" -ge 4 ]; then
+    speedup=$(awk -v a="$w1" -v b="$w4" 'BEGIN {printf "%.3f", a / b}')
+    echo "trials_speedup_w4 = $speedup (w1 ${w1} ns/op, w4 ${w4} ns/op, $num_cpu CPUs)"
+    if awk -v s="$speedup" 'BEGIN {exit !(s < 0.97)}'; then
+        echo "multi-core speedup regressed: trials_speedup_w4 = $speedup (gate: >= 0.97 on a >=4-CPU host)" >&2
+        exit 1
+    fi
+else
+    echo "trials_speedup_w4 gate skipped: host has $num_cpu CPU(s), needs >= 4"
 fi
 
 echo "check.sh: all gates passed"
